@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark module regenerates one paper figure (scaled to benchmark-
+friendly sizes), asserts its qualitative shape and archives the series
+under ``benchmarks/output/`` for inspection:
+
+* ``<figure>.txt`` — the rendered table;
+* ``<figure>.csv`` — long-format data.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+# allow `from benchmarks._shapes import ...` style helpers if ever needed,
+# and make sure the repo root is importable when pytest is run from inside
+# the benchmarks directory
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_figure(output_dir):
+    """Persist a FigureResult and echo its table to the terminal."""
+
+    def _record(result):
+        (output_dir / f"{result.figure_id}.txt").write_text(
+            result.render_table() + "\n"
+        )
+        (output_dir / f"{result.figure_id}.csv").write_text(result.to_csv())
+        print()
+        print(result.render_table())
+        return result
+
+    return _record

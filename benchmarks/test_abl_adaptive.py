@@ -1,0 +1,25 @@
+"""Ablation A5 — adaptive proactive redundancy vs plain reactive NP.
+
+The future-work knob of Equation (6): an AIMD controller attaches
+proactive parities to each group based on observed NAK shortfalls.
+Measures the trade — feedback volume and repair rounds down, bandwidth up.
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_adaptive
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_adaptive_vs_reactive(benchmark, record_figure):
+    result = benchmark.pedantic(abl_adaptive, rounds=1, iterations=1)
+    record_figure(result)
+
+    naks = result.get("NAKs sent")
+    bandwidth = result.get("E[M]")
+
+    # headline: the controller removes the bulk of the feedback ...
+    assert naks.value_at(1.0) < 0.5 * naks.value_at(0.0)
+    # ... at a bounded bandwidth premium (not a blow-up)
+    assert bandwidth.value_at(1.0) < 2.0 * bandwidth.value_at(0.0)
+    assert bandwidth.value_at(1.0) >= bandwidth.value_at(0.0) - 0.02

@@ -1,0 +1,44 @@
+"""Ablation A6 — combined spatial+temporal correlation (bursty tree).
+
+The paper studies shared loss (Section 4.1) and burst loss (Section 4.2)
+in isolation; real congested routers produce both.  This ablation re-runs
+the Figure 16 question — does growing the transmission group defeat
+bursts? — on the combined :class:`repro.sim.loss.BurstyTreeLoss` model.
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_bursty_tree
+
+DEPTHS = (2, 6, 10)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bursty_tree_combined_correlation(benchmark, record_figure):
+    result = benchmark.pedantic(
+        abl_bursty_tree, kwargs={"depths": DEPTHS}, rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    r_large = float(2 ** DEPTHS[-1])
+
+    # integrated FEC still beats no-FEC under combined correlation
+    assert (
+        result.get("integrated k=7, bursty tree").value_at(r_large)
+        < result.get("no FEC, bursty tree").value_at(r_large)
+    )
+    # larger groups still help against (shared) bursts
+    assert (
+        result.get("integrated k=20, bursty tree").value_at(r_large)
+        < result.get("integrated k=7, bursty tree").value_at(r_large)
+    )
+    # sharing makes bursts cheaper than independent bursts of equal rate
+    assert (
+        result.get("no FEC, bursty tree").value_at(r_large)
+        <= result.get("no FEC, independent bursts").value_at(r_large) + 0.05
+    )
+    assert (
+        result.get("integrated k=7, bursty tree").value_at(r_large)
+        <= result.get("integrated k=7, independent bursts").value_at(r_large)
+        + 0.05
+    )

@@ -1,0 +1,30 @@
+"""Ablation A7 — completion latency of the recovery schemes.
+
+The paper defers latency; this ablation quantifies it with the
+first-order models of ``repro.analysis.delay`` cross-checked against the
+event-driven protocol machines.
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_latency
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_latency_comparison(benchmark, record_figure):
+    result = benchmark.pedantic(abl_latency, rounds=1, iterations=1)
+    record_figure(result)
+
+    model = result.get("model")
+    simulated = result.get("simulated")
+
+    # feedback-free FEC 1 is the latency floor, in both methodologies
+    assert model.y[0] == min(model.y)
+    assert simulated.y[0] == min(simulated.y)
+    # hybrid ARQ beats no-FEC repair on latency as well as bandwidth
+    assert simulated.y[1] < simulated.y[3]
+    # first-order fidelity where the model claims it (fec1, np, layered)
+    for index in (0, 1, 2):
+        assert abs(model.y[index] - simulated.y[index]) / simulated.y[index] < 0.35
+    # ... and the documented N2 lower-bound relationship
+    assert model.y[3] < simulated.y[3]

@@ -1,0 +1,59 @@
+"""Ablation A1 — proactive parities (the `a` of Equation 6).
+
+Beyond the paper's figures (which use a = 0): how does sending parities
+*before* any loss report trade bandwidth against feedback rounds?  The
+latency-oriented knob exposed by ``repro.core.planner``.
+"""
+
+import pytest
+
+from repro.analysis import integrated
+from repro.core.planner import proactive_parities_for_single_round
+from repro.experiments.ablations import abl_proactive
+from repro.mc import simulate_integrated_immediate
+from repro.sim.loss import BernoulliLoss
+
+K, P, R = 7, 0.01, 10_000
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_proactive_parities_tradeoff(benchmark, record_figure):
+    result = benchmark.pedantic(abl_proactive, rounds=1, iterations=1)
+    record_figure(result)
+
+    bandwidth = result.get("E[M]")
+    silence = result.get("P(no feedback round)")
+
+    # silence improves monotonically with a
+    assert silence.y == sorted(silence.y)
+    assert silence.y[0] < 0.01  # R=1e4 at a=0: someone always loses
+    assert silence.y[-1] > 0.5
+
+    # bandwidth eventually rises once proactive parities exceed typical need
+    assert bandwidth.value_at(6.0) > bandwidth.value_at(0.0)
+    assert bandwidth.value_at(6.0) >= (K + 6) / K - 1e-9
+
+    # the planner's answer is consistent with the curve
+    a_planned = proactive_parities_for_single_round(K, P, R, 0.9)
+    assert silence.value_at(float(a_planned)) >= 0.9
+    if a_planned > 0:
+        assert silence.value_at(float(a_planned - 1)) < 0.9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_proactive_parities_monte_carlo_agrees(benchmark):
+    def run():
+        return [
+            simulate_integrated_immediate(
+                BernoulliLoss(200, P), K, 400, rng=30 + a, initial_parities=a
+            ).mean
+            for a in (0, 2, 4)
+        ]
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    predicted = [
+        integrated.expected_transmissions_lower_bound(K, P, 200, a)
+        for a in (0, 2, 4)
+    ]
+    for mc_value, model_value in zip(measured, predicted):
+        assert abs(mc_value - model_value) < 0.05

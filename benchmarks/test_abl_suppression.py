@@ -1,0 +1,32 @@
+"""Ablation A2 — NAK suppression slot size Ts vs feedback volume.
+
+The paper leaves Ts as an application choice ("needs to be chosen
+appropriately").  This ablation runs the event-driven NP protocol with
+different slot sizes and measures actual NAK traffic: wider slots damp
+more feedback at the price of added latency per round.
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_suppression
+
+RECEIVERS = 60
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_slot_size_tradeoff(benchmark, record_figure):
+    result = benchmark.pedantic(abl_suppression, rounds=1, iterations=1)
+    record_figure(result)
+
+    naks = result.get("NAKs sent")
+    suppression = result.get("suppression ratio")
+    completion = result.get("completion time [s]")
+
+    # wider slots -> materially less feedback
+    assert naks.y[-1] < naks.y[0] * 0.7
+    # and better damping
+    assert suppression.y[-1] > suppression.y[0]
+    # the cost: completion time grows with slot width
+    assert completion.y[-1] > completion.y[0]
+    # even the narrowest slot keeps feedback bounded (far below R per round)
+    assert max(naks.y) < RECEIVERS * 10

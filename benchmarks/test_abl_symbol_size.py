@@ -1,0 +1,48 @@
+"""Ablation A3 — Galois-field symbol width vs codec throughput.
+
+Section 2.2 picks m = 8 ("sufficiently large for our purposes").  This
+ablation measures what the choice costs/buys: GF(2^4) caps blocks at 15
+packets for no speed gain, GF(2^16) permits blocks beyond 255 packets at
+a substantial throughput penalty (no dense multiplication table).
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_symbol_size
+from repro.fec.rse import RSECodec
+from repro.galois.field import GF65536
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_symbol_width_tradeoff(benchmark, record_figure):
+    result = benchmark.pedantic(abl_symbol_size, rounds=1, iterations=1)
+    record_figure(result)
+
+    rates = result.get("encode rate")
+    limits = result.get("max block length n")
+
+    # m=8 is at least as fast as m=4 (same table-driven path) and much
+    # faster than m=16 (log/exp path, double-width symbols)
+    assert rates.value_at(8.0) > 2 * rates.value_at(16.0)
+    assert rates.value_at(8.0) > 0.5 * rates.value_at(4.0)
+
+    # the capacity story: m=4 cannot even hold the paper's k=100 blocks
+    assert limits.value_at(4.0) < 100
+    assert limits.value_at(8.0) >= 255
+    assert limits.value_at(16.0) > 10**4
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_wide_field_enables_giant_groups(benchmark):
+    """k=300 (impossible in GF(2^8)) round-trips in GF(2^16)."""
+    import os
+
+    def run():
+        codec = RSECodec(300, 30, field=GF65536)
+        rng_data = [os.urandom(64) for _ in range(300)]
+        parities = codec.encode(rng_data)
+        received = {i: rng_data[i] for i in range(30, 300)}
+        received.update({300 + j: parities[j] for j in range(30)})
+        return codec.decode(received) == rng_data
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

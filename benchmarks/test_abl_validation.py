@@ -1,0 +1,32 @@
+"""Ablation A4 — three-way validation: analysis vs Monte-Carlo vs protocol.
+
+Not a paper figure but the reproduction's own integrity check, kept as a
+benchmark so the agreement (and its cost) is re-measured on every run.
+"""
+
+import pytest
+
+from repro.experiments.ablations import abl_validation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_three_way_validation(benchmark, record_figure):
+    result = benchmark.pedantic(abl_validation, rounds=1, iterations=1)
+    record_figure(result)
+
+    analysis = result.get("analysis")
+    monte_carlo = result.get("monte carlo")
+    protocol = result.get("NP protocol")
+
+    # MC within 3% of every closed form
+    for model_value, mc_value in zip(analysis.y, monte_carlo.y):
+        assert abs(mc_value - model_value) / model_value < 0.03
+
+    # the real protocol lands within 15% of the idealised integrated model
+    # (it pays for slot quantisation and parity batching)
+    ideal = analysis.value_at(2.0)
+    assert abs(protocol.value_at(2.0) - ideal) / ideal < 0.15
+
+    # and the architectures rank correctly in every methodology
+    assert analysis.y[2] < analysis.y[1] < analysis.y[0]
+    assert monte_carlo.y[2] < monte_carlo.y[1] < monte_carlo.y[0]

@@ -1,0 +1,31 @@
+"""Figure 3 — layered FEC with h = 2 for k = 7, 20, 100 vs no FEC (p=0.01).
+
+Paper shape: all layered curves eventually beat no-FEC as R grows, but
+k = 100 with only 2 parities is the worst layered configuration — the
+parity budget must be matched to the TG size.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig03
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_layered_h2(benchmark, record_figure):
+    result = benchmark.pedantic(fig03, rounds=1, iterations=1)
+    record_figure(result)
+
+    r_large = 10**6
+    nofec = result.get("no FEC").value_at(r_large)
+    k7 = result.get("layered FEC, k = 7").value_at(r_large)
+    k20 = result.get("layered FEC, k = 20").value_at(r_large)
+    k100 = result.get("layered FEC, k = 100").value_at(r_large)
+
+    # layered beats no-FEC at scale ...
+    assert k7 < nofec and k20 < nofec
+    # ... but an under-parameterised big group is the worst layered choice
+    assert k100 > k7 and k100 > k20
+    # at R = 1 the parity overhead makes every layered curve lose
+    assert result.get("layered FEC, k = 7").value_at(1) > result.get(
+        "no FEC"
+    ).value_at(1)

@@ -1,0 +1,25 @@
+"""Figure 4 — layered FEC with h = 7 for k = 7, 20, 100 vs no FEC (p=0.01).
+
+Paper shape: with a richer parity budget the big k = 100 group becomes the
+best layered configuration through the 1..2*10^5 receiver range, while
+k = 7 with 100% redundancy wastes bandwidth at small R.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig04
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_layered_h7(benchmark, record_figure):
+    result = benchmark.pedantic(fig04, rounds=1, iterations=1)
+    record_figure(result)
+
+    for r in (100, 10**4, 10**5):
+        k7 = result.get("layered FEC, k = 7").value_at(r)
+        k20 = result.get("layered FEC, k = 20").value_at(r)
+        k100 = result.get("layered FEC, k = 100").value_at(r)
+        assert k100 < k20 < k7  # paper: k=100 best in this range
+
+    # k=7 with h=7 means 2x bandwidth floor: E[M] >= 2 everywhere
+    assert min(result.get("layered FEC, k = 7").y) >= 2.0

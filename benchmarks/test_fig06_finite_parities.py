@@ -1,0 +1,32 @@
+"""Figure 6 — integrated FEC, k = 7, finite parity budgets n = 8, 9, 10, inf.
+
+Paper shape: 3 parity packets (n = 10) suffice to sit on the idealised
+lower bound for receiver populations up to 10^5-2*10^5; one parity (n = 8)
+is visibly insufficient long before that.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig06
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_finite_parities(benchmark, record_figure):
+    result = benchmark.pedantic(fig06, rounds=1, iterations=1)
+    record_figure(result)
+
+    bound = result.get("(7,inf)")
+    # n=10 hugs the bound into the 10^5 range ("up to 100,000-200,000") ...
+    for r in (1000, 10**4):
+        assert result.get("(7,10)").value_at(r) - bound.value_at(r) < 0.06
+    assert result.get("(7,10)").value_at(10**5) - bound.value_at(10**5) < 0.1
+    # ... n=8 does not
+    assert result.get("(7,8)").value_at(10**5) - bound.value_at(10**5) > 0.5
+    # budgets are ordered: more parities never hurt
+    for r in (100, 10**4, 10**6):
+        n8 = result.get("(7,8)").value_at(r)
+        n9 = result.get("(7,9)").value_at(r)
+        n10 = result.get("(7,10)").value_at(r)
+        assert n8 >= n9 >= n10 >= bound.value_at(r) - 1e-9
+    # every finite budget still beats no FEC at scale
+    assert result.get("(7,8)").value_at(10**6) < result.get("non-FEC").value_at(10**6)

@@ -1,0 +1,29 @@
+"""Figure 7 — idealised integrated FEC vs R for k = 7, 20, 100 (p = 0.01).
+
+Paper shape: growing the transmission group drives E[M] toward 1 even for
+a million receivers (k=100 stays below ~1.1), with diminishing returns.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig07
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_integrated_group_size(benchmark, record_figure):
+    result = benchmark.pedantic(fig07, rounds=1, iterations=1)
+    record_figure(result)
+
+    at_million = {
+        k: result.get(f"integr. FEC, k = {k}").value_at(10**6)
+        for k in (7, 20, 100)
+    }
+    assert at_million[100] < at_million[20] < at_million[7]
+    assert at_million[100] < 1.1  # "nearly down to one"
+    # diminishing returns: 7 -> 20 saves more than 20 -> 100
+    assert (at_million[7] - at_million[20]) > (at_million[20] - at_million[100])
+    # all integrated curves dominate no-FEC for every population
+    nofec_series = result.get("no FEC")
+    for k in (7, 20, 100):
+        series = result.get(f"integr. FEC, k = {k}")
+        assert all(a <= b + 1e-9 for a, b in zip(series.y, nofec_series.y))

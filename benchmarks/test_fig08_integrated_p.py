@@ -1,0 +1,34 @@
+"""Figure 8 — integrated FEC vs loss probability p for R = 1000 receivers.
+
+Paper shape: integrated FEC with a large TG is nearly insensitive to the
+loss probability (k = 100 barely moves between p = 10^-3 and 10^-1) while
+the no-FEC curve climbs steeply.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig08
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_loss_sensitivity(benchmark, record_figure):
+    result = benchmark.pedantic(fig08, rounds=1, iterations=1)
+    record_figure(result)
+
+    nofec = result.get("no FEC")
+    k100 = result.get("integr. FEC, k = 100")
+    k7 = result.get("integr. FEC, k = 7")
+
+    nofec_spread = nofec.value_at(0.1) - nofec.value_at(0.001)
+    k100_spread = k100.value_at(0.1) - k100.value_at(0.001)
+    assert nofec_spread > 1.5
+    assert k100_spread < 0.3  # "insensitive to the loss probability"
+
+    # ordering holds at every p
+    for p in nofec.x:
+        assert (
+            k100.value_at(p)
+            < result.get("integr. FEC, k = 20").value_at(p)
+            < k7.value_at(p)
+            < nofec.value_at(p)
+        )

@@ -1,0 +1,38 @@
+"""Figure 9 — heterogeneous receiver populations without FEC.
+
+Paper shape: high-loss receivers dominate; for a million receivers even a
+1% minority at p = 0.25 roughly doubles E[M], while a group of 100 is
+barely affected by its single high-loss member.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig09
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_heterogeneous_nofec(benchmark, record_figure):
+    result = benchmark.pedantic(fig09, rounds=1, iterations=1)
+    record_figure(result)
+
+    baseline = result.get("high loss: 0%")
+    one = result.get("high loss: 1%")
+    five = result.get("high loss: 5%")
+    quarter = result.get("high loss: 25%")
+
+    # the paper's headline: 1% of 10^6 receivers doubles the cost
+    assert one.value_at(10**6) / baseline.value_at(10**6) > 1.8
+    # a small group barely notices
+    assert one.value_at(100) / baseline.value_at(100) < 1.35
+    # more high-loss receivers -> monotonically worse, at every scale
+    for r in (100, 10**4, 10**6):
+        assert (
+            baseline.value_at(r)
+            <= one.value_at(r)
+            <= five.value_at(r)
+            <= quarter.value_at(r)
+        )
+    # the influence of the high-loss class grows with R
+    ratio_small = one.value_at(100) / baseline.value_at(100)
+    ratio_large = one.value_at(10**6) / baseline.value_at(10**6)
+    assert ratio_large > ratio_small

@@ -1,0 +1,37 @@
+"""Figure 10 — heterogeneous receiver populations with integrated FEC (k=7).
+
+Paper shape: same qualitative story as Figure 9 (high-loss receivers
+dominate, and the paper notes their *relative* effect is even greater
+under integrated FEC), but with much lower absolute E[M] than no-FEC.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig09, fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_heterogeneous_integrated(benchmark, record_figure):
+    result = benchmark.pedantic(fig10, rounds=1, iterations=1)
+    record_figure(result)
+
+    baseline = result.get("high loss: 0%")
+    one = result.get("high loss: 1%")
+
+    # high-loss minority still dominates at scale
+    assert one.value_at(10**6) / baseline.value_at(10**6) > 1.6
+    # monotone in the high-loss fraction
+    for r in (10**4, 10**6):
+        values = [
+            result.get(f"high loss: {pct}%").value_at(r)
+            for pct in ("0", "1", "5", "25")
+        ]
+        assert values == sorted(values)
+
+    # absolute advantage over no-FEC persists for every mix
+    reference = fig09(grid=[10**6])
+    for pct in ("0", "1", "5", "25"):
+        assert (
+            result.get(f"high loss: {pct}%").value_at(10**6)
+            < reference.get(f"high loss: {pct}%").value_at(10**6)
+        )

@@ -1,0 +1,40 @@
+"""Figure 12 — integrated FEC (k=7) under independent vs FBT shared loss.
+
+Paper shape: shared loss lowers every curve; integrated FEC keeps a clear
+win over no-FEC on the tree, but the margin is smaller than under
+independent loss ("the benefits ... while remaining substantial, are not
+as great when losses are shared").
+"""
+
+import pytest
+
+from repro.experiments.figures_mc import fig12
+
+DEPTHS = [0, 2, 4, 6, 8, 10, 12]
+
+
+def run_figure():
+    return fig12(depths=DEPTHS, replications=100, rng=2025)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_shared_loss_integrated(benchmark, record_figure):
+    result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_figure(result)
+
+    nofec_indep = result.get("non-FEC indep. loss")
+    nofec_fbt = result.get("non-FEC FBT loss")
+    integ_indep = result.get("integrated FEC indep. loss")
+    integ_fbt = result.get("integrated FEC FBT loss")
+
+    for r in (256.0, 4096.0):
+        # shared loss cheaper than independent, for both schemes
+        assert nofec_fbt.value_at(r) <= nofec_indep.value_at(r) + 0.05
+        assert integ_fbt.value_at(r) <= integ_indep.value_at(r) + 0.05
+        # integrated FEC still clearly wins on the tree
+        assert integ_fbt.value_at(r) < nofec_fbt.value_at(r)
+
+    # but the improvement is smaller when losses are shared
+    gain_indep = nofec_indep.value_at(4096.0) - integ_indep.value_at(4096.0)
+    gain_fbt = nofec_fbt.value_at(4096.0) - integ_fbt.value_at(4096.0)
+    assert gain_fbt < gain_indep

@@ -1,0 +1,48 @@
+"""Figure 14 — burst-length distribution at one receiver (p=0.01, b=2).
+
+Paper shape: both distributions have geometrically decaying tails (linear
+on a log scale); the two-state Markov channel's tail is far heavier than
+the Bernoulli channel's — bursts of length >= 3 are common at b = 2 and
+essentially absent under independent loss.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures_mc import fig14
+
+
+def run_figure():
+    return fig14(n_packets=1_000_000, rng=14)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_burst_length_distribution(benchmark, record_figure):
+    result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_figure(result)
+
+    bursty = result.get("burst loss, b = 2")
+    independent = result.get("no burst loss")
+
+    # heavier tail under the Markov channel
+    assert bursty.value_at(3.0) > 10 * max(independent.value_at(3.0), 1.0)
+    assert bursty.value_at(5.0) > 0
+
+    # geometric tail: occurrences(l+1)/occurrences(l) ~ 1 - 1/b = 0.5
+    for length in (1.0, 2.0, 3.0):
+        ratio = bursty.value_at(length + 1.0) / bursty.value_at(length)
+        assert 0.35 < ratio < 0.65
+
+    # Bernoulli tail ratio ~ p = 0.01
+    if independent.value_at(2.0) > 0:
+        ratio = independent.value_at(2.0) / independent.value_at(1.0)
+        assert ratio < 0.05
+
+    # both channels hit the configured loss rate: total lost packets match
+    def total_losses(series):
+        return sum(length * count for length, count in zip(series.x, series.y))
+
+    for series in (bursty, independent):
+        losses = total_losses(series)
+        assert math.isclose(losses / 1_000_000, 0.01, rel_tol=0.15)

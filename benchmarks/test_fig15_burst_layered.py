@@ -1,0 +1,39 @@
+"""Figure 15 — burst loss: layered FEC (7+1), (7+3) vs no FEC.
+
+The paper's negative result: under temporally-correlated loss (mean burst
+2 packets, Delta = 40 ms, T = 300 ms) layered FEC with a small TG performs
+*worse* than plain retransmission — bursts take out the parities together
+with the data they protect, and the always-sent parities are pure
+overhead.
+"""
+
+import pytest
+
+from repro.experiments.figures_mc import fig15
+
+SIZES = [1, 10, 100, 1000, 10000]
+
+
+def run_figure():
+    return fig15(sizes=SIZES, replications=220, rng=15)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_burst_layered(benchmark, record_figure):
+    result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_figure(result)
+
+    nofec = result.get("no FEC")
+    h1 = result.get("FEC layer (7+1)")
+    h3 = result.get("FEC layer (7+3)")
+
+    # the headline: layered FEC fails to beat no FEC under burst loss
+    # (allow MC noise at the largest population where curves converge)
+    for r in (1.0, 10.0, 100.0, 1000.0):
+        assert h1.value_at(r) > nofec.value_at(r) - 0.05
+    # more always-on redundancy makes it worse at small scale
+    for r in (1.0, 10.0, 100.0):
+        assert h3.value_at(r) > h1.value_at(r)
+    # floors: (7+1) can never go below 8/7, (7+3) below 10/7
+    assert min(h1.y) >= 8 / 7 - 1e-9
+    assert min(h3.y) >= 10 / 7 - 1e-9

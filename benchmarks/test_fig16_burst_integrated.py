@@ -1,0 +1,51 @@
+"""Figure 16 — burst loss: integrated FEC 1 vs FEC 2 for k = 7, 20, 100.
+
+Paper shape: with k = 7 both integrated schemes beat no-FEC only slightly
+and FEC 2 (parities a round apart — implicit interleaving) beats FEC 1
+(back-to-back parities).  Growing the group to k = 20 or 100 restores the
+full integrated-FEC advantage and erases the FEC1/FEC2 difference: a large
+TG already spans any burst, so interleaving becomes unnecessary.
+"""
+
+import pytest
+
+from repro.experiments.figures_mc import fig16
+
+SIZES = [1, 10, 100, 1000, 10000]
+
+
+def run_figure():
+    return fig16(sizes=SIZES, replications=220, rng=16)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_burst_integrated(benchmark, record_figure):
+    result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_figure(result)
+
+    nofec = result.get("no FEC")
+    r_check = 1000.0
+
+    # FEC 2 beats FEC 1 at k = 7 (interleaving helps small groups)
+    fec1_k7 = result.get("integrated FEC 1, k=7").value_at(r_check)
+    fec2_k7 = result.get("integrated FEC 2, k=7").value_at(r_check)
+    assert fec2_k7 < fec1_k7
+
+    # growing the group helps dramatically
+    for scheme in (1, 2):
+        k7 = result.get(f"integrated FEC {scheme}, k=7").value_at(r_check)
+        k20 = result.get(f"integrated FEC {scheme}, k=20").value_at(r_check)
+        k100 = result.get(f"integrated FEC {scheme}, k=100").value_at(r_check)
+        assert k100 < k20 < k7
+
+    # at k = 100 interleaving no longer matters (schemes within noise)
+    fec1_k100 = result.get("integrated FEC 1, k=100").value_at(r_check)
+    fec2_k100 = result.get("integrated FEC 2, k=100").value_at(r_check)
+    assert abs(fec1_k100 - fec2_k100) < 0.08
+
+    # all integrated configurations beat no FEC at scale
+    for k in (7, 20, 100):
+        assert (
+            result.get(f"integrated FEC 2, k={k}").value_at(r_check)
+            < nofec.value_at(r_check)
+        )

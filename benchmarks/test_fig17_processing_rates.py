@@ -1,0 +1,41 @@
+"""Figure 17 — sender/receiver processing rates, N2 vs NP (k=20, p=0.01).
+
+Paper shape (DECstation constants): N2's sender and receiver rates are
+nearly identical and fall with R; NP's receiver rate is much higher and
+nearly flat (decoding is population-independent); NP's sender rate is the
+lowest — online parity encoding makes the sender the bottleneck.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig17
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_processing_rates(benchmark, record_figure):
+    result = benchmark.pedantic(fig17, rounds=1, iterations=1)
+    record_figure(result)
+
+    n2_sender = result.get("N2 sender")
+    n2_receiver = result.get("N2 receiver")
+    np_sender = result.get("NP sender")
+    np_receiver = result.get("NP receiver")
+
+    # N2 sender ~ receiver (within 5%) at every population size
+    for sender, receiver in zip(n2_sender.y, n2_receiver.y):
+        assert abs(sender - receiver) / receiver < 0.05
+
+    # N2 rates decrease monotonically with R
+    assert n2_sender.y == sorted(n2_sender.y, reverse=True)
+
+    # NP receiver high and almost flat
+    assert min(np_receiver.y) > 0.6
+    assert max(np_receiver.y) - min(np_receiver.y) < 0.25
+
+    # NP sender is the bottleneck from moderate populations on
+    for r in (100, 10**4, 10**6):
+        assert np_sender.value_at(r) < np_receiver.value_at(r)
+        assert np_sender.value_at(r) <= n2_sender.value_at(r) * 1.25
+
+    # receiver decode cost is tiny: NP receiver >> NP sender at scale
+    assert np_receiver.value_at(10**6) > 3 * np_sender.value_at(10**6)

@@ -1,0 +1,38 @@
+"""Figure 18 — end-host throughput: N2 vs NP vs NP with pre-encoding.
+
+Paper shape: pre-encoded NP has the highest throughput at every population
+size, ending up to ~3x above N2 at a million receivers; online-encoding NP
+trails N2 in the mid-range (encoding cost) and catches it at scale.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import fig18
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_throughput(benchmark, record_figure):
+    result = benchmark.pedantic(fig18, rounds=1, iterations=1)
+    record_figure(result)
+
+    n2 = result.get("N2")
+    np_online = result.get("NP")
+    np_pre = result.get("NP pre-encode")
+
+    # pre-encoding dominates both alternatives from moderate group sizes
+    # on (N2 keeps a sliver of an edge below ~R=20: no decode cost there)
+    for r in (100, 10**3, 10**6):
+        assert np_pre.value_at(r) > np_online.value_at(r)
+        assert np_pre.value_at(r) > n2.value_at(r)
+
+    # the summary's "up to 3 times higher" at a million receivers
+    assert np_pre.value_at(10**6) / n2.value_at(10**6) > 2.5
+
+    # online encoding costs NP the mid-range ...
+    assert np_online.value_at(10**3) < n2.value_at(10**3)
+    # ... but retransmission volume dominates at scale and NP catches up
+    assert np_online.value_at(10**6) >= 0.95 * n2.value_at(10**6)
+
+    # all throughputs decrease with population size
+    assert n2.y == sorted(n2.y, reverse=True)
+    assert np_pre.y == sorted(np_pre.y, reverse=True)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Burst loss vs transmission-group size (the Section 4.2 story).
+
+The paper's practical advice: against bursty loss, don't interleave —
+*grow the transmission group*.  A TG of k = 20 spread over 20 * Delta
+already spans typical burst lengths, so parities stop dying in the same
+burst as the data they protect.
+
+This example sweeps the mean burst length and shows E[M] of integrated
+FEC 1 (back-to-back parities) and FEC 2 (parities a round-trip apart) for
+several group sizes, plus the no-FEC baseline.
+
+Usage::
+
+    python examples/burst_resilience.py [--receivers 1000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.mc import (
+    simulate_integrated_immediate,
+    simulate_integrated_rounds,
+    simulate_nofec,
+)
+from repro.sim.loss import GilbertLoss
+
+PACKET_INTERVAL = 0.040  # the paper's Delta (25 pkts/s)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--receivers", type=int, default=1000)
+    parser.add_argument("--loss", type=float, default=0.01)
+    parser.add_argument("--reps", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    group_sizes = (7, 20, 100)
+    burst_lengths = (1.5, 2.0, 4.0, 8.0)
+
+    header = f"{'mean burst':>10} {'no FEC':>8}"
+    for k in group_sizes:
+        header += f"  {'FEC1 k=' + str(k):>10} {'FEC2 k=' + str(k):>10}"
+    print(f"R = {args.receivers}, p = {args.loss}, "
+          f"Delta = {PACKET_INTERVAL * 1000:.0f} ms\n")
+    print(header)
+    print("-" * len(header))
+
+    for burst in burst_lengths:
+        model = GilbertLoss.from_loss_and_burst(
+            args.receivers, args.loss, burst, PACKET_INTERVAL
+        )
+        cells = [f"{burst:10.1f}"]
+        cells.append(
+            f"{simulate_nofec(model, args.reps, rng=rng).mean:8.3f}"
+        )
+        for k in group_sizes:
+            fec1 = simulate_integrated_immediate(model, k, args.reps, rng=rng)
+            fec2 = simulate_integrated_rounds(model, k, args.reps, rng=rng)
+            cells.append(f"{fec1.mean:10.3f} {fec2.mean:10.3f}")
+        print(" ".join(cells))
+
+    print(
+        "\nreading: FEC1 sends parities immediately (bursts can eat them);\n"
+        "FEC2 waits a round trip (implicit interleaving).  With k = 100 the\n"
+        "group itself outlasts any burst and both schemes converge -> the\n"
+        "paper's conclusion that large TGs make interleaving unnecessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

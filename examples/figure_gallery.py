@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Render every reproduced paper figure as a text table.
+
+A thin tour over :mod:`repro.experiments`; equivalent to::
+
+    python -m repro.experiments --all
+
+but with per-figure timing and the expected-shape annotations from the
+experiment registry.
+
+Usage::
+
+    python examples/figure_gallery.py            # everything (~minutes)
+    python examples/figure_gallery.py fig05 fig16
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+
+
+def main() -> None:
+    targets = sys.argv[1:] or experiment_ids()
+    for figure_id in targets:
+        experiment = EXPERIMENTS[figure_id]
+        print("=" * 72)
+        print(f"{figure_id} [{experiment.method}] — {experiment.paper_caption}")
+        print(f"expected shape: {experiment.expected_shape}")
+        print("=" * 72)
+        start = time.perf_counter()
+        result = run_experiment(figure_id)
+        print(result.render_table())
+        print(f"({time.perf_counter() - start:.1f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

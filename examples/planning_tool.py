@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""FEC provisioning tool: how much redundancy does my group need?
+
+Applies the paper's analysis to the questions a deployment asks before
+turning on hybrid ARQ:
+
+1. what parity budget ``h`` makes one block round enough (no regrouping)?
+2. how many *proactive* parities ``a`` avoid retransmission rounds
+   entirely (latency-critical provisioning)?
+3. what bandwidth overhead should I expect from each architecture?
+
+Usage::
+
+    python examples/planning_tool.py --k 20 --loss 0.01 --receivers 100000
+"""
+
+import argparse
+
+from repro.analysis import integrated
+from repro.analysis.rounds import expected_rounds
+from repro.core.planner import (
+    expected_overhead,
+    proactive_parities_for_single_round,
+    required_parities,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=20, help="TG size")
+    parser.add_argument("--loss", type=float, default=0.01)
+    parser.add_argument("--receivers", type=float, default=1e5)
+    parser.add_argument("--confidence", type=float, default=0.99)
+    args = parser.parse_args()
+
+    k, p, r, confidence = args.k, args.loss, args.receivers, args.confidence
+    print(f"scenario: k = {k}, p = {p}, R = {r:g}, "
+          f"confidence = {confidence:.1%}\n")
+
+    h = required_parities(k, p, r, confidence)
+    print(f"1. reactive parity budget")
+    print(f"   h = {h} parities per group keep recovery inside one FEC "
+          f"block\n   with probability >= {confidence:.1%} "
+          f"(redundancy {h / k:.1%})")
+
+    a = proactive_parities_for_single_round(k, p, r, confidence)
+    print(f"\n2. proactive provisioning (zero feedback rounds)")
+    print(f"   a = {a} parities sent up-front avoid all NAKs with "
+          f"probability >= {confidence:.1%}\n   (bandwidth cost "
+          f"{(k + a) / k:.3f} transmissions/packet unconditionally)")
+
+    rounds = expected_rounds(p, k, r)
+    print(f"\n3. expected feedback rounds with reactive repair: "
+          f"{rounds:.2f}")
+
+    print(f"\n4. expected bandwidth overhead (extra transmissions/packet)")
+    overhead = expected_overhead(k, h, p, r)
+    ideal = integrated.expected_transmissions_lower_bound(k, p, r) - 1.0
+    print(f"   {'no FEC':12}: {overhead['no_fec']:.3f}")
+    print(f"   {'layered':12}: {overhead['layered']:.3f}   "
+          f"(h = {h} parities always sent)")
+    print(f"   {'integrated':12}: {overhead['integrated']:.3f}   "
+          f"(parities on demand, budget h = {h})")
+    print(f"   {'ideal':12}: {ideal:.3f}   (unlimited parity budget)")
+
+
+if __name__ == "__main__":
+    main()

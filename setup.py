@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-wheel support (and offline environments without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Closed-form performance models — every equation in the paper.
+
+Submodules:
+
+* :mod:`repro.analysis.nofec` — plain ARQ baseline;
+* :mod:`repro.analysis.layered` — Equations (2)-(3) and (7);
+* :mod:`repro.analysis.integrated` — Equations (4)-(6) and (8), finite and
+  infinite parity budgets;
+* :mod:`repro.analysis.hetero` — two-class populations of Section 3.3;
+* :mod:`repro.analysis.rounds` — round counts E[T], E[Tr] (appendix);
+* :mod:`repro.analysis.throughput` — N2/NP processing rates, Equations
+  (9)-(16).
+"""
+
+from repro.analysis import (
+    delay,
+    fbt,
+    feedback,
+    hetero,
+    integrated,
+    layered,
+    nofec,
+    rounds,
+    throughput,
+)
+from repro.analysis.hetero import TwoClassPopulation
+from repro.analysis.throughput import PAPER_COSTS, ProcessingCosts, RateReport
+
+__all__ = [
+    "nofec",
+    "fbt",
+    "delay",
+    "feedback",
+    "layered",
+    "integrated",
+    "hetero",
+    "rounds",
+    "throughput",
+    "TwoClassPopulation",
+    "ProcessingCosts",
+    "PAPER_COSTS",
+    "RateReport",
+]

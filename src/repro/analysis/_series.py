@@ -1,0 +1,149 @@
+"""Shared numerics for the closed-form models.
+
+Most of the paper's expectations have the form ``E[X] = sum_{i>=0} (1 -
+F(i))`` where ``F`` is a CDF that approaches 1 geometrically and is raised
+to the receiver-population power ``R`` (up to 10^6 in the figures, larger in
+our stress tests).  Evaluating ``(1 - q**i)**R`` naively underflows /
+loses all precision, so everything funnels through the log1p/expm1 forms
+here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+__all__ = [
+    "power_survival",
+    "expected_from_survival",
+    "expected_max_geometric",
+    "log_binomial",
+    "binomial_pmf",
+    "binomial_cdf",
+]
+
+#: Stop summing a survival series once the term drops below this.
+DEFAULT_TOLERANCE = 1e-12
+
+#: Hard cap on series length; reaching it indicates parameters far outside
+#: the paper's regime (e.g. p extremely close to 1).
+MAX_TERMS = 10_000_000
+
+
+def power_survival(cdf_value: float, population: float) -> float:
+    """``1 - cdf_value**population`` computed stably for huge populations.
+
+    ``cdf_value`` is a per-receiver CDF entry in [0, 1]; the survival of the
+    *maximum* over ``population`` iid receivers is ``1 - cdf**R``.
+    """
+    if cdf_value >= 1.0:
+        return 0.0
+    if cdf_value <= 0.0:
+        return 1.0
+    # 1 - exp(R * ln(cdf)) = -expm1(R * log(cdf))
+    return -math.expm1(population * math.log(cdf_value))
+
+
+def max_survival(per_receiver_survival: float, population: float) -> float:
+    """``P(max over R iid copies > m)`` from one copy's survival ``s``.
+
+    ``1 - (1 - s)^R`` evaluated as ``-expm1(R * log1p(-s))`` so survivals far
+    below machine epsilon (where a CDF would saturate at 1.0) still produce
+    the correct ``~ R * s`` answer.
+    """
+    if per_receiver_survival <= 0.0:
+        return 0.0
+    if per_receiver_survival >= 1.0:
+        return 1.0
+    return -math.expm1(population * math.log1p(-per_receiver_survival))
+
+
+def expected_from_survival(
+    survival: Callable[[int], float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_terms: int = MAX_TERMS,
+) -> float:
+    """``sum_{i>=0} survival(i)`` for a non-negative integer variable.
+
+    ``survival(i)`` must be ``P(X > i)`` and (eventually) decreasing; the sum
+    is truncated when a term falls below ``tolerance``.
+    """
+    total = 0.0
+    for i in range(max_terms):
+        term = survival(i)
+        total += term
+        if term < tolerance:
+            return total
+    raise RuntimeError(
+        f"survival series failed to converge within {max_terms} terms"
+    )
+
+
+def expected_max_geometric(q: float, population: float,
+                           tolerance: float = DEFAULT_TOLERANCE) -> float:
+    """``E[max of R iid geometric(q) 'transmissions-until-success']``.
+
+    This is the paper's recurring quantity ``sum_{i>=0} (1 - (1 - q^i)^R)``:
+    the expected number of transmissions until all ``population`` receivers,
+    each losing a transmission independently with probability ``q``, have
+    received a packet.  ``q = 0`` gives exactly 1; ``population`` may be any
+    positive real (useful for the effective-size analysis of Section 4.1).
+    """
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"per-round failure probability must be in [0,1), got {q}")
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population}")
+    if q == 0.0:
+        return 1.0
+
+    def survival(i: int) -> float:
+        # P(M' > i) = 1 - (1 - q^i)^R ; q^i via exp(i ln q) to avoid pow-loop
+        if i == 0:
+            return 1.0  # (1 - q^0)^R = 0 for any R
+        q_i = math.exp(i * math.log(q))
+        return -math.expm1(population * math.log1p(-q_i))
+
+    return expected_from_survival(survival, tolerance)
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``ln C(n, k)`` via lgamma (exact enough for n in the millions)."""
+    if k < 0 or k > n:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def binomial_pmf(n: int, j: int, p: float) -> float:
+    """``C(n, j) p^j (1-p)^(n-j)`` computed in log space."""
+    if j < 0 or j > n:
+        return 0.0
+    if p == 0.0:
+        return 1.0 if j == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if j == n else 0.0
+    log_term = (
+        log_binomial(n, j) + j * math.log(p) + (n - j) * math.log1p(-p)
+    )
+    return math.exp(log_term)
+
+
+def binomial_cdf(n: int, j: int, p: float) -> float:
+    """``P(Binomial(n, p) <= j)`` by direct summation (n is block-sized)."""
+    if j < 0:
+        return 0.0
+    if j >= n:
+        return 1.0
+    return min(1.0, sum(binomial_pmf(n, i, p) for i in range(j + 1)))
+
+
+def product_survival(cdf_values: Iterable[float]) -> float:
+    """``1 - prod(cdf_values)`` stably, for heterogeneous populations."""
+    log_sum = 0.0
+    for value in cdf_values:
+        if value <= 0.0:
+            return 1.0
+        if value < 1.0:
+            log_sum += math.log(value)
+    return -math.expm1(log_sum)

@@ -1,0 +1,158 @@
+"""First-order completion-latency models (the paper's deferred question).
+
+Section 3 notes that fewer transmissions should usually mean lower latency
+but never quantifies it.  These models do, at first order, for one
+transmission group delivered to all R receivers.  Ingredients:
+
+* pacing ``Delta`` between transmissions and one-way latency ``L``;
+* the expected slot wait ``W`` before the decisive NAK of a round (taken
+  as ``Ts / 2`` — the worst-off receiver sits in a low slot);
+* round counts from :mod:`repro.analysis.rounds` and transmission counts
+  from the E[M] models — for a fixed round structure, the *round
+  distribution* of NP and N2 is identical (``P(Tr <= m) = (1 - p^m)^k``),
+  so their latency difference is purely the per-round transmission volume.
+
+The models deliberately ignore second-order effects (interleaving of
+groups at the sender, slot-quantisation of NAK arrivals, control-plane
+latency of polls), so the test suite holds them to the event-driven
+simulation within a tolerance band rather than exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import integrated, nofec
+from repro.analysis._series import expected_from_survival, power_survival
+from repro.analysis.layered import rm_loss_probability
+from repro.analysis.rounds import expected_rounds
+
+__all__ = ["DelayParameters", "np_delay", "n2_delay", "fec1_delay",
+           "layered_delay"]
+
+
+@dataclass(frozen=True)
+class DelayParameters:
+    """Timing inputs shared by the delay models (seconds)."""
+
+    packet_interval: float = 0.040  # Delta
+    latency: float = 0.020  # one-way L
+    slot_time: float = 0.050  # Ts
+
+    def __post_init__(self) -> None:
+        if min(self.packet_interval, self.slot_time) <= 0 or self.latency < 0:
+            raise ValueError("timing parameters must be positive (latency >= 0)")
+
+def _round_based_delay(
+    k: int,
+    rounds: float,
+    repairs: float,
+    timing: DelayParameters,
+) -> float:
+    """Shared skeleton of the NP/N2 models.
+
+    * initial round: ``k Delta`` of transmissions plus one propagation leg;
+    * per feedback round: two propagation legs plus the decisive NAK's slot
+      wait.  The slot index is ``s - l`` (Section 5.1: needier receivers
+      answer *earlier*), so after the first round — where ``s = k`` and
+      the worst need ``l`` is small — the wait is nearly ``(k - l) Ts``;
+      in later rounds ``s`` equals the previous round's repair count and
+      the wait collapses to about half a slot;
+    * ``Delta`` per repair packet transmitted.
+    """
+    extra_rounds = max(0.0, rounds - 1.0)
+    if extra_rounds > 0:
+        mean_need = repairs / extra_rounds
+        first_wait = max(0.0, k - mean_need + 0.5) * timing.slot_time
+        # the first-round wait only occurs if a second round happens at
+        # all (weight ~ E[extra rounds] clamped to 1); further rounds sit
+        # in low slots (s ~ previous repair count)
+        slot_waits = (
+            min(1.0, extra_rounds) * first_wait
+            + max(0.0, extra_rounds - 1.0) * 0.5 * timing.slot_time
+        )
+    else:
+        slot_waits = 0.0
+    return (
+        k * timing.packet_interval
+        + timing.latency
+        + extra_rounds * 2.0 * timing.latency
+        + slot_waits
+        + repairs * timing.packet_interval
+    )
+
+
+def np_delay(
+    k: int, p: float, n_receivers: float,
+    timing: DelayParameters = DelayParameters(),
+) -> float:
+    """Expected time until the last receiver decodes one NP group."""
+    rounds = expected_rounds(p, k, n_receivers)
+    repairs = k * (
+        integrated.expected_transmissions_lower_bound(k, p, n_receivers) - 1.0
+    )
+    return _round_based_delay(k, rounds, repairs, timing)
+
+
+def n2_delay(
+    k: int, p: float, n_receivers: float,
+    timing: DelayParameters = DelayParameters(),
+) -> float:
+    """Expected completion time of the same group under no-FEC repair.
+
+    Identical round structure to NP in the aggregate-feedback idealisation
+    (the round distribution depends only on per-packet attempts), with the
+    per-round repair volume of retransmitting distinct originals:
+    ``k (E[M_nofec] - 1)`` in total.  The event-driven N2 runs *slower*
+    than this model because its set-based NAKs aggregate imperfectly and
+    splinter rounds — which is itself the paper's point about per-TG count
+    feedback; the test suite asserts the model as a lower bound for N2.
+    """
+    rounds = expected_rounds(p, k, n_receivers)
+    repairs = k * (nofec.expected_transmissions(p, n_receivers) - 1.0)
+    return _round_based_delay(k, rounds, repairs, timing)
+
+
+def fec1_delay(
+    k: int, p: float, n_receivers: float,
+    timing: DelayParameters = DelayParameters(),
+) -> float:
+    """Expected completion time of the feedback-free parity stream.
+
+    The sender never waits: data and the ``E[L]`` on-demand parities all
+    flow at ``Delta``.  This is the latency floor of integrated FEC (and
+    the reason the scheme exists despite its membership-signalling cost).
+    """
+    total = k + integrated.expected_additional_parities(k, p, n_receivers)
+    return total * timing.packet_interval + timing.latency
+
+
+def layered_delay(
+    k: int, h: int, p: float, n_receivers: float,
+    timing: DelayParameters = DelayParameters(),
+) -> float:
+    """Expected completion time of layered FEC for one group.
+
+    Every block round transmits the full ``n = k + h`` packets; block
+    rounds repeat with the residual loss ``q(k, n, p)`` until every
+    receiver has recovered every packet of the group, separated by a
+    feedback round trip.
+    """
+    n = k + h
+    q = rm_loss_probability(k, n, p)
+
+    def survival(i: int) -> float:
+        if i == 0:
+            return 1.0
+        # a receiver still misses *some* packet of the group after i
+        # block rounds with probability 1 - (1 - q^i)^k
+        per_receiver = 1.0 - (1.0 - q**i) ** k
+        return power_survival(1.0 - per_receiver, n_receivers)
+
+    block_rounds = expected_from_survival(survival)
+    feedback_overhead = 2.0 * timing.latency + 0.5 * timing.slot_time
+    return (
+        block_rounds * n * timing.packet_interval
+        + timing.latency
+        + (block_rounds - 1.0) * feedback_overhead
+    )

@@ -1,0 +1,129 @@
+"""Expected NAK volume under slotting-and-damping (Section 5.1's mechanism).
+
+The paper states the design goal — "with our slotting and damping
+mechanism the sender will ideally receive a single NAK after every round"
+— without quantifying how close the mechanism gets.  This model does, for
+the first feedback round of one NP transmission group.
+
+Mechanism recap: after ``POLL(i, s)`` a receiver still needing ``l``
+packets draws a timeout uniformly in slot ``s - l`` (width ``Ts``); it
+cancels on overhearing a NAK with ``m >= l``.  Feedback therefore comes
+from the *neediest* receivers — those with the maximum need ``L`` — who
+occupy the earliest populated slot; receivers in later slots hear the
+first NAK (one propagation latency away) long before their slot starts,
+provided ``Ts`` exceeds the latency.
+
+Within the earliest slot, ties race: a NAK only suppresses peers whose
+timer lies more than one suppression delay ``tau`` after it — and since
+NAKs are multicast directly among receivers, ``tau`` is a single one-way
+latency.
+For ``N`` iid uniform timers on ``[0, Ts]``, the expected number that
+fire within ``tau`` of the earliest is ``1 + (N - 1) * q`` with
+``q = 1 - (1 - min(tau/Ts, 1))^... `` — to first order
+``1 + (N - 1) * tau / Ts`` for ``tau << Ts``.  (Exact small-``N``
+expression below.)
+
+Combining with the distribution of the maximum need and its tie count:
+
+``E[NAKs] = sum_m [ P(L = m) + (E[ties at m] - P(L = m)) * q ]``
+
+where ``E[ties at m] = R * pmf(m) * F(m)^(R-1)`` (receiver has need m,
+everyone else at most m).  Needs are Binomial(k, p); receivers with zero
+need never NAK.
+"""
+
+from __future__ import annotations
+
+from repro.analysis._series import binomial_pmf
+
+__all__ = [
+    "race_window_probability",
+    "expected_first_round_naks",
+    "suppression_effectiveness",
+]
+
+
+def race_window_probability(tau: float, slot_time: float) -> float:
+    """P(a uniform timer lands within ``tau`` of another's) — the pairwise
+    probability that a tied receiver fires before suppression reaches it.
+
+    For two iid uniforms on ``[0, Ts]``: ``P(|U1 - U2| < tau)``
+    ``= 1 - (1 - tau/Ts)^2`` for ``tau <= Ts``... but what the model needs
+    is the probability that a *given* tied receiver beats the window of
+    the earliest firer; conditioning on being non-earliest, that is
+    ``P(U - U_min < tau)``, well approximated by ``tau/Ts`` for
+    ``tau << Ts``.  We use the clamped linear form.
+    """
+    if slot_time <= 0:
+        raise ValueError("slot_time must be positive")
+    if tau < 0:
+        raise ValueError("tau must be >= 0")
+    return min(1.0, tau / slot_time)
+
+
+def expected_first_round_naks(
+    k: int,
+    p: float,
+    n_receivers: int,
+    slot_time: float = 0.050,
+    latency: float = 0.020,
+    max_need: int | None = None,
+) -> float:
+    """Expected NAKs actually transmitted in round 1 of one NP group.
+
+    Parameters mirror the protocol: TG size ``k``, per-packet loss ``p``,
+    population ``R``, slot width ``Ts`` and one-way ``latency`` — the
+    suppression delay between two receivers is one latency on the shared
+    feedback multicast.
+
+    Returns 0 when no receiver loses anything (then nobody NAKs).
+    """
+    if k < 1 or n_receivers < 1:
+        raise ValueError("need k >= 1 and n_receivers >= 1")
+    if not 0.0 <= p < 1.0:
+        raise ValueError("p must be in [0, 1)")
+    if p == 0.0:
+        return 0.0
+    max_need = k if max_need is None else min(max_need, k)
+    q = race_window_probability(latency, slot_time)
+
+    # need distribution per receiver: Binomial(k, p); F = cdf
+    pmf = [binomial_pmf(k, m, p) for m in range(max_need + 1)]
+    cdf = []
+    running = 0.0
+    for value in pmf:
+        running += value
+        cdf.append(min(1.0, running))
+
+    expected = 0.0
+    for m in range(1, max_need + 1):
+        prob_max_at_m = cdf[m] ** n_receivers - cdf[m - 1] ** n_receivers
+        if prob_max_at_m <= 0.0:
+            continue
+        # E[# receivers with need m while all others <= m]
+        expected_ties = (
+            n_receivers * pmf[m] * cdf[m] ** (n_receivers - 1)
+        )
+        extra = max(0.0, expected_ties - prob_max_at_m)
+        expected += prob_max_at_m + extra * q
+    return expected
+
+
+def suppression_effectiveness(
+    k: int,
+    p: float,
+    n_receivers: int,
+    slot_time: float = 0.050,
+    latency: float = 0.020,
+) -> float:
+    """Fraction of would-be NAKs damped in round 1.
+
+    Without suppression every receiver that lost at least one packet NAKs:
+    ``R * (1 - (1-p)^k)`` expected NAKs.  With slotting-and-damping only
+    :func:`expected_first_round_naks` get out.
+    """
+    would_be = n_receivers * (1.0 - (1.0 - p) ** k)
+    if would_be <= 0.0:
+        return 0.0
+    actual = expected_first_round_naks(k, p, n_receivers, slot_time, latency)
+    return max(0.0, 1.0 - actual / would_be)

@@ -1,0 +1,73 @@
+"""Heterogeneous-population scenarios (Section 3.3).
+
+Thin convenience layer over the heterogeneous variants in
+:mod:`repro.analysis.nofec`, :mod:`repro.analysis.layered` and
+:mod:`repro.analysis.integrated`, specialised to the paper's two-class
+population: a fraction ``alpha`` of *high-loss* receivers at ``p_high`` and
+the remainder at ``p_low``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import integrated, layered, nofec
+
+__all__ = ["TwoClassPopulation", "nofec_two_class", "layered_two_class",
+           "integrated_two_class"]
+
+
+@dataclass(frozen=True)
+class TwoClassPopulation:
+    """The Section 3.3 population: ``R (1-alpha)`` low-loss receivers at
+    ``p_low`` and ``R alpha`` high-loss receivers at ``p_high``."""
+
+    n_receivers: int
+    fraction_high: float
+    p_low: float = 0.01
+    p_high: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_receivers < 1:
+            raise ValueError("need at least one receiver")
+        if not 0.0 <= self.fraction_high <= 1.0:
+            raise ValueError("fraction_high must be in [0, 1]")
+        for p in (self.p_low, self.p_high):
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"loss probabilities must be in [0, 1), got {p}")
+
+    @property
+    def n_high(self) -> int:
+        return int(round(self.fraction_high * self.n_receivers))
+
+    @property
+    def n_low(self) -> int:
+        return self.n_receivers - self.n_high
+
+    def probabilities(self) -> np.ndarray:
+        """Explicit per-receiver vector (low-loss first)."""
+        out = np.full(self.n_receivers, self.p_low)
+        if self.n_high:
+            out[self.n_low:] = self.p_high
+        return out
+
+
+def nofec_two_class(population: TwoClassPopulation) -> float:
+    """E[M] without FEC for a two-class population (Figure 9)."""
+    return nofec.expected_transmissions_heterogeneous(population.probabilities())
+
+
+def layered_two_class(population: TwoClassPopulation, k: int, n: int) -> float:
+    """Equation (7) for a two-class population."""
+    return layered.expected_transmissions_heterogeneous(
+        k, n, population.probabilities()
+    )
+
+
+def integrated_two_class(population: TwoClassPopulation, k: int, a: int = 0) -> float:
+    """Equations (6)+(8) lower bound for a two-class population (Figure 10)."""
+    return integrated.expected_transmissions_heterogeneous(
+        k, population.probabilities(), a
+    )

@@ -1,0 +1,233 @@
+"""Closed-form model of **integrated FEC** / hybrid ARQ (Section 3.2).
+
+The generic protocol: the sender transmits a TG of ``k`` data packets plus
+``a`` proactive parities; receivers report how many packets they still need;
+the sender multicasts that many *new* parities, repeating until everyone can
+decode (or, with a finite FEC block of ``n`` packets, until the parities run
+out and the leftovers recurse into a fresh TG).
+
+Key random variables (paper notation):
+
+* ``Lr`` — additional parity transmissions needed by one receiver.  The
+  block decodes once ``k`` of the transmissions got through, so ``k + a +
+  Lr`` is a negative-binomial waiting time:
+
+  ``P(Lr = 0) = sum_{j<=a} C(k+a, j) p^j (1-p)^(k+a-j)``
+  ``P(Lr = m) = C(k+a+m-1, k-1) p^(m+a) (1-p)^k``  for ``m >= 1``.
+
+* ``L = max_r Lr`` over ``R`` independent receivers — Equation (4).
+* Unlimited parities (``n = inf``) give the paper's lower bound,
+  Equation (6): ``E[M] = (E[L] + k + a) / k``.
+* Finite ``n`` adds full-block recursions governed by the layered-FEC
+  residual loss ``q(k, n, p)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis._series import expected_max_geometric, max_survival
+from repro.analysis.layered import rm_loss_probability
+
+__all__ = [
+    "LrDistribution",
+    "expected_additional_parities",
+    "expected_transmissions_lower_bound",
+    "expected_transmissions",
+    "expected_transmissions_heterogeneous",
+]
+
+_TOLERANCE = 1e-12
+_MAX_TERMS = 1_000_000
+
+
+class LrDistribution:
+    """Lazy distribution of ``Lr``, the per-receiver additional-parity count.
+
+    Parameters mirror the generic protocol: TG size ``k``, loss probability
+    ``p``, proactive parities ``a``.  Values are built incrementally with
+    the stable pmf recursion
+    ``pmf(m+1) = pmf(m) * p * (k + a + m) / (a + m + 1)``.
+
+    The class tracks the *survival* function ``P(Lr > m)`` rather than the
+    CDF: with a million receivers the max-over-R computation needs survival
+    values far below machine epsilon, where ``1 - cdf`` would saturate.
+    """
+
+    def __init__(self, k: int, p: float, a: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if a < 0:
+            raise ValueError(f"proactive parity count a must be >= 0, got {a}")
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.k = k
+        self.p = p
+        self.a = a
+        # pmf values for m >= 1; _pmf[i] holds pmf(i + 1).
+        if p == 0.0:
+            self._pmf: list[float] = [0.0]
+        else:
+            # pmf(1) = C(k+a, k-1) p^(1+a) (1-p)^k, in log space
+            log_pmf = (
+                math.lgamma(k + a + 1)
+                - math.lgamma(k)
+                - math.lgamma(a + 2)
+                + (1 + a) * math.log(p)
+                + k * math.log1p(-p)
+            )
+            self._pmf = [math.exp(log_pmf)]
+        self._survival_cache: dict[int, float] = {}
+
+    def _pmf_at(self, j: int) -> float:
+        """``pmf(j)`` for ``j >= 1``, extending the recursion as needed."""
+        while len(self._pmf) < j:
+            i = len(self._pmf)  # currently holds pmf(i); append pmf(i + 1)
+            self._pmf.append(
+                self._pmf[-1] * self.p * (self.k + self.a + i) / (self.a + i + 1)
+            )
+        return self._pmf[j - 1]
+
+    def survival(self, m: int) -> float:
+        """``P(Lr > m)`` as a direct tail sum of the pmf.
+
+        Summing ``pmf(m+1) + pmf(m+2) + ...`` involves only additions of
+        positive terms, so survivals far below machine epsilon — which the
+        R=10^6 max-statistics need — come out exact instead of drowning in
+        the cancellation of ``1 - cdf``.  (That the pmf tail sums to the
+        true survival is the negative-binomial identity
+        ``sum_{j>=1} C(k+j-1, k-1) p^j (1-p)^k = 1 - P(Lr = 0)``.)
+        """
+        if m < 0:
+            return 1.0
+        cached = self._survival_cache.get(m)
+        if cached is not None:
+            return cached
+        total = 0.0
+        j = m + 1
+        while j < _MAX_TERMS:
+            term = self._pmf_at(j)
+            total += term
+            if term <= total * 1e-18 or term < 1e-320:
+                break
+            j += 1
+        value = min(1.0, total)
+        self._survival_cache[m] = value
+        return value
+
+    def cdf(self, m: int) -> float:
+        """``P(Lr <= m)``."""
+        return 1.0 - self.survival(m)
+
+    def pmf(self, m: int) -> float:
+        """``P(Lr = m)``."""
+        if m < 0:
+            return 0.0
+        return self.survival(m - 1) - self.survival(m)
+
+
+def _expected_max(survival_fn, population: float) -> float:
+    """``E[max over R receivers]`` from a per-receiver survival function."""
+    total = 0.0
+    for m in range(_MAX_TERMS):
+        term = max_survival(survival_fn(m), population)
+        total += term
+        if term < _TOLERANCE:
+            return total
+    raise RuntimeError("E[L] series failed to converge")
+
+
+def expected_additional_parities(
+    k: int, p: float, n_receivers: float, a: int = 0
+) -> float:
+    """``E[L]`` — Equation (5): expected on-demand parity transmissions."""
+    if n_receivers <= 0:
+        raise ValueError(f"n_receivers must be positive, got {n_receivers}")
+    lr = LrDistribution(k, p, a)
+    return _expected_max(lr.survival, n_receivers)
+
+
+def expected_transmissions_lower_bound(
+    k: int, p: float, n_receivers: float, a: int = 0
+) -> float:
+    """Equation (6) with unlimited parities: ``E[M] = (E[L] + k + a) / k``.
+
+    This is the idealised integrated-FEC curve the paper uses in Figures
+    5, 7, 8, 10 and 12.
+    """
+    return (expected_additional_parities(k, p, n_receivers, a) + k + a) / k
+
+
+def expected_transmissions(
+    k: int, n: int, p: float, n_receivers: float, a: int = 0
+) -> float:
+    """E[M] for integrated FEC with a *finite* FEC block of ``n`` packets.
+
+    Follows the paper's block-recursion argument: the number of FEC blocks
+    ``B`` that include an arbitrary packet satisfies ``P(B <= i) =
+    (1 - q^i)^R`` with ``q = q(k, n, p)`` from Equation (2); the first
+    ``B - 1`` blocks are transmitted in full (``n`` packets), the last block
+    costs ``k + a`` packets plus ``L`` extra parities conditioned on the
+    block sufficing (``L <= n - k - a``)::
+
+        E[M] = ((E[B] - 1) n + k + a + E[L | L <= n-k-a]) / k
+
+    For ``n = k`` (no parities at all) this collapses to the no-FEC model,
+    and as ``n -> inf`` it approaches the lower bound of Equation (6).
+    """
+    if n < k + a:
+        raise ValueError(f"need n >= k + a, got n={n}, k={k}, a={a}")
+    if math.isinf(n):
+        return expected_transmissions_lower_bound(k, p, n_receivers, a)
+    q = rm_loss_probability(k, n, p)
+    expected_blocks = expected_max_geometric(q, n_receivers)
+
+    budget = n - k - a  # parities available on demand in a block
+    lr = LrDistribution(k, p, a)
+    prob_within = 1.0 - max_survival(lr.survival(budget), n_receivers)
+    if prob_within <= 0.0:
+        conditional_extra = float(budget)
+    else:
+        # E[L | L <= budget] = sum_{m<budget} (1 - F(m) / F(budget))
+        conditional_extra = sum(
+            1.0
+            - (1.0 - max_survival(lr.survival(m), n_receivers)) / prob_within
+            for m in range(budget)
+        )
+    return ((expected_blocks - 1.0) * n + k + a + conditional_extra) / k
+
+
+def expected_transmissions_heterogeneous(
+    k: int, probabilities, a: int = 0
+) -> float:
+    """Equations (6)+(8): integrated-FEC lower bound, per-receiver ``p_r``.
+
+    ``P(L <= m) = prod_r P(Lr <= m)`` — receivers with different loss rates
+    multiply their CDFs.  Equal classes are collapsed for efficiency.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D vector")
+    values, counts = np.unique(probabilities, return_counts=True)
+    distributions = [LrDistribution(k, float(p), a) for p in values]
+
+    def survival(m: int) -> float:
+        log_sum = 0.0
+        for count, dist in zip(counts, distributions):
+            per_receiver = dist.survival(m)
+            if per_receiver >= 1.0:
+                return 1.0
+            log_sum += count * math.log1p(-per_receiver)
+        return -math.expm1(log_sum)
+
+    total = 0.0
+    for m in range(_MAX_TERMS):
+        term = survival(m)
+        total += term
+        if term < _TOLERANCE:
+            break
+    else:
+        raise RuntimeError("heterogeneous E[L] series failed to converge")
+    return (total + k + a) / k

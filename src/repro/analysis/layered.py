@@ -1,0 +1,80 @@
+"""Closed-form model of **layered FEC** (Section 3.1, after Huitema).
+
+The FEC layer sends every transmission group of ``k`` data packets together
+with ``h = n - k`` parities.  A data packet fails to reach the RM layer of a
+receiver iff it is lost *and* the block is undecodable (more than ``h - 1``
+of the other ``n - 1`` packets also lost) — Equation (2):
+
+``q(k, n, p) = p * (1 - sum_{j=0}^{n-k-1} C(n-1, j) p^j (1-p)^(n-1-j))``
+
+The RM layer then behaves like plain ARQ with loss probability ``q``, and
+every data packet drags ``n/k`` transmissions of FEC-layer bandwidth —
+Equation (3): ``E[M] = (n/k) * sum_{i>=0} (1 - (1 - q^i)^R)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis._series import (
+    binomial_cdf,
+    expected_from_survival,
+    expected_max_geometric,
+)
+
+__all__ = [
+    "rm_loss_probability",
+    "expected_transmissions",
+    "expected_transmissions_heterogeneous",
+]
+
+
+def _validate(k: int, n: int, p: float) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ValueError(f"need n >= k, got n={n} < k={k}")
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+
+
+def rm_loss_probability(k: int, n: int, p: float) -> float:
+    """Equation (2): residual data-packet loss seen above the FEC layer."""
+    _validate(k, n, p)
+    if p == 0.0:
+        return 0.0
+    h = n - k
+    if h == 0:
+        return p
+    # P(more than h-1 of the other n-1 packets lost) = 1 - Binom cdf(h-1)
+    return p * (1.0 - binomial_cdf(n - 1, h - 1, p))
+
+
+def expected_transmissions(k: int, n: int, p: float, n_receivers: float) -> float:
+    """Equation (3): E[M] of layered FEC, counting parity overhead ``n/k``."""
+    _validate(k, n, p)
+    if n_receivers <= 0:
+        raise ValueError(f"n_receivers must be positive, got {n_receivers}")
+    q = rm_loss_probability(k, n, p)
+    return (n / k) * expected_max_geometric(q, n_receivers)
+
+
+def expected_transmissions_heterogeneous(k: int, n: int, probabilities) -> float:
+    """Equation (7): layered FEC with per-receiver loss probabilities.
+
+    ``E[M] = (n/k) * sum_{i>=0} (1 - prod_r (1 - q(k,n,p_r)^i))``.
+    Equal loss classes are collapsed so huge populations stay cheap.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D vector")
+    values, counts = np.unique(probabilities, return_counts=True)
+    q_values = np.array([rm_loss_probability(k, n, p) for p in values])
+
+    def survival(i: int) -> float:
+        if i == 0:
+            return 1.0
+        log_sum = float(np.sum(counts * np.log1p(-(q_values**i))))
+        return -np.expm1(log_sum)
+
+    return (n / k) * expected_from_survival(survival)

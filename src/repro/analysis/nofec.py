@@ -1,0 +1,64 @@
+"""Expected transmissions for reliable multicast *without* FEC.
+
+The baseline of every figure: a sender retransmits a lost packet until all
+``R`` receivers have it.  With independent per-transmission loss probability
+``p`` at each receiver, the number of transmissions seen by one receiver is
+geometric, and the sender must cover the *maximum* over receivers:
+
+``E[M] = sum_{i>=0} (1 - (1 - p^i)^R)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis._series import expected_from_survival, expected_max_geometric
+
+__all__ = [
+    "expected_transmissions",
+    "expected_transmissions_heterogeneous",
+    "per_receiver_expected_transmissions",
+]
+
+
+def expected_transmissions(p: float, n_receivers: float) -> float:
+    """E[M] for homogeneous independent loss (the paper's "no FEC" curves).
+
+    ``n_receivers`` may be fractional to support the effective-group-size
+    view of shared loss (Section 4.1).
+    """
+    return expected_max_geometric(p, n_receivers)
+
+
+def per_receiver_expected_transmissions(p: float) -> float:
+    """E[M_r] for a single receiver: the plain geometric mean 1/(1-p)."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    return 1.0 / (1.0 - p)
+
+
+def expected_transmissions_heterogeneous(probabilities) -> float:
+    """E[M] when receiver ``r`` loses with its own probability ``p_r``.
+
+    ``E[M] = sum_{i>=0} (1 - prod_r (1 - p_r^i))``.  For the two-class
+    populations of Section 3.3 build ``probabilities`` with
+    :func:`repro.sim.loss.two_class_probabilities` — the implementation
+    collapses equal classes so million-receiver populations stay cheap.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D vector")
+    if np.any((probabilities < 0) | (probabilities >= 1)):
+        raise ValueError("all loss probabilities must be in [0, 1)")
+    values, counts = np.unique(probabilities, return_counts=True)
+    if values[0] == 0.0 and values.size == 1:
+        return 1.0
+
+    def survival(i: int) -> float:
+        if i == 0:
+            return 1.0
+        # 1 - prod_c (1 - p_c^i)^{count_c}, in log space
+        log_sum = float(np.sum(counts * np.log1p(-(values**i))))
+        return -np.expm1(log_sum)
+
+    return expected_from_survival(survival)

@@ -1,0 +1,97 @@
+"""Transmission-round statistics for protocol NP (paper appendix).
+
+Protocol NP works in *rounds*: round 1 carries the ``k`` data packets of a
+TG, round ``j > 1`` carries as many parities as the worst receiver still
+needs.  Following Ayanoglu et al. (the paper's reference [19]) a receiver
+finishes within ``m`` rounds with probability
+
+``P(Tr <= m) = (1 - p^m)^k``
+
+(each of its ``k`` required packets must get through within ``m``
+attempts), and the sender-side round count is the maximum over receivers:
+``P(T <= m) = P(Tr <= m)^R``.  The paper notes this is an upper bound on
+rounds because the sender actually sends the max needed by anyone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis._series import expected_from_survival, power_survival
+
+__all__ = [
+    "receiver_rounds_cdf",
+    "expected_receiver_rounds",
+    "expected_rounds",
+    "receiver_rounds_tail_stats",
+    "geometric_tail_stats",
+]
+
+
+def _validate(p: float, k: int) -> None:
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+
+def receiver_rounds_cdf(m: int, p: float, k: int) -> float:
+    """``P(Tr <= m) = (1 - p^m)^k`` for one receiver."""
+    _validate(p, k)
+    if m <= 0:
+        return 0.0
+    if p == 0.0:
+        return 1.0
+    return math.exp(k * math.log1p(-(p**m)))
+
+
+def expected_receiver_rounds(p: float, k: int) -> float:
+    """``E[Tr]`` — rounds for one receiver to complete a TG."""
+    return expected_from_survival(lambda m: 1.0 - receiver_rounds_cdf(m, p, k))
+
+
+def expected_rounds(p: float, k: int, n_receivers: float) -> float:
+    """``E[T]`` — Equation (17): rounds until *all* receivers complete."""
+    if n_receivers <= 0:
+        raise ValueError(f"n_receivers must be positive, got {n_receivers}")
+    return expected_from_survival(
+        lambda m: power_survival(receiver_rounds_cdf(m, p, k), n_receivers)
+    )
+
+
+def receiver_rounds_tail_stats(p: float, k: int) -> tuple[float, float]:
+    """``(P[Tr > 2], E[Tr | Tr > 2])`` — the timer-overhead terms of Eq (14).
+
+    ``E[Tr | Tr > 2] = (E[Tr] - P[Tr = 1] - 2 P[Tr = 2]) / P[Tr > 2]``.
+    When ``P[Tr > 2]`` is numerically zero the conditional expectation is
+    irrelevant (it is always multiplied by the probability); ``(0, 0)`` is
+    returned.
+    """
+    expected = expected_receiver_rounds(p, k)
+    cdf1 = receiver_rounds_cdf(1, p, k)
+    cdf2 = receiver_rounds_cdf(2, p, k)
+    prob_gt_2 = 1.0 - cdf2
+    if prob_gt_2 <= 0.0:
+        return 0.0, 0.0
+    pmf1 = cdf1
+    pmf2 = cdf2 - cdf1
+    conditional = (expected - pmf1 - 2.0 * pmf2) / prob_gt_2
+    return prob_gt_2, conditional
+
+
+def geometric_tail_stats(p: float) -> tuple[float, float]:
+    """``(P[Mr > 2], E[Mr | Mr > 2])`` for the per-packet geometric of N2.
+
+    ``Mr`` is the per-receiver transmission count of one packet:
+    ``P(Mr <= m) = 1 - p^m``, ``E[Mr] = 1/(1-p)``.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    if p == 0.0:
+        return 0.0, 0.0
+    expected = 1.0 / (1.0 - p)
+    pmf1 = 1.0 - p
+    pmf2 = p * (1.0 - p)
+    prob_gt_2 = p * p
+    conditional = (expected - pmf1 - 2.0 * pmf2) / prob_gt_2
+    return prob_gt_2, conditional

@@ -1,0 +1,24 @@
+"""Public high-level API.
+
+* :class:`repro.core.ReliableMulticastSession` — run transfers;
+* :class:`repro.core.ScenarioConfig` — describe a scenario;
+* :mod:`repro.core.planner` — choose FEC parameters from the analysis.
+"""
+
+from repro.core.config import LOSS_MODELS, ScenarioConfig
+from repro.core.planner import (
+    expected_overhead,
+    proactive_parities_for_single_round,
+    required_parities,
+)
+from repro.core.session import ReliableMulticastSession, compare_protocols
+
+__all__ = [
+    "ScenarioConfig",
+    "LOSS_MODELS",
+    "ReliableMulticastSession",
+    "compare_protocols",
+    "required_parities",
+    "proactive_parities_for_single_round",
+    "expected_overhead",
+]

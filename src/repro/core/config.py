@@ -1,0 +1,127 @@
+"""Session-level configuration: one object describing a whole scenario.
+
+:class:`ScenarioConfig` bundles the protocol parameters (k, h, timing), the
+loss environment (model + its parameters) and the population size, and
+knows how to materialise the pieces (:meth:`loss_model`,
+:meth:`protocol_config`).  It is the single entry point the examples and
+the :class:`repro.core.session.ReliableMulticastSession` facade build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mc._common import PAPER_TIMING
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import (
+    BernoulliLoss,
+    BurstyTreeLoss,
+    FullBinaryTreeLoss,
+    GilbertLoss,
+    HeterogeneousLoss,
+    LossModel,
+    two_class_probabilities,
+)
+
+__all__ = ["ScenarioConfig", "LOSS_MODELS"]
+
+#: Loss-model names accepted by :class:`ScenarioConfig`.
+LOSS_MODELS = ("bernoulli", "two_class", "fbt", "burst", "bursty_tree")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete reliable-multicast scenario.
+
+    Parameters
+    ----------
+    n_receivers:
+        Multicast group size R.  For the ``fbt`` loss model this must be a
+        power of two (the receivers sit at the leaves of the tree).
+    loss:
+        One of :data:`LOSS_MODELS`:
+
+        * ``bernoulli`` — independent homogeneous loss at rate ``p``;
+        * ``two_class`` — Section 3.3's mix: ``fraction_high`` of receivers
+          at ``p_high``, the rest at ``p``;
+        * ``fbt`` — full-binary-tree shared loss with end-to-end rate ``p``;
+        * ``burst`` — per-receiver two-state Markov bursts of mean length
+          ``mean_burst`` at stationary rate ``p``;
+        * ``bursty_tree`` — combined spatial+temporal correlation: Markov
+          chains at every node of the full binary tree.
+    k, h:
+        Transmission-group size and parity budget.
+    protocol:
+        ``np`` | ``n2`` | ``layered`` (see :mod:`repro.protocols`).
+    """
+
+    n_receivers: int = 10
+    p: float = 0.01
+    loss: str = "bernoulli"
+    fraction_high: float = 0.05
+    p_high: float = 0.25
+    mean_burst: float = 2.0
+    protocol: str = "np"
+    k: int = 7
+    h: int = 32
+    packet_size: int = 1024
+    packet_interval: float = PAPER_TIMING.packet_interval
+    slot_time: float = 0.050
+    latency: float = 0.020
+    pre_encode: bool = False
+    interleave_depth: int = 1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.loss not in LOSS_MODELS:
+            raise ValueError(
+                f"unknown loss model {self.loss!r}; expected one of {LOSS_MODELS}"
+            )
+        if self.n_receivers < 1:
+            raise ValueError("n_receivers must be >= 1")
+        if self.loss in ("fbt", "bursty_tree") and (
+            self.n_receivers & (self.n_receivers - 1)
+        ):
+            raise ValueError(
+                "tree-based loss models need n_receivers = 2**d"
+            )
+
+    # ------------------------------------------------------------------
+    def loss_model(self) -> LossModel:
+        """Materialise the configured loss process."""
+        if self.loss == "bernoulli":
+            return BernoulliLoss(self.n_receivers, self.p)
+        if self.loss == "two_class":
+            return HeterogeneousLoss(
+                two_class_probabilities(
+                    self.n_receivers, self.fraction_high, self.p, self.p_high
+                )
+            )
+        if self.loss == "fbt":
+            depth = int(self.n_receivers).bit_length() - 1
+            return FullBinaryTreeLoss(depth, self.p)
+        if self.loss == "bursty_tree":
+            depth = int(self.n_receivers).bit_length() - 1
+            return BurstyTreeLoss(
+                depth, self.p, self.mean_burst, self.packet_interval
+            )
+        return GilbertLoss.from_loss_and_burst(
+            self.n_receivers, self.p, self.mean_burst, self.packet_interval
+        )
+
+    def protocol_config(self) -> NPConfig:
+        """Materialise the protocol parameter block."""
+        return NPConfig(
+            k=self.k,
+            h=self.h,
+            packet_size=self.packet_size,
+            packet_interval=self.packet_interval,
+            slot_time=self.slot_time,
+            pre_encode=self.pre_encode,
+            interleave_depth=self.interleave_depth,
+        )
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)

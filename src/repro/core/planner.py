@@ -1,0 +1,94 @@
+"""Redundancy planning: choose FEC parameters before you transmit.
+
+The paper's analysis answers design questions a deployment actually has:
+*how many parities should a group of this size carry for this population?*
+This module packages those answers:
+
+* :func:`required_parities` — smallest ``h`` such that, with probability at
+  least ``confidence``, **no** receiver needs more than the ``a`` proactive
+  + ``h - a`` reactive parities of a block (i.e. one block round suffices).
+* :func:`proactive_parities_for_single_round` — smallest ``a`` such that
+  with probability ``confidence`` nobody needs to NAK at all (latency-
+  oriented provisioning, the ``a > 0`` knob of Equation 6).
+* :func:`expected_overhead` — bandwidth overhead comparison across the
+  three architectures for a given scenario.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import integrated, layered, nofec
+from repro.analysis._series import max_survival
+from repro.analysis.integrated import LrDistribution
+
+__all__ = [
+    "required_parities",
+    "proactive_parities_for_single_round",
+    "expected_overhead",
+]
+
+_MAX_H = 100_000
+
+
+def required_parities(
+    k: int,
+    p: float,
+    n_receivers: float,
+    confidence: float = 0.99,
+    a: int = 0,
+) -> int:
+    """Smallest parity budget ``h`` covering the whole group in one block.
+
+    Uses the distribution of ``L = max_r Lr`` (Equation 4): returns the
+    least ``h >= a`` with ``P(L <= h - a) >= confidence``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    lr = LrDistribution(k, p, a)
+    for budget in range(_MAX_H):
+        if 1.0 - max_survival(lr.survival(budget), n_receivers) >= confidence:
+            return budget + a
+    raise RuntimeError("no parity budget reaches the requested confidence")
+
+
+def proactive_parities_for_single_round(
+    k: int,
+    p: float,
+    n_receivers: float,
+    confidence: float = 0.99,
+) -> int:
+    """Smallest ``a`` such that no retransmission round is needed at all.
+
+    With ``a`` proactive parities, receiver ``r`` needs no extra round iff
+    ``Lr = 0``; across the population that holds with probability
+    ``P(Lr = 0)^R``.  This is the knob for latency-critical applications
+    that would rather burn bandwidth than wait a round trip.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    for a in range(_MAX_H):
+        survival = LrDistribution(k, p, a).survival(0)
+        if 1.0 - max_survival(survival, n_receivers) >= confidence:
+            return a
+    raise RuntimeError("no proactive budget reaches the requested confidence")
+
+
+def expected_overhead(
+    k: int,
+    h: int,
+    p: float,
+    n_receivers: float,
+) -> dict[str, float]:
+    """Bandwidth overhead (E[M] - 1) of each architecture for a scenario.
+
+    Returns a mapping with keys ``"no_fec"``, ``"layered"`` and
+    ``"integrated"`` — the expected extra transmissions per data packet.
+    ``integrated`` uses the finite budget ``n = k + h``.
+    """
+    return {
+        "no_fec": nofec.expected_transmissions(p, n_receivers) - 1.0,
+        "layered": layered.expected_transmissions(k, k + h, p, n_receivers) - 1.0,
+        "integrated": integrated.expected_transmissions(
+            k, k + h, p, n_receivers
+        )
+        - 1.0,
+    }

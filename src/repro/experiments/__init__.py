@@ -1,0 +1,30 @@
+"""Experiment harness: one runner per paper figure.
+
+Usage::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("fig05")
+    print(result.render_table())
+
+or from the command line::
+
+    python -m repro.experiments fig05 fig07
+    python -m repro.experiments --all --csv out/
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.series import FigureResult, Series
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "run_experiment",
+    "FigureResult",
+    "Series",
+]

@@ -1,0 +1,75 @@
+"""Command-line driver: regenerate paper figures as tables / CSV.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig05 fig18
+    python -m repro.experiments --all --csv results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce figures from 'Parity-Based Loss Recovery for "
+        "Reliable Multicast Transmission' (SIGCOMM '97).",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig05")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write <DIR>/<figure>.csv for each figure run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id in experiment_ids():
+            experiment = EXPERIMENTS[figure_id]
+            print(f"{figure_id}  [{experiment.method:11s}]  {experiment.paper_caption}")
+        return 0
+
+    targets = experiment_ids() if args.all else args.figures
+    if not targets:
+        parser.print_usage()
+        print("error: give figure ids, --all, or --list", file=sys.stderr)
+        return 2
+
+    csv_dir = pathlib.Path(args.csv) if args.csv else None
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for figure_id in targets:
+        if figure_id == "fig13":
+            # the timing diagram: rendered, not computed
+            from repro.experiments.fig13_timing import render_timing_diagram
+
+            print("fig13: timing of the different approaches")
+            print(render_timing_diagram())
+            print()
+            continue
+        start = time.perf_counter()
+        result = run_experiment(figure_id)
+        elapsed = time.perf_counter() - start
+        print(result.render_table())
+        print(f"[{figure_id} completed in {elapsed:.1f}s]")
+        print()
+        if csv_dir is not None:
+            path = csv_dir / f"{figure_id}.csv"
+            path.write_text(result.to_csv())
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

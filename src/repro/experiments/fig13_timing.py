@@ -1,0 +1,106 @@
+"""Figure 13 — the timing diagram of the four recovery schemes, in ASCII.
+
+Figure 13 is the paper's only non-quantitative evaluation figure: it shows
+*when* each scheme transmits originals and parities relative to the packet
+spacing ``Delta`` and the feedback delay ``T``.  This module renders the
+same diagram from actual :class:`repro.mc.Timing` values, keeping the
+documentation honest about what the simulators implement:
+
+* **no FEC** — retransmissions of the same packet spaced ``Delta + T``;
+* **layered FEC** — full blocks of ``k + h``, blocks spaced ``Delta + T``;
+* **integrated FEC 1** — data then parities, all at ``Delta``;
+* **integrated FEC 2** — data, then NAK-round parity batches ``T`` apart.
+
+>>> print(render_timing_diagram(k=4, h=1))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.mc._common import PAPER_TIMING, Timing
+
+__all__ = ["scheme_timelines", "render_timing_diagram"]
+
+#: characters per Delta in the rendering
+_CELL = 2
+
+
+def scheme_timelines(
+    k: int = 4,
+    h: int = 2,
+    repair_counts: tuple[int, ...] = (2, 1),
+    timing: Timing = PAPER_TIMING,
+) -> dict[str, list[tuple[float, str]]]:
+    """(time, symbol) transmission sequences for the four schemes.
+
+    ``symbol`` is ``"o"`` for an original packet, ``"p"`` for a parity.
+    ``repair_counts`` gives the per-round repair volume for the
+    feedback-driven schemes (the figure's illustrative scenario).
+    """
+    if k < 1 or h < 0:
+        raise ValueError("need k >= 1 and h >= 0")
+    delta, gap = timing.packet_interval, timing.round_gap
+    timelines: dict[str, list[tuple[float, str]]] = {}
+
+    # no FEC: one packet, retransmitted once per round
+    t, events = 0.0, []
+    for _ in range(1 + len(repair_counts)):
+        events.append((t, "o"))
+        t += delta + gap
+    timelines["no FEC"] = events
+
+    # layered FEC: whole blocks of k data + h parities per round
+    t, events = 0.0, []
+    for _ in range(1 + len(repair_counts)):
+        for i in range(k):
+            events.append((t + i * delta, "o"))
+        for j in range(h):
+            events.append((t + (k + j) * delta, "p"))
+        t += (k + h) * delta + gap
+    timelines["layered FEC"] = events
+
+    # integrated FEC 1: data then a continuous parity tail at Delta
+    events = [(i * delta, "o") for i in range(k)]
+    total_parities = sum(repair_counts)
+    events += [((k + j) * delta, "p") for j in range(total_parities)]
+    timelines["integrated FEC 1"] = events
+
+    # integrated FEC 2: data, then per-round parity batches T apart
+    events = [(i * delta, "o") for i in range(k)]
+    t = k * delta + gap
+    for count in repair_counts:
+        for j in range(count):
+            events.append((t + j * delta, "p"))
+        t += count * delta + gap
+    timelines["integrated FEC 2"] = events
+    return timelines
+
+
+def render_timing_diagram(
+    k: int = 4,
+    h: int = 2,
+    repair_counts: tuple[int, ...] = (2, 1),
+    timing: Timing = PAPER_TIMING,
+) -> str:
+    """ASCII rendition of Figure 13 (``o`` original, ``p`` parity)."""
+    timelines = scheme_timelines(k, h, repair_counts, timing)
+    delta = timing.packet_interval
+    horizon = max(t for events in timelines.values() for t, _ in events)
+    width = int(round(horizon / delta)) * _CELL + 1
+
+    label_width = max(len(name) for name in timelines) + 2
+    lines = [
+        f"{'':<{label_width}}(one column = Delta = "
+        f"{delta * 1000:g} ms; T = {timing.round_gap * 1000:g} ms; "
+        f"o = original, p = parity)"
+    ]
+    for name, events in timelines.items():
+        row = [" "] * (width + 2 * len(events))  # headroom for nudges
+        for t, symbol in sorted(events):
+            position = int(round(t / delta)) * _CELL
+            # T is generally not a multiple of Delta: nudge right on
+            # rounding collisions rather than overwrite a symbol
+            while row[position] != " ":
+                position += 1
+            row[position] = symbol
+        lines.append(f"{name:<{label_width}}{''.join(row).rstrip()}")
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Figure runners driven by the closed-form models (Figures 3-10, 17, 18).
+
+Each ``figNN`` function regenerates the data behind the corresponding paper
+figure and returns a :class:`repro.experiments.series.FigureResult` whose
+series labels match the paper's legends.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import integrated, layered, nofec
+from repro.analysis.hetero import (
+    TwoClassPopulation,
+    integrated_two_class,
+    nofec_two_class,
+)
+from repro.analysis.throughput import PAPER_COSTS, n2_rates, np_rates
+from repro.experiments.series import FigureResult, Series
+
+__all__ = [
+    "receiver_grid",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig17",
+    "fig18",
+]
+
+#: Default loss probability of Sections 3-4.
+DEFAULT_P = 0.01
+
+
+def receiver_grid(max_exponent: int = 6, per_decade: tuple[int, ...] = (1, 2, 5)) -> list[int]:
+    """Log-spaced receiver counts 1 .. 10^max_exponent, like the figures."""
+    grid = []
+    for exponent in range(max_exponent):
+        grid.extend(m * 10**exponent for m in per_decade)
+    grid.append(10**max_exponent)
+    return grid
+
+
+def _layered_figure(figure_id: str, h: int, p: float, grid: list[int]) -> FigureResult:
+    result = FigureResult(
+        figure_id=figure_id,
+        title=f"Non-FEC versus layered FEC with h={h} parity packets",
+        x_label="R",
+        y_label="transmissions E[M]",
+    )
+    result.series.append(
+        Series("no FEC", list(map(float, grid)),
+               [nofec.expected_transmissions(p, r) for r in grid])
+    )
+    for k in (7, 20, 100):
+        result.series.append(
+            Series(
+                f"layered FEC, k = {k}",
+                list(map(float, grid)),
+                [layered.expected_transmissions(k, k + h, p, r) for r in grid],
+            )
+        )
+    return result
+
+
+def fig03(p: float = DEFAULT_P, grid: list[int] | None = None) -> FigureResult:
+    """Figure 3: layered FEC with h = 2 for k = 7, 20, 100 (p = 0.01)."""
+    return _layered_figure("fig03", 2, p, grid or receiver_grid())
+
+
+def fig04(p: float = DEFAULT_P, grid: list[int] | None = None) -> FigureResult:
+    """Figure 4: layered FEC with h = 7 for k = 7, 20, 100 (p = 0.01)."""
+    return _layered_figure("fig04", 7, p, grid or receiver_grid())
+
+
+def fig05(p: float = DEFAULT_P, grid: list[int] | None = None) -> FigureResult:
+    """Figure 5: layered vs integrated (lower bound) for k = 7."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    k, h = 7, 2
+    return FigureResult(
+        figure_id="fig05",
+        title="E[M] versus R, TG size 7: layered vs integrated FEC",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series("no FEC", xs, [nofec.expected_transmissions(p, r) for r in grid]),
+            Series(
+                "layered",
+                xs,
+                [layered.expected_transmissions(k, k + h, p, r) for r in grid],
+            ),
+            Series(
+                "integrated",
+                xs,
+                [
+                    integrated.expected_transmissions_lower_bound(k, p, r)
+                    for r in grid
+                ],
+            ),
+        ],
+        notes=f"layered uses h={h}; integrated is the n=inf lower bound",
+    )
+
+
+def fig06(p: float = DEFAULT_P, grid: list[int] | None = None) -> FigureResult:
+    """Figure 6: integrated FEC, k = 7, finite parity budgets n = 8, 9, 10, inf."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    k = 7
+    result = FigureResult(
+        figure_id="fig06",
+        title="Integrated FEC with k = 7 for different parity budgets",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series("non-FEC", xs, [nofec.expected_transmissions(p, r) for r in grid])
+        ],
+    )
+    for n in (8, 9, 10):
+        result.series.append(
+            Series(
+                f"(7,{n})",
+                xs,
+                [integrated.expected_transmissions(k, n, p, r) for r in grid],
+            )
+        )
+    result.series.append(
+        Series(
+            "(7,inf)",
+            xs,
+            [integrated.expected_transmissions_lower_bound(k, p, r) for r in grid],
+        )
+    )
+    return result
+
+
+def fig07(p: float = DEFAULT_P, grid: list[int] | None = None) -> FigureResult:
+    """Figure 7: idealised integrated FEC vs R for k = 7, 20, 100."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    result = FigureResult(
+        figure_id="fig07",
+        title="Influence of k on idealized integrated FEC (p = 0.01)",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series("no FEC", xs, [nofec.expected_transmissions(p, r) for r in grid])
+        ],
+    )
+    for k in (7, 20, 100):
+        result.series.append(
+            Series(
+                f"integr. FEC, k = {k}",
+                xs,
+                [
+                    integrated.expected_transmissions_lower_bound(k, p, r)
+                    for r in grid
+                ],
+            )
+        )
+    return result
+
+
+def fig08(
+    n_receivers: int = 1000, p_grid: list[float] | None = None
+) -> FigureResult:
+    """Figure 8: idealised integrated FEC vs loss probability (R = 1000)."""
+    if p_grid is None:
+        p_grid = [
+            m * 10**e for e in (-3, -2) for m in (1, 2, 5)
+        ] + [0.1]
+    result = FigureResult(
+        figure_id="fig08",
+        title=f"Influence of k on idealized integrated FEC, R = {n_receivers}",
+        x_label="p",
+        y_label="transmissions E[M]",
+        series=[
+            Series(
+                "no FEC",
+                list(p_grid),
+                [nofec.expected_transmissions(p, n_receivers) for p in p_grid],
+            )
+        ],
+    )
+    for k in (7, 20, 100):
+        result.series.append(
+            Series(
+                f"integr. FEC, k = {k}",
+                list(p_grid),
+                [
+                    integrated.expected_transmissions_lower_bound(k, p, n_receivers)
+                    for p in p_grid
+                ],
+            )
+        )
+    return result
+
+
+_HETERO_FRACTIONS = (0.0, 0.01, 0.05, 0.25)
+
+
+def fig09(grid: list[int] | None = None) -> FigureResult:
+    """Figure 9: two-class heterogeneous populations, no FEC."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    result = FigureResult(
+        figure_id="fig09",
+        title="Reliable multicast without FEC, heterogeneous receivers",
+        x_label="R",
+        y_label="transmissions E[M]",
+    )
+    for fraction in _HETERO_FRACTIONS:
+        values = [
+            nofec_two_class(TwoClassPopulation(r, fraction)) for r in grid
+        ]
+        result.series.append(
+            Series(f"high loss: {fraction:.0%}", xs, values)
+        )
+    return result
+
+
+def fig10(k: int = 7, grid: list[int] | None = None) -> FigureResult:
+    """Figure 10: two-class heterogeneous populations, integrated FEC k=7."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    result = FigureResult(
+        figure_id="fig10",
+        title=f"Integrated FEC (k={k}), heterogeneous receivers",
+        x_label="R",
+        y_label="transmissions E[M]",
+    )
+    for fraction in _HETERO_FRACTIONS:
+        values = [
+            integrated_two_class(TwoClassPopulation(r, fraction), k)
+            for r in grid
+        ]
+        result.series.append(
+            Series(f"high loss: {fraction:.0%}", xs, values)
+        )
+    return result
+
+
+def fig17(
+    k: int = 20, p: float = DEFAULT_P, grid: list[int] | None = None
+) -> FigureResult:
+    """Figure 17: sender/receiver processing rates, N2 vs NP (pkts/msec)."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    n2_sender, n2_receiver, np_sender, np_receiver = [], [], [], []
+    for r in grid:
+        n2 = n2_rates(p, r, PAPER_COSTS)
+        np_ = np_rates(p, k, r, PAPER_COSTS)
+        n2_sender.append(n2.sender_rate / 1000.0)
+        n2_receiver.append(n2.receiver_rate / 1000.0)
+        np_sender.append(np_.sender_rate / 1000.0)
+        np_receiver.append(np_.receiver_rate / 1000.0)
+    return FigureResult(
+        figure_id="fig17",
+        title=f"Processing rates for k = {k}, p = {p}",
+        x_label="R",
+        y_label="processing rate [pkts/msec]",
+        series=[
+            Series("N2 sender", xs, n2_sender),
+            Series("N2 receiver", xs, n2_receiver),
+            Series("NP sender", xs, np_sender),
+            Series("NP receiver", xs, np_receiver),
+        ],
+    )
+
+
+def fig18(
+    k: int = 20, p: float = DEFAULT_P, grid: list[int] | None = None
+) -> FigureResult:
+    """Figure 18: throughput of N2 vs NP with/without pre-encoding."""
+    grid = grid or receiver_grid()
+    xs = list(map(float, grid))
+    n2_thr, np_thr, np_pre_thr = [], [], []
+    for r in grid:
+        n2_thr.append(n2_rates(p, r, PAPER_COSTS).throughput / 1000.0)
+        np_thr.append(np_rates(p, k, r, PAPER_COSTS).throughput / 1000.0)
+        np_pre_thr.append(
+            np_rates(p, k, r, PAPER_COSTS, pre_encoded=True).throughput / 1000.0
+        )
+    return FigureResult(
+        figure_id="fig18",
+        title=f"Throughput comparison (p={p}, k={k})",
+        x_label="R",
+        y_label="throughput [pkts/msec]",
+        series=[
+            Series("N2", xs, n2_thr),
+            Series("NP", xs, np_thr),
+            Series("NP pre-encode", xs, np_pre_thr),
+        ],
+    )

@@ -1,0 +1,258 @@
+"""Figure runners driven by Monte-Carlo simulation (Figures 11, 12, 14-16).
+
+These cover the correlated-loss experiments where no closed form exists:
+shared loss on a full binary tree (Section 4.1) and two-state Markov burst
+loss (Section 4.2).  Independent-loss companion curves come from the
+closed forms, exactly as the paper plots analysis and simulation together.
+
+All runners accept ``replications`` and a ``rng`` seed; the defaults trade
+a few percent of Monte-Carlo noise for benchmark-friendly runtimes, and the
+replication count is scaled down as R grows (max-statistics concentrate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fbt, integrated, layered, nofec
+from repro.experiments.series import FigureResult, Series
+from repro.mc import (
+    PAPER_TIMING,
+    burst_length_histogram,
+    simulate_integrated_immediate,
+    simulate_integrated_rounds,
+    simulate_layered,
+    simulate_nofec,
+)
+from repro.mc._common import resolve_rng
+from repro.sim.loss import FullBinaryTreeLoss, GilbertLoss
+
+__all__ = ["fig11", "fig12", "fig14", "fig15", "fig16"]
+
+DEFAULT_P = 0.01
+
+
+def _scaled_reps(base: int, n_receivers: int) -> int:
+    """Fewer replications for huge trees: the estimator variance shrinks
+    and the per-replication cost grows linearly with R."""
+    if n_receivers >= 2**14:
+        return max(10, base // 8)
+    if n_receivers >= 2**10:
+        return max(20, base // 4)
+    return base
+
+
+def fig11(
+    p: float = DEFAULT_P,
+    k: int = 7,
+    h: int = 1,
+    depths: list[int] | None = None,
+    replications: int = 120,
+    rng: np.random.Generator | int | None = 0,
+) -> FigureResult:
+    """Figure 11: layered FEC vs no FEC under independent and FBT shared loss."""
+    rng = resolve_rng(rng)
+    depths = list(range(0, 18, 2)) if depths is None else depths
+    sizes = [2**d for d in depths]
+    xs = list(map(float, sizes))
+
+    nofec_indep = [nofec.expected_transmissions(p, r) for r in sizes]
+    layered_indep = [layered.expected_transmissions(k, k + h, p, r) for r in sizes]
+
+    nofec_fbt, nofec_err, layered_fbt, layered_err = [], [], [], []
+    for depth, size in zip(depths, sizes):
+        reps = _scaled_reps(replications, size)
+        model = FullBinaryTreeLoss(depth, p)
+        r_nofec = simulate_nofec(model, reps, rng=rng)
+        r_layered = simulate_layered(model, k, h, reps, rng=rng)
+        nofec_fbt.append(r_nofec.mean)
+        nofec_err.append(r_nofec.stderr)
+        layered_fbt.append(r_layered.mean)
+        layered_err.append(r_layered.stderr)
+
+    nofec_fbt_exact = [
+        fbt.expected_transmissions_nofec(depth, p) for depth in depths
+    ]
+    return FigureResult(
+        figure_id="fig11",
+        title=f"Layered FEC, p = {p}, k = {k}, h = {h}: independent vs FBT loss",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series("non-FEC indep. loss", xs, nofec_indep),
+            Series("layered FEC indep. loss", xs, layered_indep),
+            Series("non-FEC FBT loss", xs, nofec_fbt, nofec_err),
+            Series("layered FEC FBT loss", xs, layered_fbt, layered_err),
+            Series("non-FEC FBT exact", xs, nofec_fbt_exact),
+        ],
+        notes="independent-loss and FBT-exact curves analytical; "
+        "FBT loss curves simulated",
+    )
+
+
+def fig12(
+    p: float = DEFAULT_P,
+    k: int = 7,
+    depths: list[int] | None = None,
+    replications: int = 120,
+    rng: np.random.Generator | int | None = 0,
+) -> FigureResult:
+    """Figure 12: integrated FEC vs no FEC, independent vs FBT shared loss."""
+    rng = resolve_rng(rng)
+    depths = list(range(0, 18, 2)) if depths is None else depths
+    sizes = [2**d for d in depths]
+    xs = list(map(float, sizes))
+
+    nofec_indep = [nofec.expected_transmissions(p, r) for r in sizes]
+    integrated_indep = [
+        integrated.expected_transmissions_lower_bound(k, p, r) for r in sizes
+    ]
+
+    nofec_fbt, nofec_err, integ_fbt, integ_err = [], [], [], []
+    for depth, size in zip(depths, sizes):
+        reps = _scaled_reps(replications, size)
+        model = FullBinaryTreeLoss(depth, p)
+        r_nofec = simulate_nofec(model, reps, rng=rng)
+        r_integ = simulate_integrated_immediate(model, k, reps, rng=rng)
+        nofec_fbt.append(r_nofec.mean)
+        nofec_err.append(r_nofec.stderr)
+        integ_fbt.append(r_integ.mean)
+        integ_err.append(r_integ.stderr)
+
+    nofec_fbt_exact = [
+        fbt.expected_transmissions_nofec(depth, p) for depth in depths
+    ]
+    integ_fbt_exact = [
+        fbt.expected_transmissions_integrated(depth, p, k) for depth in depths
+    ]
+    return FigureResult(
+        figure_id="fig12",
+        title=f"Integrated FEC, p = {p}, k = {k}: independent vs FBT loss",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series("non-FEC indep. loss", xs, nofec_indep),
+            Series("integrated FEC indep. loss", xs, integrated_indep),
+            Series("non-FEC FBT loss", xs, nofec_fbt, nofec_err),
+            Series("integrated FEC FBT loss", xs, integ_fbt, integ_err),
+            Series("non-FEC FBT exact", xs, nofec_fbt_exact),
+            Series("integrated FEC FBT exact", xs, integ_fbt_exact),
+        ],
+        notes="independent-loss and FBT-exact curves analytical; "
+        "FBT loss curves simulated",
+    )
+
+
+def fig14(
+    p: float = DEFAULT_P,
+    mean_burst: float = 2.0,
+    n_packets: int = 1_000_000,
+    max_length: int = 15,
+    rng: np.random.Generator | int | None = 0,
+) -> FigureResult:
+    """Figure 14: burst-length distribution, Bernoulli vs Markov channel."""
+    rng = resolve_rng(rng)
+    bursty = burst_length_histogram(p, n_packets, mean_burst, rng=rng)
+    independent = burst_length_histogram(p, n_packets, None, rng=rng)
+
+    def pad(histogram) -> list[float]:
+        counts = dict(histogram.as_rows())
+        return [float(counts.get(length, 0)) for length in range(1, max_length + 1)]
+
+    xs = list(map(float, range(1, max_length + 1)))
+    return FigureResult(
+        figure_id="fig14",
+        title=f"Burst length distribution, p = {p}",
+        x_label="burst length",
+        y_label="occurrences",
+        series=[
+            Series("no burst loss", xs, pad(independent)),
+            Series(f"burst loss, b = {mean_burst:g}", xs, pad(bursty)),
+        ],
+        notes=f"{n_packets} packets at Delta = 40 ms through one receiver",
+    )
+
+
+def _burst_model(n_receivers: int, p: float, mean_burst: float) -> GilbertLoss:
+    return GilbertLoss.from_loss_and_burst(
+        n_receivers, p, mean_burst, PAPER_TIMING.packet_interval
+    )
+
+
+def fig15(
+    p: float = DEFAULT_P,
+    mean_burst: float = 2.0,
+    sizes: list[int] | None = None,
+    replications: int = 150,
+    rng: np.random.Generator | int | None = 0,
+) -> FigureResult:
+    """Figure 15: burst loss — layered FEC (7+1), (7+3) vs no FEC."""
+    rng = resolve_rng(rng)
+    sizes = sizes or [1, 10, 100, 1000, 10000]
+    xs = list(map(float, sizes))
+    series = {
+        "no FEC": ([], []),
+        "FEC layer (7+1)": ([], []),
+        "FEC layer (7+3)": ([], []),
+    }
+    for size in sizes:
+        reps = _scaled_reps(replications, size)
+        model = _burst_model(size, p, mean_burst)
+        r = simulate_nofec(model, reps, rng=rng)
+        series["no FEC"][0].append(r.mean)
+        series["no FEC"][1].append(r.stderr)
+        for h, label in ((1, "FEC layer (7+1)"), (3, "FEC layer (7+3)")):
+            r = simulate_layered(model, 7, h, reps, rng=rng)
+            series[label][0].append(r.mean)
+            series[label][1].append(r.stderr)
+    return FigureResult(
+        figure_id="fig15",
+        title=f"Burst loss and FEC layer, p = {p}, b = {mean_burst:g}",
+        x_label="R",
+        y_label="transmissions E[M]",
+        series=[
+            Series(label, xs, values, errors)
+            for label, (values, errors) in series.items()
+        ],
+    )
+
+
+def fig16(
+    p: float = DEFAULT_P,
+    mean_burst: float = 2.0,
+    sizes: list[int] | None = None,
+    group_sizes: tuple[int, ...] = (7, 20, 100),
+    replications: int = 150,
+    rng: np.random.Generator | int | None = 0,
+) -> FigureResult:
+    """Figure 16: burst loss — integrated FEC 1 vs FEC 2 for k = 7, 20, 100."""
+    rng = resolve_rng(rng)
+    sizes = sizes or [1, 10, 100, 1000, 10000]
+    xs = list(map(float, sizes))
+    result = FigureResult(
+        figure_id="fig16",
+        title=f"Burst loss and integrated FEC, p = {p}, b = {mean_burst:g}",
+        x_label="R",
+        y_label="transmissions E[M]",
+    )
+    nofec_values, nofec_errors = [], []
+    for size in sizes:
+        reps = _scaled_reps(replications, size)
+        r = simulate_nofec(_burst_model(size, p, mean_burst), reps, rng=rng)
+        nofec_values.append(r.mean)
+        nofec_errors.append(r.stderr)
+    result.series.append(Series("no FEC", xs, nofec_values, nofec_errors))
+
+    for k in group_sizes:
+        for scheme, label in (
+            (simulate_integrated_immediate, f"integrated FEC 1, k={k}"),
+            (simulate_integrated_rounds, f"integrated FEC 2, k={k}"),
+        ):
+            values, errors = [], []
+            for size in sizes:
+                reps = _scaled_reps(replications, size)
+                r = scheme(_burst_model(size, p, mean_burst), k, reps, rng=rng)
+                values.append(r.mean)
+                errors.append(r.stderr)
+            result.series.append(Series(label, xs, values, errors))
+    return result

@@ -1,0 +1,111 @@
+"""Generic parameter sweeps producing :class:`FigureResult` objects.
+
+The figure runners hard-code the paper's parameter choices; this module is
+the open-ended counterpart for exploring beyond them::
+
+    from repro.experiments.sweep import sweep
+    from repro.analysis import integrated
+
+    result = sweep(
+        lambda k, R: integrated.expected_transmissions_lower_bound(k, 0.01, R),
+        x=("R", [10, 100, 1000, 10**4]),
+        series=("k", [7, 20, 100]),
+        figure_id="my_sweep",
+        y_label="E[M]",
+    )
+    print(result.render_table())
+
+``sweep`` evaluates the callable on the cartesian product of one x-axis
+parameter and one series parameter; ``sweep_many`` fans several callables
+over a shared x-axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.experiments.series import FigureResult, Series
+
+__all__ = ["sweep", "sweep_many"]
+
+
+def sweep(
+    fn: Callable[..., float],
+    x: tuple[str, Sequence],
+    series: tuple[str, Sequence] | None = None,
+    figure_id: str = "sweep",
+    title: str = "",
+    y_label: str = "value",
+    label_format: str = "{name} = {value}",
+    **fixed,
+) -> FigureResult:
+    """Evaluate ``fn`` over a grid and package the curves.
+
+    Parameters
+    ----------
+    fn:
+        Called as ``fn(**{x_name: x_value, series_name: series_value},
+        **fixed)``; must return a number.
+    x:
+        ``(parameter_name, values)`` for the x-axis.
+    series:
+        Optional ``(parameter_name, values)`` producing one curve per
+        value; omitted -> a single curve named after the callable.
+    fixed:
+        Extra keyword arguments forwarded verbatim to every call.
+    """
+    x_name, x_values = x
+    x_floats = [float(v) for v in x_values]
+    if not x_floats:
+        raise ValueError("x values must be non-empty")
+
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title or f"{y_label} vs {x_name}",
+        x_label=x_name,
+        y_label=y_label,
+    )
+    if series is None:
+        values = [float(fn(**{x_name: xv}, **fixed)) for xv in x_values]
+        label = getattr(fn, "__name__", "series")
+        if label == "<lambda>":
+            label = "series"
+        result.series.append(Series(label, x_floats, values))
+        return result
+
+    series_name, series_values = series
+    if not list(series_values):
+        raise ValueError("series values must be non-empty")
+    for sv in series_values:
+        values = [
+            float(fn(**{x_name: xv, series_name: sv}, **fixed))
+            for xv in x_values
+        ]
+        label = label_format.format(name=series_name, value=sv)
+        result.series.append(Series(label, x_floats, values))
+    return result
+
+
+def sweep_many(
+    functions: dict[str, Callable[..., float]],
+    x: tuple[str, Sequence],
+    figure_id: str = "sweep",
+    title: str = "",
+    y_label: str = "value",
+    **fixed,
+) -> FigureResult:
+    """Fan several labelled callables over one shared x-axis."""
+    x_name, x_values = x
+    if not functions:
+        raise ValueError("need at least one function")
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title or f"{y_label} vs {x_name}",
+        x_label=x_name,
+        y_label=y_label,
+    )
+    x_floats = [float(v) for v in x_values]
+    for label, fn in functions.items():
+        values = [float(fn(**{x_name: xv}, **fixed)) for xv in x_values]
+        result.series.append(Series(label, x_floats, values))
+    return result

@@ -1,0 +1,32 @@
+"""Reed-Solomon erasure coding layer (the paper's Section 2).
+
+* :class:`repro.fec.RSECodec` — systematic any-k-of-n erasure codec;
+* :class:`repro.fec.BlockEncoder` / :class:`repro.fec.BlockDecoder` —
+  transmission-group framing and receive buffers;
+* :class:`repro.fec.BlockInterleaver` — burst-loss interleaving (Section 4.2).
+"""
+
+from repro.fec.block import (
+    BlockDecoder,
+    BlockEncoder,
+    TransmissionGroup,
+    join_stream,
+    slice_stream,
+)
+from repro.fec.interleaver import BlockInterleaver, Deinterleaver, interleave_indices
+from repro.fec.rse import CodecStats, DecodeError, RSECodec, max_block_length
+
+__all__ = [
+    "RSECodec",
+    "DecodeError",
+    "CodecStats",
+    "max_block_length",
+    "BlockEncoder",
+    "BlockDecoder",
+    "TransmissionGroup",
+    "slice_stream",
+    "join_stream",
+    "BlockInterleaver",
+    "Deinterleaver",
+    "interleave_indices",
+]

@@ -1,0 +1,98 @@
+"""Block interleaving for burst-loss resistance.
+
+Section 4.2 of the paper discusses interleaving as the classic FEC answer to
+bursty loss: spread the packets of one FEC block over a period longer than
+the loss burst so that a single burst cannot wipe out more packets of a block
+than the code can repair.  "Integrated FEC 2" achieves a mild form of this by
+spacing parity rounds ``Delta + T`` apart; a generic depth-``D`` block
+interleaver is the stronger form.
+
+:class:`BlockInterleaver` reorders a packet sequence so that consecutive
+transmissions come from ``D`` different FEC blocks; :class:`Deinterleaver`
+restores the original order at the receiver.  Both are pure permutations —
+they add latency, never bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["BlockInterleaver", "Deinterleaver", "interleave_indices"]
+
+
+def interleave_indices(block_length: int, depth: int) -> list[int]:
+    """Transmission order for ``depth`` consecutive blocks of ``block_length``.
+
+    Index ``b * block_length + s`` (packet ``s`` of block ``b``) is emitted at
+    position ``s * depth + b`` — column-major readout of the standard
+    row-per-block interleaver matrix.
+    """
+    if block_length < 1 or depth < 1:
+        raise ValueError("block_length and depth must both be >= 1")
+    order = []
+    for slot in range(block_length):
+        for block in range(depth):
+            order.append(block * block_length + slot)
+    return order
+
+
+class BlockInterleaver:
+    """Reorders packets so bursts spread across ``depth`` FEC blocks.
+
+    Feed packets with :meth:`push`; complete interleaved batches of
+    ``depth * block_length`` packets come out of :meth:`pop_ready`.
+    :meth:`flush` drains a final partial batch (padding is the caller's
+    concern — protocols simply send a shorter tail batch).
+    """
+
+    def __init__(self, block_length: int, depth: int):
+        self.block_length = block_length
+        self.depth = depth
+        self._order = interleave_indices(block_length, depth)
+        self._pending: list = []
+
+    def push(self, packet) -> None:
+        self._pending.append(packet)
+
+    def push_block(self, packets: Iterable) -> None:
+        for packet in packets:
+            self.push(packet)
+
+    def pop_ready(self) -> list:
+        """Return all complete interleaved batches accumulated so far."""
+        batch_size = self.block_length * self.depth
+        out: list = []
+        while len(self._pending) >= batch_size:
+            batch, self._pending = (
+                self._pending[:batch_size],
+                self._pending[batch_size:],
+            )
+            out.extend(batch[i] for i in self._order)
+        return out
+
+    def flush(self) -> list:
+        """Drain any trailing partial batch in original order."""
+        out, self._pending = self._pending, []
+        return out
+
+
+class Deinterleaver:
+    """Inverse permutation of :class:`BlockInterleaver` for full batches."""
+
+    def __init__(self, block_length: int, depth: int):
+        self.block_length = block_length
+        self.depth = depth
+        order = interleave_indices(block_length, depth)
+        self._inverse = [0] * len(order)
+        for position, original in enumerate(order):
+            self._inverse[original] = position
+
+    def restore(self, batch: Sequence) -> list:
+        """Reorder one full interleaved batch back to block order."""
+        expected = self.block_length * self.depth
+        if len(batch) != expected:
+            raise ValueError(
+                f"deinterleaver needs a full batch of {expected} packets, "
+                f"got {len(batch)}"
+            )
+        return [batch[self._inverse[i]] for i in range(expected)]

@@ -1,0 +1,203 @@
+"""Arithmetic in the binary extension fields GF(2^m).
+
+:class:`GaloisField` wraps the tables from :mod:`repro.galois.tables` with
+scalar and numpy-vectorised operations.  The class is deliberately *not* an
+element wrapper — elements are plain Python ints or numpy arrays of the
+field's dtype, which keeps the hot encode/decode loops allocation-free.
+
+Example
+-------
+>>> gf = GF256
+>>> gf.multiply(0x57, 0x83)
+193
+>>> gf.divide(gf.multiply(7, 11), 11)
+7
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.tables import (
+    PRIMITIVE_POLYNOMIALS,
+    FieldTableError,
+    _dtype_for_width,
+    exp_log_tables,
+    full_multiplication_table,
+)
+
+__all__ = ["GaloisField", "GF16", "GF256", "GF65536", "field_for_width"]
+
+
+class GaloisField:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Symbol width in bits (2..16).
+    primitive_poly:
+        Optional override of the field's primitive polynomial (full form,
+        including the ``x^m`` term).
+
+    Notes
+    -----
+    Addition and subtraction are both XOR.  Multiplication and division use
+    discrete-log tables; for ``m <= 8`` a dense multiplication table is also
+    available and used by :meth:`scale` for constant-times-vector products.
+    """
+
+    __slots__ = ("m", "order", "primitive_poly", "dtype", "_exp", "_log", "_mul_table")
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise FieldTableError(
+                f"unsupported symbol width m={m}; "
+                f"supported widths: {sorted(PRIMITIVE_POLYNOMIALS)}"
+            )
+        self.m = m
+        self.order = 1 << m
+        self.primitive_poly = (
+            PRIMITIVE_POLYNOMIALS[m] if primitive_poly is None else primitive_poly
+        )
+        self.dtype = _dtype_for_width(m)
+        self._exp, self._log = exp_log_tables(m, primitive_poly)
+        self._mul_table = full_multiplication_table(m) if m <= 8 else None
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (== subtraction == XOR)."""
+        return a ^ b
+
+    subtract = add
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication of two scalars."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ZeroDivisionError for b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        diff = int(self._log[a]) - int(self._log[b])
+        return int(self._exp[diff % (self.order - 1)])
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero scalar."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return int(self._exp[(self.order - 1) - int(self._log[a])])
+
+    def power(self, a: int, exponent: int) -> int:
+        """``a ** exponent`` in the field (exponent may be any integer)."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        log_a = int(self._log[a])
+        return int(self._exp[(log_a * exponent) % (self.order - 1)])
+
+    def alpha_power(self, exponent: int) -> int:
+        """``alpha ** exponent`` for the primitive element alpha."""
+        return int(self._exp[exponent % (self.order - 1)])
+
+    # ------------------------------------------------------------------
+    # vector operations (numpy)
+    # ------------------------------------------------------------------
+    def _as_symbols(self, a: np.ndarray | int) -> np.ndarray:
+        arr = np.asarray(a, dtype=self.dtype)
+        return arr
+
+    def multiply_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field product of two symbol arrays (broadcasting)."""
+        a = self._as_symbols(a)
+        b = self._as_symbols(b)
+        logs = self._log[a] + self._log[b]
+        out = self._exp[logs % (self.order - 1)]
+        zero = (a == 0) | (b == 0)
+        if zero.any():
+            out = np.where(zero, self.dtype.type(0), out)
+        return out.astype(self.dtype, copy=False)
+
+    def scale(self, c: int, v: np.ndarray) -> np.ndarray:
+        """Constant-times-vector product ``c * v`` over the field.
+
+        This is the inner operation of RSE encoding; for small fields it is a
+        single fancy-index into the dense multiplication table.
+        """
+        v = self._as_symbols(v)
+        if c == 0:
+            return np.zeros_like(v)
+        if c == 1:
+            return v.copy()
+        if self._mul_table is not None:
+            return self._mul_table[c][v]
+        log_c = int(self._log[c])
+        out = self._exp[(self._log[v] + log_c) % (self.order - 1)]
+        out = np.where(v == 0, self.dtype.type(0), out)
+        return out.astype(self.dtype, copy=False)
+
+    def scale_accumulate(self, acc: np.ndarray, c: int, v: np.ndarray) -> None:
+        """In-place ``acc ^= c * v`` — the encode/decode hot loop."""
+        if c == 0:
+            return
+        if c == 1:
+            np.bitwise_xor(acc, self._as_symbols(v), out=acc)
+            return
+        np.bitwise_xor(acc, self.scale(c, v), out=acc)
+
+    def dot(self, coefficients: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """GF inner product: ``sum_i coefficients[i] * vectors[i]``.
+
+        ``vectors`` has shape ``(len(coefficients), symbols)``; the result has
+        shape ``(symbols,)``.
+        """
+        vectors = self._as_symbols(vectors)
+        acc = np.zeros(vectors.shape[1:], dtype=self.dtype)
+        for c, row in zip(coefficients, vectors):
+            self.scale_accumulate(acc, int(c), row)
+        return acc
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def elements(self) -> np.ndarray:
+        """All field elements ``0 .. 2^m - 1`` as a symbol array."""
+        return np.arange(self.order, dtype=self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GaloisField(2^{self.m}, poly={self.primitive_poly:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GaloisField)
+            and other.m == self.m
+            and other.primitive_poly == self.primitive_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.primitive_poly))
+
+
+#: The fields used in practice.  GF256 matches Rizzo's software coder
+#: (m = 8); GF65536 matches McAuley's large-symbol hardware proposal.
+GF16 = GaloisField(4)
+GF256 = GaloisField(8)
+GF65536 = GaloisField(16)
+
+_STANDARD_FIELDS = {4: GF16, 8: GF256, 16: GF65536}
+
+
+def field_for_width(m: int) -> GaloisField:
+    """Return the shared field instance for width ``m`` (building if needed)."""
+    if m in _STANDARD_FIELDS:
+        return _STANDARD_FIELDS[m]
+    return GaloisField(m)

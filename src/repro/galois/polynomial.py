@@ -1,0 +1,232 @@
+"""Polynomials over GF(2^m) — the paper's Section 2.1, verbatim.
+
+The paper defines RSE coding through the polynomial view::
+
+    F(X) = d_1 + d_2 X + ... + d_k X^(k-1)            (Equation 1)
+    p_j  = F(alpha^(j-1)),  j = 1 .. n-k
+
+with the data packets as coefficients and parities as evaluations at
+powers of the primitive element.  :class:`GFPolynomial` implements the
+algebra (Horner evaluation, arithmetic, Lagrange interpolation) and
+:class:`PolynomialCodec` implements exactly that coding scheme.
+
+This is the *non-systematic-parity* ancestor of the production codec in
+:mod:`repro.fec.rse` (which post-multiplies a Vandermonde matrix to make
+the data rows an identity).  It is retained for fidelity to the paper's
+math and as an independent correctness oracle: both codecs must agree
+that any k of the n packets reconstruct the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.field import GF256, GaloisField
+from repro.galois.matrix import invert, matmul
+
+__all__ = ["GFPolynomial", "PolynomialCodec"]
+
+
+class GFPolynomial:
+    """A polynomial with coefficients in GF(2^m).
+
+    Coefficients are stored low-degree first; ``coefficients[i]`` is the
+    coefficient of ``X^i``.  Trailing zeros are trimmed, so the zero
+    polynomial has an empty coefficient vector and degree -1.
+    """
+
+    def __init__(self, field: GaloisField, coefficients):
+        self.field = field
+        coeffs = [int(c) for c in coefficients]
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        if any(not 0 <= c < field.order for c in coeffs):
+            raise ValueError("coefficient out of field range")
+        self.coefficients = coeffs
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def __call__(self, x: int) -> int:
+        """Evaluate by Horner's rule."""
+        result = 0
+        for coefficient in reversed(self.coefficients):
+            result = self.field.multiply(result, x) ^ coefficient
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GFPolynomial)
+            and other.field == self.field
+            and other.coefficients == self.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, tuple(self.coefficients)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GFPolynomial({self.coefficients})"
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        self._check(other)
+        longer, shorter = self.coefficients, other.coefficients
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        out = list(longer)
+        for i, c in enumerate(shorter):
+            out[i] ^= c
+        return GFPolynomial(self.field, out)
+
+    __sub__ = __add__  # characteristic 2
+
+    def __mul__(self, other: "GFPolynomial | int") -> "GFPolynomial":
+        if isinstance(other, int):
+            return GFPolynomial(
+                self.field,
+                [self.field.multiply(other, c) for c in self.coefficients],
+            )
+        self._check(other)
+        if not self.coefficients or not other.coefficients:
+            return GFPolynomial(self.field, [])
+        out = [0] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coefficients):
+                out[i + j] ^= self.field.multiply(a, b)
+        return GFPolynomial(self.field, out)
+
+    __rmul__ = __mul__
+
+    def _check(self, other: "GFPolynomial") -> None:
+        if other.field != self.field:
+            raise ValueError("polynomials over different fields")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interpolate(
+        cls, field: GaloisField, points: list[tuple[int, int]]
+    ) -> "GFPolynomial":
+        """Lagrange interpolation: the unique polynomial of degree
+        < len(points) passing through the given (x, y) pairs."""
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        result = cls(field, [])
+        for i, (x_i, y_i) in enumerate(points):
+            if y_i == 0:
+                continue
+            basis = cls(field, [1])
+            denominator = 1
+            for j, (x_j, _) in enumerate(points):
+                if i == j:
+                    continue
+                basis = basis * cls(field, [x_j, 1])  # (X - x_j) == (X + x_j)
+                denominator = field.multiply(denominator, x_i ^ x_j)
+            scale = field.multiply(y_i, field.inverse(denominator))
+            result = result + basis * scale
+        return result
+
+
+class PolynomialCodec:
+    """Equation (1) as a codec: data = coefficients, parities = F(alpha^j).
+
+    Packets are byte strings interpreted symbol-wise (GF(2^8) only, for
+    simplicity — this class exists for fidelity/oracle purposes, the
+    production path is :class:`repro.fec.rse.RSECodec`).
+
+    Block layout matches the paper: indices ``0..k-1`` carry the data
+    packets ``d_1..d_k`` themselves, index ``k + j`` carries the parity
+    ``p_{j+1} = F(alpha^j)``.
+    """
+
+    def __init__(self, k: int, h: int, field: GaloisField = GF256):
+        if k < 1 or h < 0:
+            raise ValueError("need k >= 1 and h >= 0")
+        if k + h > field.order - 1:
+            raise ValueError("block longer than the field supports")
+        self.k = k
+        self.h = h
+        self.n = k + h
+        self.field = field
+        #: evaluation points alpha^0 .. alpha^(h-1), as in the paper
+        self.points = [field.alpha_power(j) for j in range(h)]
+
+    # ------------------------------------------------------------------
+    def encode(self, data: list[bytes]) -> list[bytes]:
+        """Parities ``p_j = F(alpha^(j-1))``, computed per symbol column."""
+        if len(data) != self.k:
+            raise ValueError(f"expected {self.k} data packets")
+        lengths = {len(packet) for packet in data}
+        if len(lengths) != 1:
+            raise ValueError("packets must have equal length")
+        matrix = np.vstack([np.frombuffer(p, dtype=np.uint8) for p in data])
+        parities = []
+        for x in self.points:
+            # Horner over the packet axis, vectorised
+            acc = np.zeros(matrix.shape[1], dtype=np.uint8)
+            for row in matrix[::-1]:
+                acc = self.field.scale(x, acc) ^ row
+            parities.append(acc.tobytes())
+        return parities
+
+    # ------------------------------------------------------------------
+    def decode(self, received: dict[int, bytes]) -> list[bytes]:
+        """Reconstruct all data packets from any ``k`` block packets.
+
+        Received data packets give coefficients directly; received
+        parities give evaluations.  The mixed system is solved once as a
+        k x k GF linear system (rows: unit vectors for known coefficients,
+        Vandermonde rows for evaluations), then applied to every symbol
+        column.
+        """
+        if len(received) < self.k:
+            raise ValueError(f"need at least {self.k} packets")
+        indices = sorted(received)[: self.k]
+        if indices[-1] >= self.n or indices[0] < 0:
+            raise ValueError("packet index out of range")
+
+        rows = np.zeros((self.k, self.k), dtype=self.field.dtype)
+        for row, index in enumerate(indices):
+            if index < self.k:
+                rows[row, index] = 1
+            else:
+                x = self.points[index - self.k]
+                for power in range(self.k):
+                    rows[row, power] = self.field.power(x, power)
+        inverse = invert(self.field, rows)
+
+        stacked = np.vstack(
+            [np.frombuffer(received[i], dtype=np.uint8) for i in indices]
+        )
+        coefficients = matmul(self.field, inverse, stacked)
+        return [coefficients[i].tobytes() for i in range(self.k)]
+
+    def decode_by_interpolation(self, evaluations: dict[int, bytes]) -> list[bytes]:
+        """Pure-Lagrange decode from ``k`` *parity* packets only.
+
+        Interpolates F symbol-column by symbol-column — the textbook path,
+        quadratic per column and used as a cross-check oracle in tests.
+        """
+        if len(evaluations) < self.k:
+            raise ValueError(f"need at least {self.k} evaluations")
+        chosen = sorted(evaluations)[: self.k]
+        if any(not self.k <= i < self.n for i in chosen):
+            raise ValueError("interpolation decode takes parity indices only")
+        columns = np.vstack(
+            [np.frombuffer(evaluations[i], dtype=np.uint8) for i in chosen]
+        )
+        xs = [self.points[i - self.k] for i in chosen]
+        length = columns.shape[1]
+        out = np.zeros((self.k, length), dtype=np.uint8)
+        for s in range(length):
+            points = [(x, int(columns[row, s])) for row, x in enumerate(xs)]
+            poly = GFPolynomial.interpolate(self.field, points)
+            coefficients = poly.coefficients + [0] * (
+                self.k - len(poly.coefficients)
+            )
+            out[:, s] = coefficients[: self.k]
+        return [out[i].tobytes() for i in range(self.k)]

@@ -1,0 +1,148 @@
+"""Discrete-log tables for the binary extension fields GF(2^m).
+
+The RSE codec (:mod:`repro.fec.rse`) multiplies field elements millions of
+times per encoded block, so multiplication is driven entirely by table
+lookups.  This module builds, for a given symbol width ``m`` and primitive
+polynomial, the classic pair of tables:
+
+``exp``
+    ``exp[i] = alpha**i`` for ``i`` in ``[0, 2^m - 2]``, where ``alpha`` is
+    the primitive element (the polynomial ``x``).  The table is stored twice
+    over so that ``exp[log[a] + log[b]]`` never needs an explicit modulo.
+
+``log``
+    The inverse map, ``log[alpha**i] = i``; ``log[0]`` is a sentinel that is
+    never read by correct code.
+
+Primitive polynomials are the standard ones used by McAuley's and Rizzo's
+erasure coders, so codewords produced here are bit-compatible with those
+implementations for the same generator-matrix construction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Standard primitive polynomials, indexed by symbol width m.  The value is
+#: the full polynomial including the x^m term, e.g. 0x11D = x^8+x^4+x^3+x^2+1.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0x7,
+    3: 0xB,
+    4: 0x13,
+    5: 0x25,
+    6: 0x43,
+    7: 0x89,
+    8: 0x11D,
+    9: 0x211,
+    10: 0x409,
+    11: 0x805,
+    12: 0x1053,
+    13: 0x201B,
+    14: 0x4443,
+    15: 0x8003,
+    16: 0x1100B,
+}
+
+#: Widths for which we are willing to build tables.  Above 16 bits the exp
+#: table alone would need gigabytes.
+SUPPORTED_WIDTHS = tuple(sorted(PRIMITIVE_POLYNOMIALS))
+
+
+class FieldTableError(ValueError):
+    """Raised when tables are requested for an unsupported configuration."""
+
+
+def _dtype_for_width(m: int) -> np.dtype:
+    """Smallest unsigned integer dtype that holds a GF(2^m) symbol."""
+    if m <= 8:
+        return np.dtype(np.uint8)
+    if m <= 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def build_exp_log(m: int, primitive_poly: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Build the (doubled) ``exp`` and ``log`` tables for GF(2^m).
+
+    Parameters
+    ----------
+    m:
+        Symbol width in bits, ``2 <= m <= 16``.
+    primitive_poly:
+        Full primitive polynomial including the ``x^m`` term.  Defaults to the
+        standard polynomial from :data:`PRIMITIVE_POLYNOMIALS`.
+
+    Returns
+    -------
+    (exp, log):
+        ``exp`` has length ``2 * (2^m - 1)`` (the cycle repeated twice) and
+        ``log`` has length ``2^m``.  Both are numpy arrays of the smallest
+        sufficient unsigned dtype for symbols / int32 for logs.
+    """
+    if m not in PRIMITIVE_POLYNOMIALS:
+        raise FieldTableError(
+            f"unsupported symbol width m={m}; supported: {SUPPORTED_WIDTHS}"
+        )
+    poly = PRIMITIVE_POLYNOMIALS[m] if primitive_poly is None else primitive_poly
+    order = 1 << m
+    if poly >> m != 1:
+        raise FieldTableError(
+            f"primitive polynomial {poly:#x} does not have degree m={m}"
+        )
+
+    n_nonzero = order - 1
+    exp = np.zeros(2 * n_nonzero, dtype=_dtype_for_width(m))
+    log = np.zeros(order, dtype=np.int32)
+
+    value = 1
+    for i in range(n_nonzero):
+        exp[i] = value
+        log[value] = i
+        value <<= 1
+        if value & order:
+            value ^= poly
+    if value != 1:
+        raise FieldTableError(
+            f"polynomial {poly:#x} is not primitive over GF(2^{m})"
+        )
+    exp[n_nonzero:] = exp[:n_nonzero]
+    log[0] = -1  # sentinel; multiplication routines special-case zero
+    return exp, log
+
+
+@lru_cache(maxsize=None)
+def _cached_exp_log(m: int, poly: int | None) -> tuple[np.ndarray, np.ndarray]:
+    exp, log = build_exp_log(m, poly)
+    exp.setflags(write=False)
+    log.setflags(write=False)
+    return exp, log
+
+
+def exp_log_tables(m: int, primitive_poly: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Cached, read-only view of the tables for GF(2^m)."""
+    return _cached_exp_log(m, primitive_poly)
+
+
+@lru_cache(maxsize=4)
+def full_multiplication_table(m: int) -> np.ndarray:
+    """Dense ``(2^m, 2^m)`` multiplication table.
+
+    Only sensible for small fields: GF(256) costs 64 KiB which is the sweet
+    spot used by the fast encode path (a row of this table turns a
+    constant-times-vector multiply into a single fancy-index).
+    """
+    if m > 8:
+        raise FieldTableError(
+            f"dense multiplication table for m={m} would need "
+            f"{(1 << (2 * m)) / 2**20:.0f} MiB; use exp/log tables instead"
+        )
+    exp, log = exp_log_tables(m)
+    order = 1 << m
+    table = np.zeros((order, order), dtype=exp.dtype)
+    nz = np.arange(1, order)
+    logs = log[nz]
+    table[1:, 1:] = exp[logs[:, None] + logs[None, :]]
+    table.setflags(write=False)
+    return table

@@ -1,0 +1,29 @@
+"""Vectorised Monte-Carlo simulators for the paper's experiments.
+
+These complement :mod:`repro.analysis`: the closed forms cover independent
+loss; the simulators here additionally handle the shared-tree and burst
+loss models of Section 4 (Figures 11, 12, 14, 15, 16) and cross-validate
+the analysis everywhere both apply.
+"""
+
+from repro.mc._common import MCResult, PAPER_TIMING, Timing
+from repro.mc.burst import BurstHistogram, burst_length_histogram, run_lengths
+from repro.mc.integrated import (
+    simulate_integrated_immediate,
+    simulate_integrated_rounds,
+)
+from repro.mc.layered import simulate_layered
+from repro.mc.nofec import simulate_nofec
+
+__all__ = [
+    "MCResult",
+    "Timing",
+    "PAPER_TIMING",
+    "simulate_nofec",
+    "simulate_layered",
+    "simulate_integrated_immediate",
+    "simulate_integrated_rounds",
+    "BurstHistogram",
+    "burst_length_histogram",
+    "run_lengths",
+]

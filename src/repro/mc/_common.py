@@ -1,0 +1,79 @@
+"""Shared types for the vectorised Monte-Carlo experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Timing", "PAPER_TIMING", "MCResult", "resolve_rng"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Transmission timing of Figure 13, in seconds.
+
+    * ``packet_interval`` — the paper's ``Delta``: spacing between
+      back-to-back packet transmissions (40 ms, Bolot's 25 pkt/s path).
+    * ``round_gap`` — the paper's ``T``: the feedback/retransmission delay
+      inserted between rounds (300 ms).
+    """
+
+    packet_interval: float = 0.040
+    round_gap: float = 0.300
+
+    def __post_init__(self) -> None:
+        if self.packet_interval <= 0:
+            raise ValueError("packet_interval must be positive")
+        if self.round_gap < 0:
+            raise ValueError("round_gap must be >= 0")
+
+
+#: The Section 4.2 values: Delta = 40 ms, T = 300 ms.
+PAPER_TIMING = Timing()
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """A Monte-Carlo estimate with its sampling uncertainty.
+
+    ``mean`` estimates the paper's E[M] (or whatever the experiment
+    measures); ``stderr`` is the standard error over replications.
+    """
+
+    mean: float
+    stderr: float
+    replications: int
+
+    @property
+    def confidence95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval."""
+        half = 1.96 * self.stderr
+        return self.mean - half, self.mean + half
+
+    def compatible_with(self, expected: float, sigmas: float = 4.0) -> bool:
+        """True if ``expected`` lies within ``sigmas`` standard errors."""
+        if self.stderr == 0.0:
+            return math.isclose(self.mean, expected, rel_tol=1e-9)
+        return abs(self.mean - expected) <= sigmas * self.stderr
+
+
+def summarize(samples: list[float] | np.ndarray) -> MCResult:
+    """Mean and standard error of a vector of per-replication estimates."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("no samples to summarise")
+    stderr = (
+        float(samples.std(ddof=1) / math.sqrt(samples.size))
+        if samples.size > 1
+        else 0.0
+    )
+    return MCResult(float(samples.mean()), stderr, int(samples.size))
+
+
+def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Accept a Generator, a seed, or None (fresh entropy)."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,89 @@
+"""Burst-length statistics for the two-state Markov loss channel (Fig. 14).
+
+Feeds a long packet stream (spacing ``Delta``) through one receiver's loss
+process and histograms the lengths of consecutive-loss runs, comparing the
+bursty channel against the Bernoulli channel of equal loss rate — the
+paper's Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mc._common import resolve_rng
+from repro.sim.loss import BernoulliLoss, GilbertLoss
+
+__all__ = ["BurstHistogram", "burst_length_histogram", "run_lengths"]
+
+
+def run_lengths(lost: np.ndarray) -> np.ndarray:
+    """Lengths of maximal runs of ``True`` in a boolean vector."""
+    lost = np.asarray(lost, dtype=bool)
+    if lost.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    padded = np.concatenate(([False], lost, [False]))
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = changes[::2], changes[1::2]
+    return ends - starts
+
+
+@dataclass(frozen=True)
+class BurstHistogram:
+    """Occurrence counts of loss-burst lengths over a packet stream."""
+
+    lengths: np.ndarray  # 1..max observed
+    occurrences: np.ndarray
+    n_packets: int
+    loss_rate: float
+
+    def as_rows(self) -> list[tuple[int, int]]:
+        return [
+            (int(length), int(count))
+            for length, count in zip(self.lengths, self.occurrences)
+        ]
+
+
+def _histogram(lost: np.ndarray, n_packets: int) -> BurstHistogram:
+    lengths = run_lengths(lost)
+    if lengths.size == 0:
+        return BurstHistogram(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            n_packets, 0.0,
+        )
+    longest = int(lengths.max())
+    counts = np.bincount(lengths, minlength=longest + 1)[1:]
+    return BurstHistogram(
+        np.arange(1, longest + 1),
+        counts,
+        n_packets,
+        float(lost.mean()),
+    )
+
+
+def burst_length_histogram(
+    p: float,
+    n_packets: int = 1_000_000,
+    mean_burst_length: float | None = 2.0,
+    packet_interval: float = 0.040,
+    rng: np.random.Generator | int | None = None,
+) -> BurstHistogram:
+    """Histogram of consecutive-loss run lengths at a single receiver.
+
+    ``mean_burst_length=None`` selects the independent (Bernoulli) channel —
+    the "no burst loss" curve of Figure 14; otherwise the two-state Markov
+    channel with the paper's parameterisation is used.
+    """
+    if n_packets < 1:
+        raise ValueError("need at least one packet")
+    rng = resolve_rng(rng)
+    times = np.arange(n_packets) * packet_interval
+    if mean_burst_length is None:
+        lost = BernoulliLoss(1, p).sample_at(times, rng)[0]
+    else:
+        model = GilbertLoss.from_loss_and_burst(
+            1, p, mean_burst_length, packet_interval
+        )
+        lost = model.sample_chain(times, rng)
+    return _histogram(lost, n_packets)

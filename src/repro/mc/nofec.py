@@ -1,0 +1,68 @@
+"""Monte-Carlo estimate of E[M] for plain ARQ (no FEC).
+
+One packet is (re)transmitted — successive attempts spaced ``Delta + T``
+apart per Figure 13 — until every receiver has a copy.  Works with *any*
+:class:`repro.sim.loss.LossModel`: independent, shared-tree and burst loss
+all flow through the model's incremental sampler, which is the whole point
+(the closed forms only cover the independent cases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mc._common import MCResult, PAPER_TIMING, Timing, resolve_rng, summarize
+from repro.sim.loss import LossModel
+
+__all__ = ["simulate_nofec"]
+
+#: Attempts per incremental sampling chunk.
+_CHUNK = 16
+#: Give up (and fail loudly) after this many attempts for one packet.
+_MAX_ATTEMPTS = 100_000
+
+
+def _one_replication(
+    loss_model: LossModel, timing: Timing, rng: np.random.Generator
+) -> float:
+    """Number of transmissions until all receivers hold the packet."""
+    sampler = loss_model.start(rng)
+    missing = np.ones(loss_model.n_receivers, dtype=bool)
+    spacing = timing.packet_interval + timing.round_gap
+    attempts = 0
+    base = 0.0
+    while attempts < _MAX_ATTEMPTS:
+        times = base + np.arange(_CHUNK) * spacing
+        lost = sampler.sample(times)  # (R, _CHUNK)
+        # per receiver: first successful attempt within the chunk (if any)
+        received = ~lost & missing[:, None]
+        got = received.any(axis=1)
+        missing &= ~got
+        if not missing.any():
+            # last receiver completes at the latest first-success column
+            first_success = np.where(
+                received.any(axis=1), received.argmax(axis=1), -1
+            )
+            last_needed = int(first_success.max())
+            return attempts + last_needed + 1
+        attempts += _CHUNK
+        base = times[-1] + spacing
+    raise RuntimeError(
+        f"packet not delivered to all receivers within {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def simulate_nofec(
+    loss_model: LossModel,
+    replications: int = 200,
+    timing: Timing = PAPER_TIMING,
+    rng: np.random.Generator | int | None = None,
+) -> MCResult:
+    """Estimate E[M] for ARQ without FEC under ``loss_model``."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    rng = resolve_rng(rng)
+    samples = [
+        _one_replication(loss_model, timing, rng) for _ in range(replications)
+    ]
+    return summarize(samples)

@@ -1,0 +1,451 @@
+"""Protocol NP — reliable multicast with parity retransmission (Section 5.1).
+
+The paper's hybrid-ARQ protocol, implemented as event-driven sender and
+receiver state machines on :class:`repro.sim.MulticastNetwork`:
+
+* The sender streams the ``k`` data packets of each transmission group at
+  ``Delta`` spacing, follows each group with ``POLL(i, k)`` and moves on to
+  the next group.
+* A receiver answering ``POLL(i, s)`` while still ``l`` packets short
+  schedules ``NAK(i, l)`` in slot ``s - l`` (needier receivers answer
+  first) and suppresses it if it overhears a NAK asking for at least as
+  much — :class:`repro.protocols.feedback.NakSlotter`.
+* On ``NAK(i, l)`` the sender *interrupts* the group it is currently
+  sending, multicasts ``l`` fresh parities for group ``i`` followed by
+  ``POLL(i, l)``, then resumes — parity repair packets benefit every
+  receiver missing *any* packet of the group, which is the paper's central
+  efficiency argument.
+* A receiver reconstructs a group as soon as it holds any ``k`` of its
+  packets (systematic RSE decode, cost proportional to losses).
+
+Deviations from the paper, all documented in DESIGN.md: when the ``h``
+available parities are exhausted the sender falls back to cycling the
+original data packets (the paper assumes ``h`` large enough or ejects
+receivers; both behaviours are configurable), and an optional watchdog
+timer re-sends NAKs to survive feedback loss (the paper assumes lossless
+feedback).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fec.block import BlockDecoder, BlockEncoder
+from repro.fec.rse import RSECodec
+from repro.protocols.feedback import NakSlotter
+from repro.protocols.packets import DataPacket, Nak, ParityPacket, Poll
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import MulticastNetwork
+
+__all__ = ["NPConfig", "NPSender", "NPReceiver", "ParityExhaustedError"]
+
+
+class ParityExhaustedError(RuntimeError):
+    """Raised when parities run out under the ``error`` exhaustion policy."""
+
+
+@dataclass(frozen=True)
+class NPConfig:
+    """Protocol parameters.
+
+    ``k``/``h`` are the TG size and per-group parity budget; the paper's
+    appendix assumes ``h`` large enough that the sender never runs out.
+    ``exhaustion_policy`` picks the fallback otherwise: ``"arq"`` cycles
+    original data packets (a new "generation" of the group), ``"error"``
+    raises.  ``packet_interval`` is the paper's ``Delta``, ``slot_time`` the
+    NAK slot ``Ts``.  ``nak_watchdog`` (seconds, 0 disables) re-sends an
+    unanswered NAK — only needed when the feedback channel is lossy.
+    """
+
+    k: int = 7
+    h: int = 32
+    packet_size: int = 1024
+    packet_interval: float = 0.040
+    slot_time: float = 0.050
+    nak_watchdog: float = 0.0
+    exhaustion_policy: str = "arq"
+    pre_encode: bool = False
+    interleave_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.h < 0:
+            raise ValueError(f"h must be >= 0, got {self.h}")
+        if self.packet_interval <= 0:
+            raise ValueError("packet_interval must be positive")
+        if self.exhaustion_policy not in ("arq", "error"):
+            raise ValueError(
+                f"unknown exhaustion policy {self.exhaustion_policy!r}; "
+                f"expected 'arq' or 'error'"
+            )
+        if self.interleave_depth < 1:
+            raise ValueError("interleave_depth must be >= 1")
+
+
+@dataclass
+class SenderStats:
+    """Sender-side accounting used for E[M] and throughput metrics."""
+
+    data_sent: int = 0
+    parity_sent: int = 0
+    retransmissions_sent: int = 0
+    polls_sent: int = 0
+    naks_received: int = 0
+    naks_stale: int = 0
+    rounds_served: int = 0
+    parities_encoded: int = 0
+
+    @property
+    def total_payload_sent(self) -> int:
+        return self.data_sent + self.parity_sent + self.retransmissions_sent
+
+
+class NPSender:
+    """Sender state machine for protocol NP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: MulticastNetwork,
+        data: bytes,
+        config: NPConfig = NPConfig(),
+        codec: RSECodec | None = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.codec = codec if codec is not None else RSECodec(config.k, config.h)
+        self.encoder = BlockEncoder(
+            data,
+            config.k,
+            config.h,
+            config.packet_size,
+            codec=self.codec,
+            pre_encode=config.pre_encode,
+        )
+        self.stats = SenderStats()
+        network.attach_sender(self.on_feedback)
+
+        self._repair_queue: deque = deque()  # NAK-triggered, high priority
+        self._data_queue: deque = deque()  # initial group transmissions
+        self._next_parity: dict[int, int] = {}
+        self._fallback_cursor: dict[int, int] = {}
+        self._current_round: dict[int, int] = {}
+        self._pump_handle: EventHandle | None = None
+        self._next_tx_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.encoder)
+
+    @property
+    def total_data_packets(self) -> int:
+        return self.n_groups * self.config.k
+
+    def start(self) -> None:
+        """Enqueue every transmission group and begin pumping packets."""
+        for tg in range(self.n_groups):
+            for index in range(self.config.k):
+                self._data_queue.append(("data", tg, index, 0))
+            self._current_round[tg] = 1
+            self._data_queue.append(("poll", tg, self.config.k, 1))
+            self._next_parity.setdefault(tg, 0)
+            self._fallback_cursor.setdefault(tg, 0)
+        self._arm_pump()
+
+    @property
+    def idle(self) -> bool:
+        return not self._repair_queue and not self._data_queue
+
+    # ------------------------------------------------------------------
+    # transmit pipeline
+    # ------------------------------------------------------------------
+    def _arm_pump(self) -> None:
+        if self._pump_handle is not None or self.idle:
+            return
+        delay = max(0.0, self._next_tx_time - self.sim.now)
+        self._pump_handle = self.sim.schedule(delay, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_handle = None
+        sent_payload = False
+        while not sent_payload:
+            item = self._pop_item()
+            if item is None:
+                return
+            kind = item[0]
+            if kind == "poll":
+                _, tg, sent, round_index = item
+                self.network.multicast_control(Poll(tg, sent, round_index), kind="poll")
+                self.stats.polls_sent += 1
+                self._on_poll_sent(tg, sent, round_index)
+                continue  # polls don't occupy a transmission slot
+            sent_payload = True
+            if kind == "data":
+                _, tg, index, generation = item
+                payload = self.encoder.data_packet(tg, index)
+                wire_kind = "data" if generation == 0 else "retransmission"
+                self.network.multicast(
+                    DataPacket(tg, index, payload, generation), kind=wire_kind
+                )
+                if generation == 0:
+                    self.stats.data_sent += 1
+                else:
+                    self.stats.retransmissions_sent += 1
+            elif kind == "parity":
+                _, tg, index = item
+                payload = self.encoder.parity_packet(tg, index - self.config.k)
+                self.network.multicast(ParityPacket(tg, index, payload), kind="parity")
+                self.stats.parity_sent += 1
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown queue item {item!r}")
+        self._next_tx_time = self.sim.now + self.config.packet_interval
+        self._arm_pump()
+
+    def _pop_item(self):
+        if self._repair_queue:
+            return self._repair_queue.popleft()
+        if self._data_queue:
+            return self._data_queue.popleft()
+        return None
+
+    def _on_poll_sent(self, tg: int, sent: int, round_index: int) -> None:
+        """Hook: a POLL just went out (subclasses observe feedback timing)."""
+
+    # ------------------------------------------------------------------
+    # feedback handling
+    # ------------------------------------------------------------------
+    def on_feedback(self, packet) -> None:
+        if not isinstance(packet, Nak):
+            return
+        self.stats.naks_received += 1
+        tg, needed, round_index = packet.tg, packet.needed, packet.round
+        if tg < 0 or tg >= self.n_groups or needed < 1:
+            return
+        current = self._current_round.get(tg, 1)
+        if round_index != current:
+            # Stale feedback (a suppression miss served moments ago, or a
+            # watchdog retry after a lost poll).  Re-polling is cheap and
+            # lets the receiver restate its need under the current round.
+            self.stats.naks_stale += 1
+            if not self._group_in_flight(tg):
+                self._repair_queue.append(("poll", tg, 0, current))
+                self._arm_pump()
+            return
+        self._serve(tg, needed)
+
+    def _group_in_flight(self, tg: int) -> bool:
+        return any(item[1] == tg for item in self._repair_queue)
+
+    def _serve(self, tg: int, needed: int) -> None:
+        """Queue ``needed`` repair packets for ``tg`` plus the next poll."""
+        config = self.config
+        items: list[tuple] = []
+        cursor = self._next_parity[tg]
+        take = min(needed, config.h - cursor)
+        for offset in range(take):
+            items.append(("parity", tg, config.k + cursor + offset))
+        self._next_parity[tg] = cursor + take
+        self.stats.parities_encoded += take if not config.pre_encode else 0
+
+        shortfall = needed - take
+        if shortfall > 0:
+            if config.exhaustion_policy == "error":
+                raise ParityExhaustedError(
+                    f"group {tg} exhausted its {config.h} parities"
+                )
+            # ARQ fallback: cycle original packets as a new generation.
+            generation = 1 + self._fallback_cursor[tg] // config.k
+            for _ in range(shortfall):
+                index = self._fallback_cursor[tg] % config.k
+                items.append(("data", tg, index, generation))
+                self._fallback_cursor[tg] += 1
+
+        self._current_round[tg] = self._current_round[tg] + 1
+        items.append(("poll", tg, needed, self._current_round[tg]))
+        # Repairs interrupt the ongoing group: they jump the data queue.
+        self._repair_queue.extend(items)
+        self.stats.rounds_served += 1
+        self._arm_pump()
+
+
+@dataclass
+class ReceiverStats:
+    """Receiver-side accounting.
+
+    ``peak_buffered_groups`` / ``peak_buffered_packets`` quantify the
+    appendix's "the buffer at the receivers is sufficient" assumption: the
+    most simultaneously-undecoded groups a receiver held, and the most
+    packets buffered for them at that moment.
+    """
+
+    packets_received: int = 0
+    duplicates: int = 0
+    groups_decoded: int = 0
+    packets_reconstructed: int = 0
+    polls_received: int = 0
+    completion_time: float | None = None
+    peak_buffered_groups: int = 0
+    peak_buffered_packets: int = 0
+
+
+class NPReceiver:
+    """Receiver state machine for protocol NP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: MulticastNetwork,
+        n_groups: int,
+        config: NPConfig = NPConfig(),
+        codec: RSECodec | None = None,
+        rng: np.random.Generator | None = None,
+        on_complete=None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.n_groups = n_groups
+        self.codec = codec if codec is not None else RSECodec(config.k, config.h)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.on_complete = on_complete
+        self.stats = ReceiverStats()
+        self.slotter = NakSlotter(sim, self.rng, config.slot_time)
+        self.receiver_id = network.attach_receiver(self.on_packet)
+
+        self._decoders: dict[int, BlockDecoder] = {}
+        self._delivered: dict[int, list[bytes]] = {}
+        self._watchdogs: dict[int, EventHandle] = {}
+        self._last_round: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return len(self._delivered) == self.n_groups
+
+    def delivered_data(self, total_length: int | None = None) -> bytes:
+        """Reassembled byte stream (requires :attr:`complete`)."""
+        if not self.complete:
+            missing = sorted(set(range(self.n_groups)) - set(self._delivered))
+            raise RuntimeError(f"transfer incomplete; missing groups {missing}")
+        blob = b"".join(
+            packet
+            for tg in range(self.n_groups)
+            for packet in self._delivered[tg]
+        )
+        return blob if total_length is None else blob[:total_length]
+
+    def _decoder_for(self, tg: int) -> BlockDecoder:
+        decoder = self._decoders.get(tg)
+        if decoder is None:
+            decoder = BlockDecoder(self.config.k, self.codec)
+            self._decoders[tg] = decoder
+        return decoder
+
+    # ------------------------------------------------------------------
+    # packet handling
+    # ------------------------------------------------------------------
+    def on_packet(self, packet) -> None:
+        if isinstance(packet, (DataPacket, ParityPacket)):
+            self._on_payload(packet)
+        elif isinstance(packet, Poll):
+            self._on_poll(packet)
+        elif isinstance(packet, Nak):
+            self.slotter.overheard(packet.tg, packet.round, packet.needed)
+
+    def _on_payload(self, packet) -> None:
+        self.stats.packets_received += 1
+        tg = packet.tg
+        self._feed_watchdog(tg)
+        if tg in self._delivered:
+            self.stats.duplicates += 1
+            return
+        decoder = self._decoder_for(tg)
+        before = len(decoder.received)
+        decoder.add(packet.index, packet.payload)
+        if len(decoder.received) == before:
+            self.stats.duplicates += 1
+        if not decoder.decodable:
+            # the group is known-incomplete: if the coming poll gets lost
+            # (lossy control plane) this timer keeps us live by NAKing
+            # spontaneously; any later packet or poll re-feeds it
+            self._arm_watchdog(tg, decoder.missing, self._last_round.get(tg, 1))
+            self.stats.peak_buffered_groups = max(
+                self.stats.peak_buffered_groups, len(self._decoders)
+            )
+            self.stats.peak_buffered_packets = max(
+                self.stats.peak_buffered_packets,
+                sum(len(d.received) for d in self._decoders.values()),
+            )
+        if decoder.decodable:
+            self.stats.packets_reconstructed += decoder.decoding_work()
+            self._delivered[tg] = decoder.reconstruct()
+            self.stats.groups_decoded += 1
+            self.slotter.cancel_group(tg)
+            self._cancel_watchdog(tg)
+            del self._decoders[tg]
+            if self.complete:
+                self.stats.completion_time = self.sim.now
+                if self.on_complete is not None:
+                    self.on_complete(self.receiver_id)
+
+    def _on_poll(self, poll: Poll) -> None:
+        self.stats.polls_received += 1
+        tg = poll.tg
+        self._last_round[tg] = max(self._last_round.get(tg, 1), poll.round)
+        self._feed_watchdog(tg)
+        if tg in self._delivered:
+            return
+        needed = self._decoder_for(tg).missing
+        if needed <= 0:
+            return
+
+        def fire(tg=tg, round_index=poll.round) -> None:
+            # Recompute at slot time: repairs may have arrived meanwhile.
+            if tg in self._delivered:
+                return
+            current = self._decoder_for(tg).missing
+            if current > 0:
+                self._send_nak(tg, current, round_index)
+
+        self.slotter.schedule(tg, poll.round, poll.sent, needed, fire)
+
+    def _send_nak(self, tg: int, needed: int, round_index: int) -> None:
+        self.network.multicast_feedback(
+            Nak(tg, needed, round_index), origin=self.receiver_id
+        )
+        self._arm_watchdog(tg, needed, round_index)
+
+    # ------------------------------------------------------------------
+    # watchdog (feedback-loss robustness; disabled by default)
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, tg: int, needed: int, round_index: int) -> None:
+        if self.config.nak_watchdog <= 0:
+            return
+        self._cancel_watchdog(tg)
+        self._watchdogs[tg] = self.sim.schedule(
+            self.config.nak_watchdog,
+            lambda: self._watchdog_fired(tg, round_index),
+        )
+
+    def _watchdog_fired(self, tg: int, round_index: int) -> None:
+        self._watchdogs.pop(tg, None)
+        if tg in self._delivered:
+            return
+        needed = self._decoder_for(tg).missing
+        if needed > 0:
+            self._send_nak(tg, needed, round_index)
+
+    def _feed_watchdog(self, tg: int) -> None:
+        # any sign of life for the group means the sender heard us
+        self._cancel_watchdog(tg)
+
+    def _cancel_watchdog(self, tg: int) -> None:
+        handle = self._watchdogs.pop(tg, None)
+        if handle is not None:
+            handle.cancel()

@@ -1,0 +1,95 @@
+"""Packet types exchanged by the protocol state machines.
+
+All packets are small frozen dataclasses; payloads are ``bytes``.  The
+block index convention follows the FEC block layout of Section 2.1: indices
+``0..k-1`` are data packets, ``k..n-1`` parities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DataPacket",
+    "ParityPacket",
+    "Poll",
+    "Nak",
+    "SelectiveNak",
+    "Retransmission",
+]
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """An original data packet: position ``index < k`` of group ``tg``.
+
+    ``generation`` counts retransmission incarnations of the group (0 for
+    the first transmission); receivers treat all generations alike.
+    """
+
+    tg: int
+    index: int
+    payload: bytes = b""
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class ParityPacket:
+    """A parity packet: position ``index >= k`` of group ``tg``'s FEC block."""
+
+    tg: int
+    index: int
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class Poll:
+    """Sender's end-of-round poll ``POLL(i, s)`` (Section 5.1).
+
+    ``sent`` is the number of packets transmitted for the group in the round
+    just finished — receivers use it to place their NAK slot.  ``round``
+    identifies the round so stale feedback can be discarded.
+    """
+
+    tg: int
+    sent: int
+    round: int
+
+
+@dataclass(frozen=True)
+class Nak:
+    """Receiver feedback ``NAK(i, l)``: ``needed`` packets still missing.
+
+    Protocol NP's key property: the NAK carries only a *count*, never
+    sequence numbers — any ``needed`` new parities will repair the group.
+    """
+
+    tg: int
+    needed: int
+    round: int
+
+
+@dataclass(frozen=True)
+class SelectiveNak:
+    """Per-packet feedback used by the non-FEC baseline N2.
+
+    Carries the explicit sequence numbers (block indices) of the missing
+    data packets — the per-packet feedback NP exists to avoid.
+    """
+
+    tg: int
+    missing: tuple[int, ...]
+    round: int
+
+    @property
+    def needed(self) -> int:
+        return len(self.missing)
+
+
+@dataclass(frozen=True)
+class Retransmission:
+    """A retransmitted original (N2 repair), distinct for accounting."""
+
+    tg: int
+    index: int
+    payload: bytes = b""

@@ -1,0 +1,60 @@
+"""Simulation substrate: event engine, loss models, trees, network.
+
+* :class:`repro.sim.Simulator` — discrete-event scheduler;
+* :mod:`repro.sim.loss` — the paper's four loss behaviours;
+* :mod:`repro.sim.tree` — multicast-tree builders;
+* :class:`repro.sim.MulticastNetwork` — event-driven transport for the
+  protocol state machines.
+"""
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.loss import (
+    BernoulliLoss,
+    ScriptedLoss,
+    BurstyTreeLoss,
+    FullBinaryTreeLoss,
+    GilbertLoss,
+    HeterogeneousLoss,
+    LossModel,
+    LossSampler,
+    TreeLoss,
+    two_class_probabilities,
+)
+from repro.sim.network import MulticastNetwork, NetworkStats
+from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.sim.tree import (
+    full_binary_tree,
+    full_kary_tree,
+    leaves_of,
+    linear_chain,
+    path_to_root,
+    random_multicast_tree,
+    star_topology,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "LossModel",
+    "LossSampler",
+    "BernoulliLoss",
+    "HeterogeneousLoss",
+    "two_class_probabilities",
+    "GilbertLoss",
+    "FullBinaryTreeLoss",
+    "BurstyTreeLoss",
+    "ScriptedLoss",
+    "TreeLoss",
+    "MulticastNetwork",
+    "NetworkStats",
+    "TraceRecorder",
+    "TraceEvent",
+    "full_binary_tree",
+    "full_kary_tree",
+    "linear_chain",
+    "star_topology",
+    "random_multicast_tree",
+    "leaves_of",
+    "path_to_root",
+]

@@ -1,0 +1,126 @@
+"""A small discrete-event simulation engine.
+
+Everything event-driven in this repository (the NP and N2 protocol machines,
+the example applications) runs on this scheduler.  It is intentionally
+minimal: a monotonic simulated clock, a binary-heap event queue with stable
+FIFO ordering for simultaneous events, and cancellable timers — the three
+things a NAK-suppression protocol actually needs.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.schedule(2.0, lambda: fired.append(sim.now))
+>>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (negative delays, runaway event loops)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event scheduler with a floating-point clock.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve: :meth:`run` raises :class:`SimulationError` after this
+        many dispatched events, catching protocol livelocks in tests instead
+        of hanging them.
+    """
+
+    def __init__(self, max_events: int = 50_000_000):
+        self.now = 0.0
+        self.max_events = max_events
+        self.events_dispatched = 0
+        self._queue: list[_QueueEntry] = []
+        self._sequence = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), handle))
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self.now = entry.time
+            self.events_dispatched += 1
+            if self.events_dispatched > self.max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {self.max_events} events — "
+                    f"likely a protocol livelock"
+                )
+            entry.handle.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue empties or the clock would pass ``until``."""
+        if until is None:
+            while self.step():
+                pass
+            return
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if entry.time > until:
+                break
+            self.step()
+        self.now = max(self.now, until)

@@ -1,0 +1,582 @@
+"""Packet-loss models.
+
+The paper evaluates FEC/ARQ combinations under four loss behaviours; each is
+a :class:`LossModel` here:
+
+* **independent homogeneous** loss — :class:`BernoulliLoss` (Section 3),
+* **independent heterogeneous** loss — :class:`HeterogeneousLoss` with the
+  two-class populations of Section 3.3,
+* **spatially correlated (shared)** loss on a full binary tree —
+  :class:`FullBinaryTreeLoss` (Section 4.1), plus :class:`TreeLoss` for
+  arbitrary multicast trees,
+* **temporally correlated (burst)** loss from a two-state continuous-time
+  Markov chain — :class:`GilbertLoss` (Section 4.2, Bolot's channel).
+
+Every model answers one question: *given packet transmissions at simulated
+times ``t_1 < ... < t_T``, which receivers lose which transmissions?*  The
+answer is a boolean ``(R, T)`` matrix from :meth:`LossModel.sample_at`
+(``True`` means lost), which both the vectorised Monte-Carlo experiments and
+the event-driven protocol network consume.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "LossModel",
+    "LossSampler",
+    "BernoulliLoss",
+    "HeterogeneousLoss",
+    "two_class_probabilities",
+    "GilbertLoss",
+    "GilbertSampler",
+    "ScriptedLoss",
+    "BurstyTreeLoss",
+    "FullBinaryTreeLoss",
+    "TreeLoss",
+]
+
+
+def _validate_times(times: np.ndarray) -> np.ndarray:
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1:
+        raise ValueError(f"times must be a 1-D array, got shape {times.shape}")
+    if times.size > 1 and np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    return times
+
+
+class LossModel(ABC):
+    """Base class: a joint loss process over ``n_receivers`` receivers."""
+
+    def __init__(self, n_receivers: int):
+        if n_receivers < 1:
+            raise ValueError(f"need at least one receiver, got {n_receivers}")
+        self.n_receivers = n_receivers
+
+    @abstractmethod
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample loss indicators at the given transmission times.
+
+        Returns a boolean array of shape ``(n_receivers, len(times))`` where
+        ``True`` marks a lost packet.  Successive calls are independent
+        realisations of the process.
+        """
+
+    @abstractmethod
+    def marginal_loss_probability(self) -> np.ndarray:
+        """Per-receiver stationary packet-loss probability, shape ``(R,)``."""
+
+    def sample_one(self, time: float, rng: np.random.Generator) -> np.ndarray:
+        """Loss vector for a single transmission at ``time`` (shape ``(R,)``)."""
+        return self.sample_at(np.array([time]), rng)[:, 0]
+
+    def start(self, rng: np.random.Generator) -> "LossSampler":
+        """Begin *one realisation* of the process for incremental sampling.
+
+        Unlike :meth:`sample_at`, successive :meth:`LossSampler.sample`
+        calls on the returned object continue the same realisation — which
+        matters for temporally-correlated models, where the chain state must
+        carry across retransmission rounds.  Models without temporal
+        correlation return a stateless wrapper.
+        """
+        return _MemorylessSampler(self, rng)
+
+
+class LossSampler:
+    """One realisation of a loss process, sampled forward in time."""
+
+    def __init__(self, model: "LossModel"):
+        self.model = model
+        self.last_time = -math.inf
+
+    def _check_forward(self, times: np.ndarray) -> np.ndarray:
+        times = _validate_times(times)
+        if times.size and times[0] < self.last_time:
+            raise ValueError(
+                f"sampler already advanced to t={self.last_time}; "
+                f"cannot sample at earlier t={times[0]}"
+            )
+        if times.size:
+            self.last_time = float(times[-1])
+        return times
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Loss matrix ``(R, len(times))`` for further transmissions."""
+        raise NotImplementedError
+
+
+class _MemorylessSampler(LossSampler):
+    """Sampler for models with no temporal correlation."""
+
+    def __init__(self, model: LossModel, rng: np.random.Generator):
+        super().__init__(model)
+        self.rng = rng
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        times = self._check_forward(times)
+        return self.model.sample_at(times, self.rng)
+
+
+class BernoulliLoss(LossModel):
+    """Independent, homogeneous loss: every packet at every receiver is lost
+    with probability ``p``, independently in space and time (Section 3)."""
+
+    def __init__(self, n_receivers: int, p: float):
+        super().__init__(n_receivers)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        times = _validate_times(times)
+        return rng.random((self.n_receivers, times.size)) < self.p
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        return np.full(self.n_receivers, self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BernoulliLoss(R={self.n_receivers}, p={self.p})"
+
+
+class HeterogeneousLoss(LossModel):
+    """Independent loss with a per-receiver probability vector ``p(r)``."""
+
+    def __init__(self, probabilities: np.ndarray):
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.ndim != 1:
+            raise ValueError("probabilities must be a 1-D vector")
+        if np.any((probabilities < 0) | (probabilities >= 1)):
+            raise ValueError("all loss probabilities must be in [0, 1)")
+        super().__init__(probabilities.size)
+        self.probabilities = probabilities
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        times = _validate_times(times)
+        draws = rng.random((self.n_receivers, times.size))
+        return draws < self.probabilities[:, None]
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        return self.probabilities.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"HeterogeneousLoss(R={self.n_receivers})"
+
+
+def two_class_probabilities(
+    n_receivers: int,
+    fraction_high: float,
+    p_low: float = 0.01,
+    p_high: float = 0.25,
+) -> np.ndarray:
+    """The two-class population of Section 3.3.
+
+    ``round(fraction_high * R)`` receivers get loss probability ``p_high``
+    (placed at the end of the vector), the rest ``p_low``.
+    """
+    if not 0.0 <= fraction_high <= 1.0:
+        raise ValueError(f"fraction_high must be in [0, 1], got {fraction_high}")
+    n_high = int(round(fraction_high * n_receivers))
+    probabilities = np.full(n_receivers, p_low)
+    if n_high:
+        probabilities[n_receivers - n_high:] = p_high
+    return probabilities
+
+
+class GilbertLoss(LossModel):
+    """Two-state continuous-time Markov burst-loss channel (Section 4.2).
+
+    State 0 is *good* (no loss), state 1 is *bad* (every packet sent while
+    the chain is in state 1 is lost).  ``rate_good_to_bad`` is the paper's
+    ``lambda_0`` and ``rate_bad_to_good`` its ``lambda_1``; the stationary
+    loss probability is ``lambda_0 / (lambda_0 + lambda_1)``.
+
+    Each receiver runs an independent chain; chains start in their
+    stationary distribution.
+    """
+
+    def __init__(self, n_receivers: int, rate_good_to_bad: float, rate_bad_to_good: float):
+        super().__init__(n_receivers)
+        if rate_good_to_bad <= 0 or rate_bad_to_good <= 0:
+            raise ValueError("both transition rates must be positive")
+        self.rate_good_to_bad = rate_good_to_bad
+        self.rate_bad_to_good = rate_bad_to_good
+
+    @classmethod
+    def from_loss_and_burst(
+        cls,
+        n_receivers: int,
+        p: float,
+        mean_burst_length: float,
+        packet_interval: float,
+    ) -> "GilbertLoss":
+        """The paper's parameterisation.
+
+        Given packet-loss probability ``p``, mean number of *consecutively
+        lost packets* ``mean_burst_length`` and packet spacing
+        ``packet_interval`` (the paper's ``Delta``), set
+
+        ``lambda_1 = -(1/Delta) * ln(1 - 1/mean_burst)`` so that a packet
+        following a lost packet is again lost with probability
+        ``1 - 1/mean_burst`` (geometric bursts of the right mean), and
+        ``lambda_0 = lambda_1 * p / (1 - p)`` so the stationary loss
+        probability is ``p``.
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        if mean_burst_length <= 1.0:
+            raise ValueError(
+                f"mean burst length must exceed 1 packet, got {mean_burst_length}"
+            )
+        if packet_interval <= 0:
+            raise ValueError("packet_interval must be positive")
+        rate_bad_to_good = -math.log(1.0 - 1.0 / mean_burst_length) / packet_interval
+        rate_good_to_bad = rate_bad_to_good * p / (1.0 - p)
+        return cls(n_receivers, rate_good_to_bad, rate_bad_to_good)
+
+    # -- stationary quantities -----------------------------------------
+    @property
+    def stationary_loss_probability(self) -> float:
+        total = self.rate_good_to_bad + self.rate_bad_to_good
+        return self.rate_good_to_bad / total
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        return np.full(self.n_receivers, self.stationary_loss_probability)
+
+    def transition_probabilities(self, gap: float) -> tuple[float, float]:
+        """``(P(bad | was good), P(bad | was bad))`` after time ``gap``."""
+        total = self.rate_good_to_bad + self.rate_bad_to_good
+        pi_bad = self.rate_good_to_bad / total
+        decay = math.exp(-total * gap)
+        p_bad_from_good = pi_bad * (1.0 - decay)
+        p_bad_from_bad = pi_bad + (1.0 - pi_bad) * decay
+        return p_bad_from_good, p_bad_from_bad
+
+    # -- sampling -------------------------------------------------------
+    def start(self, rng: np.random.Generator) -> "GilbertSampler":
+        return GilbertSampler(self, rng)
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Stepwise sampling: vectorised over receivers, sequential in time.
+
+        Efficient when the number of transmission instants is moderate (the
+        protocol experiments).  For very long single-receiver traces use
+        :meth:`sample_chain`.
+        """
+        return GilbertSampler(self, rng).sample(times)
+
+    def sample_chain(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Single-chain sampling via exponential sojourn times.
+
+        Cost is proportional to the number of *state changes*, not the number
+        of packets, which makes million-packet traces (Figure 14) cheap.
+        Returns a boolean vector of length ``len(times)``.
+        """
+        times = _validate_times(times)
+        if times.size == 0:
+            return np.zeros(0, dtype=bool)
+        horizon = float(times[-1])
+        state = bool(rng.random() < self.stationary_loss_probability)
+
+        boundaries = [0.0]
+        states = [state]
+        t = 0.0
+        while t <= horizon:
+            rate = self.rate_bad_to_good if state else self.rate_good_to_bad
+            t += rng.exponential(1.0 / rate)
+            boundaries.append(t)
+            state = not state
+            states.append(state)
+        # interval i is [boundaries[i], boundaries[i+1]) with states[i]
+        interval = np.searchsorted(np.asarray(boundaries), times, side="right") - 1
+        return np.asarray(states, dtype=bool)[interval]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"GilbertLoss(R={self.n_receivers}, "
+            f"l0={self.rate_good_to_bad:.4g}, l1={self.rate_bad_to_good:.4g})"
+        )
+
+
+class GilbertSampler(LossSampler):
+    """Stateful per-receiver Markov chains, advanced call by call.
+
+    The chains start in the stationary distribution on the first sample and
+    thereafter evolve with the exact two-state CTMC transition probabilities
+    over each inter-packet gap — including the gaps *between* successive
+    :meth:`sample` calls, so retransmission rounds see the correlated state
+    they would in a continuous simulation.
+    """
+
+    def __init__(self, model: GilbertLoss, rng: np.random.Generator):
+        super().__init__(model)
+        self.model: GilbertLoss = model
+        self.rng = rng
+        self._states: np.ndarray | None = None  # lazily drawn, (R,) bool
+        self._state_time = 0.0
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        times = self._check_forward(times)
+        model = self.model
+        lost = np.empty((model.n_receivers, times.size), dtype=bool)
+        for j, t in enumerate(times):
+            if self._states is None:
+                pi_bad = model.stationary_loss_probability
+                self._states = self.rng.random(model.n_receivers) < pi_bad
+            else:
+                gap = float(t) - self._state_time
+                if gap > 0:
+                    p_from_good, p_from_bad = model.transition_probabilities(gap)
+                    threshold = np.where(self._states, p_from_bad, p_from_good)
+                    self._states = self.rng.random(model.n_receivers) < threshold
+            self._state_time = float(t)
+            lost[:, j] = self._states
+        return lost
+
+
+class FullBinaryTreeLoss(LossModel):
+    """Shared loss on a full binary tree of height ``d`` (Section 4.1).
+
+    The source sits at the root, the ``R = 2^d`` receivers at the leaves and
+    *every* node (root and leaves included) independently drops each packet
+    with probability ``p_node``, chosen so that each receiver's end-to-end
+    loss probability equals ``p``::
+
+        p = 1 - (1 - p_node)**(d + 1)
+
+    A drop at an interior node is shared by its whole subtree, producing the
+    spatial correlation the section studies.  There is no temporal
+    correlation: transmissions are independent.
+    """
+
+    def __init__(self, depth: int, p: float):
+        if depth < 0:
+            raise ValueError(f"tree height must be >= 0, got {depth}")
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {p}")
+        super().__init__(2**depth)
+        self.depth = depth
+        self.p = p
+        self.p_node = 1.0 - (1.0 - p) ** (1.0 / (depth + 1))
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        times = _validate_times(times)
+        n = times.size
+        survive = rng.random((1, n)) >= self.p_node  # the root / source node
+        for level in range(1, self.depth + 1):
+            survive = np.repeat(survive, 2, axis=0)
+            survive &= rng.random((2**level, n)) >= self.p_node
+        return ~survive
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        return np.full(self.n_receivers, self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FullBinaryTreeLoss(d={self.depth}, p={self.p})"
+
+
+class ScriptedLoss(LossModel):
+    """Deterministic loss from an explicit schedule (testing aid).
+
+    ``schedule`` is a boolean ``(R, T)`` matrix; the j-th transmission
+    (regardless of its timestamp) uses column ``j``.  Transmissions beyond
+    the schedule are lossless.  Sampling consumes columns statefully via
+    :meth:`start`; the stateless :meth:`sample_at` starts a fresh cursor.
+
+    This exists so protocol tests can force exact loss patterns — "the
+    second parity is lost at receiver 3" — instead of fishing for seeds.
+    """
+
+    def __init__(self, schedule):
+        schedule = np.asarray(schedule, dtype=bool)
+        if schedule.ndim != 2:
+            raise ValueError("schedule must be a 2-D (receivers, packets) matrix")
+        super().__init__(schedule.shape[0])
+        self.schedule = schedule
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.start(rng).sample(times)
+
+    def start(self, rng: np.random.Generator) -> "_ScriptedSampler":
+        return _ScriptedSampler(self)
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        if self.schedule.shape[1] == 0:
+            return np.zeros(self.n_receivers)
+        return self.schedule.mean(axis=1)
+
+
+class _ScriptedSampler(LossSampler):
+    def __init__(self, model: ScriptedLoss):
+        super().__init__(model)
+        self.model: ScriptedLoss = model
+        self._cursor = 0
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        times = self._check_forward(times)
+        count = times.size
+        out = np.zeros((self.model.n_receivers, count), dtype=bool)
+        available = self.model.schedule.shape[1]
+        take = max(0, min(count, available - self._cursor))
+        if take:
+            out[:, :take] = self.model.schedule[
+                :, self._cursor: self._cursor + take
+            ]
+        self._cursor += count
+        return out
+
+
+class BurstyTreeLoss(LossModel):
+    """Spatially *and* temporally correlated loss: Gilbert chains at nodes.
+
+    The paper studies shared loss (Section 4.1) and burst loss (Section
+    4.2) separately; real congested routers produce both at once.  This
+    model runs an independent two-state Markov chain at every node of a
+    full binary tree: while a node's chain is in the bad state the node
+    drops every packet, so a congested interior router produces loss
+    bursts shared by its whole subtree.
+
+    Parameterisation mirrors :meth:`GilbertLoss.from_loss_and_burst`, with
+    the per-node stationary loss chosen so the end-to-end rate is ``p``;
+    the mean burst length applies at each node.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        p: float,
+        mean_burst_length: float = 2.0,
+        packet_interval: float = 0.040,
+    ):
+        if depth < 0:
+            raise ValueError(f"tree height must be >= 0, got {depth}")
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        super().__init__(2**depth)
+        self.depth = depth
+        self.p = p
+        self.p_node = 1.0 - (1.0 - p) ** (1.0 / (depth + 1))
+        self.n_nodes = 2 ** (depth + 1) - 1
+        # one Gilbert process shared by all nodes' chains (they only need
+        # the common rates; states are sampled per node)
+        self._node_chain = GilbertLoss.from_loss_and_burst(
+            self.n_nodes, self.p_node, mean_burst_length, packet_interval
+        )
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.start(rng).sample(times)
+
+    def start(self, rng: np.random.Generator) -> "BurstyTreeSampler":
+        return BurstyTreeSampler(self, rng)
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        return np.full(self.n_receivers, self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BurstyTreeLoss(d={self.depth}, p={self.p})"
+
+
+class BurstyTreeSampler(LossSampler):
+    """One realisation: per-node Gilbert chains propagated down the tree."""
+
+    def __init__(self, model: BurstyTreeLoss, rng: np.random.Generator):
+        super().__init__(model)
+        self.model: BurstyTreeLoss = model
+        self._node_sampler = model._node_chain.start(rng)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        times = self._check_forward(times)
+        node_bad = self._node_sampler.sample(times)  # (n_nodes, T)
+        # level-order layout: node 0 is the root, children of i are 2i+1/2i+2
+        survive = ~node_bad[0:1]
+        offset = 1
+        for level in range(1, self.model.depth + 1):
+            width = 2**level
+            level_ok = ~node_bad[offset: offset + width]
+            survive = np.repeat(survive, 2, axis=0) & level_ok
+            offset += width
+        return ~survive
+
+
+class TreeLoss(LossModel):
+    """Shared loss on an arbitrary multicast tree.
+
+    Parameters
+    ----------
+    tree:
+        A ``networkx.DiGraph`` that is an out-tree rooted at ``source``.
+    source:
+        Root node (the sender).
+    receivers:
+        The receiver nodes, in the order receiver indices should follow.
+        Defaults to the leaves of the tree in sorted order.
+    node_loss:
+        Either a scalar loss probability applied to every node, or a mapping
+        ``node -> probability``.  As in the FBT model, a loss at a node
+        affects its entire subtree (the node itself included; set the
+        source's probability to 0 to model a loss-free sender).
+    """
+
+    def __init__(self, tree, source, receivers=None, node_loss=0.01):
+        import networkx as nx
+
+        if not nx.is_arborescence(tree):
+            raise ValueError("tree must be an arborescence (rooted out-tree)")
+        if source not in tree:
+            raise ValueError(f"source {source!r} not in tree")
+        if next(iter(nx.topological_sort(tree))) != source:
+            raise ValueError(f"{source!r} is not the root of the tree")
+        if receivers is None:
+            receivers = sorted(
+                node for node in tree if tree.out_degree(node) == 0
+            )
+        receivers = list(receivers)
+        super().__init__(len(receivers))
+        self.tree = tree
+        self.source = source
+        self.receivers = receivers
+
+        self._order = list(nx.topological_sort(tree))
+        self._index = {node: i for i, node in enumerate(self._order)}
+        self._parent = np.full(len(self._order), -1, dtype=np.int64)
+        for node in self._order:
+            for child in tree.successors(node):
+                self._parent[self._index[child]] = self._index[node]
+        if np.isscalar(node_loss):
+            self._node_p = np.full(len(self._order), float(node_loss))
+        else:
+            self._node_p = np.array(
+                [float(node_loss[node]) for node in self._order]
+            )
+        if np.any((self._node_p < 0) | (self._node_p >= 1)):
+            raise ValueError("node loss probabilities must be in [0, 1)")
+        self._receiver_rows = np.array([self._index[r] for r in receivers])
+
+    def sample_at(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        times = _validate_times(times)
+        n = times.size
+        n_nodes = len(self._order)
+        survive = rng.random((n_nodes, n)) >= self._node_p[:, None]
+        for i in range(1, n_nodes):  # topological order: parents first
+            parent = self._parent[i]
+            if parent >= 0:
+                survive[i] &= survive[parent]
+        return ~survive[self._receiver_rows]
+
+    def marginal_loss_probability(self) -> np.ndarray:
+        out = np.empty(self.n_receivers)
+        for j, row in enumerate(self._receiver_rows):
+            survive = 1.0
+            i = int(row)
+            while i >= 0:
+                survive *= 1.0 - self._node_p[i]
+                i = int(self._parent[i])
+            out[j] = 1.0 - survive
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"TreeLoss(R={self.n_receivers}, nodes={len(self._order)})"

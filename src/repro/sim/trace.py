@@ -1,0 +1,141 @@
+"""Packet-level event tracing for protocol debugging and analysis.
+
+A :class:`TraceRecorder` hooks the :class:`repro.sim.network.MulticastNetwork`
+send paths and records a timeline of everything on the wire.  Used by the
+test-suite to assert ordering/timing properties of the protocol machines
+and handy when digging into a protocol pathology::
+
+    recorder = TraceRecorder(sim)
+    recorder.attach(network)
+    ... run the transfer ...
+    for event in recorder.query(kind="nak"):
+        print(event)
+    print(recorder.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sim.engine import Simulator
+from repro.sim.network import MulticastNetwork
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One wire event: what was sent, when, over which channel."""
+
+    time: float
+    channel: str  # "downstream" | "control" | "feedback"
+    kind: str  # "data" | "parity" | "poll" | "nak" | ...
+    packet: Any
+    sequence: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:10.4f}s] {self.channel:10s} {self.kind:8s} {self.packet}"
+
+
+class TraceRecorder:
+    """Records every transmission passing through an attached network.
+
+    Attaching wraps the network's ``multicast`` / ``multicast_control`` /
+    ``multicast_feedback`` methods; :meth:`detach` restores them.  The
+    recorder is purely observational — packet delivery is unchanged.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None):
+        self.sim = sim
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self._attached: list[tuple[MulticastNetwork, dict]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, network: MulticastNetwork) -> None:
+        """Start recording the given network's transmissions."""
+        originals = {
+            "multicast": network.multicast,
+            "multicast_control": network.multicast_control,
+            "multicast_feedback": network.multicast_feedback,
+        }
+
+        def wrap_downstream(packet, kind="data"):
+            self._record("downstream", kind, packet)
+            return originals["multicast"](packet, kind)
+
+        def wrap_control(packet, kind="poll"):
+            self._record("control", kind, packet)
+            return originals["multicast_control"](packet, kind)
+
+        def wrap_feedback(packet, origin, kind="nak"):
+            self._record("feedback", kind, packet)
+            return originals["multicast_feedback"](packet, origin, kind)
+
+        network.multicast = wrap_downstream
+        network.multicast_control = wrap_control
+        network.multicast_feedback = wrap_feedback
+        self._attached.append((network, originals))
+
+    def detach(self) -> None:
+        """Restore every attached network's original send methods."""
+        for network, originals in self._attached:
+            network.multicast = originals["multicast"]
+            network.multicast_control = originals["multicast_control"]
+            network.multicast_feedback = originals["multicast_feedback"]
+        self._attached.clear()
+
+    def _record(self, channel: str, kind: str, packet: Any) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(self.sim.now, channel, kind, packet, len(self.events))
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def query(
+        self,
+        channel: str | None = None,
+        kind: str | None = None,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> Iterator[TraceEvent]:
+        """Filtered view of the timeline (all filters optional)."""
+        for event in self.events:
+            if channel is not None and event.channel != channel:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if not since <= event.time <= until:
+                continue
+            yield event
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def inter_send_gaps(self, kind: str | None = None) -> list[float]:
+        """Gaps between consecutive downstream transmissions (pacing check)."""
+        times = [
+            event.time
+            for event in self.query(channel="downstream", kind=kind)
+        ]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def summary(self) -> str:
+        parts = [f"{len(self.events)} events"]
+        parts.extend(
+            f"{kind}={count}" for kind, count in sorted(self.kinds().items())
+        )
+        if self.dropped_events:
+            parts.append(f"dropped={self.dropped_events}")
+        return ", ".join(parts)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fec.rse import RSECodec
+from repro.galois.field import GF16, GF256, GF65536
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; reseed per test for reproducibility."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=[GF16, GF256, GF65536], ids=["GF16", "GF256", "GF65536"])
+def field(request):
+    """The three standard fields, parametrised."""
+    return request.param
+
+
+@pytest.fixture
+def small_codec() -> RSECodec:
+    """The paper's favourite configuration: k = 7 with 3 parities."""
+    return RSECodec(k=7, h=3)
+
+
+def random_packets(rng: np.random.Generator, count: int, size: int = 64) -> list[bytes]:
+    """Helper used across FEC tests: ``count`` random packets of ``size``."""
+    return [rng.bytes(size) for _ in range(count)]

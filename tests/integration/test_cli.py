@@ -1,0 +1,46 @@
+"""Integration: the `python -m repro.experiments` command-line driver."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "fig18" in out
+        assert "analysis" in out and "simulation" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "layered" in out
+        assert "integrated" in out
+        assert "completed in" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["fig17", "fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "fig17" in out and "fig18" in out
+
+    def test_csv_output(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["fig05", "--csv", str(out_dir)]) == 0
+        csv_path = out_dir / "fig05.csv"
+        assert csv_path.exists()
+        content = csv_path.read_text()
+        assert content.startswith("figure,series,x,y,stderr")
+        assert "fig05,integrated" in content
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "figure ids" in err
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            main(["fig99"])

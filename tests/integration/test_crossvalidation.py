@@ -1,0 +1,126 @@
+"""Integration: Monte-Carlo simulators vs closed-form analysis.
+
+Wherever both a simulator and an equation cover the same scenario, they
+must agree within sampling error.  This is the strongest internal
+consistency check the reproduction has — a bug in either side breaks it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import integrated, layered, nofec
+from repro.mc import (
+    simulate_integrated_immediate,
+    simulate_integrated_rounds,
+    simulate_layered,
+    simulate_nofec,
+)
+from repro.sim.loss import BernoulliLoss, FullBinaryTreeLoss, HeterogeneousLoss
+
+
+class TestNoFecAgreement:
+    @pytest.mark.parametrize("r,p", [(1, 0.1), (10, 0.05), (100, 0.02), (500, 0.01)])
+    def test_bernoulli(self, r, p):
+        result = simulate_nofec(BernoulliLoss(r, p), 600, rng=100 + r)
+        assert result.compatible_with(nofec.expected_transmissions(p, r))
+
+    def test_heterogeneous(self):
+        probabilities = np.concatenate([np.full(45, 0.01), np.full(5, 0.25)])
+        result = simulate_nofec(HeterogeneousLoss(probabilities), 800, rng=7)
+        expected = nofec.expected_transmissions_heterogeneous(probabilities)
+        assert result.compatible_with(expected)
+
+
+class TestLayeredAgreement:
+    @pytest.mark.parametrize("k,h,r", [(7, 1, 50), (7, 2, 200), (20, 3, 100)])
+    def test_bernoulli(self, k, h, r):
+        p = 0.02
+        result = simulate_layered(BernoulliLoss(r, p), k, h, 500, rng=200 + r)
+        expected = layered.expected_transmissions(k, k + h, p, r)
+        assert result.compatible_with(expected)
+
+
+class TestIntegratedAgreement:
+    @pytest.mark.parametrize("k,r", [(7, 10), (7, 300), (20, 100)])
+    def test_immediate_matches_lower_bound(self, k, r):
+        p = 0.02
+        result = simulate_integrated_immediate(
+            BernoulliLoss(r, p), k, 700, rng=300 + r
+        )
+        expected = integrated.expected_transmissions_lower_bound(k, p, r)
+        assert result.compatible_with(expected)
+
+    def test_rounds_scheme_matches_lower_bound_too(self):
+        # with memoryless loss the round pacing cannot matter
+        k, p, r = 7, 0.05, 100
+        result = simulate_integrated_rounds(BernoulliLoss(r, p), k, 700, rng=9)
+        expected = integrated.expected_transmissions_lower_bound(k, p, r)
+        assert result.compatible_with(expected)
+
+    def test_proactive_parities(self):
+        k, p, r, a = 10, 0.05, 50, 2
+        result = simulate_integrated_immediate(
+            BernoulliLoss(r, p), k, 800, rng=10, initial_parities=a
+        )
+        expected = integrated.expected_transmissions_lower_bound(k, p, r, a)
+        assert result.compatible_with(expected)
+
+
+class TestSharedLossStructure:
+    """Section 4.1's qualitative claims, checked quantitatively."""
+
+    def test_shared_loss_reduces_transmissions(self):
+        depth, p = 8, 0.01  # R = 256
+        r = 2**depth
+        fbt_result = simulate_nofec(FullBinaryTreeLoss(depth, p), 400, rng=11)
+        independent = nofec.expected_transmissions(p, r)
+        assert fbt_result.mean < independent
+
+    def test_fully_shared_equals_single_receiver(self):
+        # a chain where only the root drops: every receiver loses together,
+        # so the group behaves like one receiver (the paper's extreme case)
+        from repro.sim.loss import TreeLoss
+        from repro.sim.tree import star_topology
+
+        p = 0.1
+        tree = star_topology(64)
+        node_loss = {node: (p if node == 0 else 0.0) for node in tree}
+        model = TreeLoss(tree, 0, node_loss=node_loss)
+        result = simulate_nofec(model, 2000, rng=12)
+        single = nofec.expected_transmissions(p, 1)
+        assert result.compatible_with(single)
+
+    def test_effective_population_shrinks(self):
+        # FBT at R=2^10 behaves like fewer independent receivers: its E[M]
+        # must correspond to some R_eff < R under the independent model
+        depth, p = 10, 0.01
+        fbt_result = simulate_nofec(FullBinaryTreeLoss(depth, p), 300, rng=13)
+        r_full = nofec.expected_transmissions(p, 2**depth)
+        r_half = nofec.expected_transmissions(p, 2**depth / 4)
+        assert fbt_result.mean < r_full
+        assert fbt_result.mean > 1.0
+        # and the shift is meaningful but not absurd
+        assert fbt_result.mean > r_half * 0.5
+
+
+class TestProtocolVsSimulatorVsAnalysis:
+    def test_three_way_agreement(self):
+        """Event-driven NP ~ vectorised FEC2 simulator ~ Equation (6)."""
+        from repro.protocols.harness import run_transfer
+        from repro.protocols.np_protocol import NPConfig
+
+        k, p, r = 7, 0.05, 30
+        payload = bytes(range(256)) * 100
+
+        config = NPConfig(k=k, h=64, packet_size=512, packet_interval=0.005,
+                          slot_time=0.01)
+        protocol_em = np.mean([
+            run_transfer("np", payload, BernoulliLoss(r, p), config,
+                         rng=seed).transmissions_per_packet
+            for seed in range(6)
+        ])
+        mc_result = simulate_integrated_rounds(BernoulliLoss(r, p), k, 800, rng=14)
+        analysis_em = integrated.expected_transmissions_lower_bound(k, p, r)
+
+        assert abs(mc_result.mean - analysis_em) < 0.05
+        assert abs(protocol_em - analysis_em) / analysis_em < 0.15

@@ -1,0 +1,268 @@
+"""Integration: every figure runner executes and shows the paper's shape.
+
+These run the experiment harness at reduced scale (small grids, few
+replications) and assert the *qualitative* claims of each figure — who
+wins, where, by how much — which is what the reproduction promises.
+"""
+
+import pytest
+
+from repro.experiments.figures_analysis import (
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig17,
+    fig18,
+    receiver_grid,
+)
+from repro.experiments.figures_codec import fig01
+from repro.experiments.figures_mc import fig11, fig12, fig14, fig15, fig16
+
+SMALL_GRID = [1, 100, 10**4, 10**6]
+
+
+class TestReceiverGrid:
+    def test_default_span(self):
+        grid = receiver_grid()
+        assert grid[0] == 1
+        assert grid[-1] == 10**6
+        assert grid == sorted(grid)
+
+
+class TestFig01Codec:
+    def test_rates_fall_with_redundancy(self):
+        result = fig01(group_sizes=(7,), redundancies=(0.15, 1.0),
+                       min_duration=0.01)
+        encoding = result.get("encoding k = 7")
+        assert encoding.y[0] > encoding.y[-1]  # more parities -> slower
+
+    def test_small_k_faster_than_large_k(self):
+        result = fig01(group_sizes=(7, 100), redundancies=(0.5,),
+                       min_duration=0.01)
+        assert (
+            result.get("encoding k = 7").y[0]
+            > result.get("encoding k = 100").y[0]
+        )
+
+    def test_rate_scales_inverse_hk(self):
+        # quadrupling h*k should cut the rate roughly in half or more
+        result = fig01(group_sizes=(20,), redundancies=(0.25, 1.0),
+                       min_duration=0.02)
+        encoding = result.get("encoding k = 20")
+        assert encoding.y[0] / encoding.y[-1] > 2.0
+
+
+class TestFig03Fig04Layered:
+    def test_fig03_large_k_with_tiny_h_is_worst(self):
+        result = fig03(grid=SMALL_GRID)
+        at_large_r = {
+            label: result.get(label).value_at(10**6)
+            for label in result.labels
+        }
+        assert at_large_r["layered FEC, k = 100"] > at_large_r["layered FEC, k = 7"]
+        assert at_large_r["layered FEC, k = 100"] > at_large_r["layered FEC, k = 20"]
+
+    def test_fig03_layered_beats_nofec_at_scale(self):
+        result = fig03(grid=SMALL_GRID)
+        assert (
+            result.get("layered FEC, k = 7").value_at(10**6)
+            < result.get("no FEC").value_at(10**6)
+        )
+
+    def test_fig03_nofec_wins_at_r1(self):
+        result = fig03(grid=SMALL_GRID)
+        assert (
+            result.get("no FEC").value_at(1)
+            < result.get("layered FEC, k = 7").value_at(1)
+        )
+
+    def test_fig04_k100_h7_wins_midrange(self):
+        result = fig04(grid=SMALL_GRID)
+        at_10k = {
+            label: result.get(label).value_at(10**4) for label in result.labels
+        }
+        assert at_10k["layered FEC, k = 100"] < at_10k["layered FEC, k = 7"]
+        assert at_10k["layered FEC, k = 100"] < at_10k["layered FEC, k = 20"]
+
+
+class TestFig05Fig06Fig07Fig08Integrated:
+    def test_fig05_strict_ordering_at_scale(self):
+        result = fig05(grid=SMALL_GRID)
+        for r in (10**4, 10**6):
+            integrated_em = result.get("integrated").value_at(r)
+            layered_em = result.get("layered").value_at(r)
+            nofec_em = result.get("no FEC").value_at(r)
+            assert integrated_em < layered_em < nofec_em
+
+    def test_fig06_three_parities_reach_bound(self):
+        result = fig06(grid=[10**4, 10**5])
+        gap_h3 = (
+            result.get("(7,10)").value_at(10**5)
+            - result.get("(7,inf)").value_at(10**5)
+        )
+        gap_h1 = (
+            result.get("(7,8)").value_at(10**5)
+            - result.get("(7,inf)").value_at(10**5)
+        )
+        assert gap_h3 < 0.1
+        assert gap_h1 > 0.5
+
+    def test_fig07_larger_k_closer_to_one(self):
+        result = fig07(grid=SMALL_GRID)
+        at_million = [
+            result.get(f"integr. FEC, k = {k}").value_at(10**6)
+            for k in (7, 20, 100)
+        ]
+        assert at_million == sorted(at_million, reverse=True)
+        assert at_million[-1] < 1.1
+
+    def test_fig08_insensitive_to_p_for_large_k(self):
+        result = fig08(p_grid=[0.001, 0.01, 0.1])
+        k100 = result.get("integr. FEC, k = 100")
+        nofec_series = result.get("no FEC")
+        spread_k100 = k100.y[-1] - k100.y[0]
+        spread_nofec = nofec_series.y[-1] - nofec_series.y[0]
+        assert spread_k100 < 0.3
+        assert spread_nofec > 1.5
+
+
+class TestFig09Fig10Hetero:
+    def test_fig09_one_percent_doubles(self):
+        result = fig09(grid=SMALL_GRID)
+        baseline = result.get("high loss: 0%").value_at(10**6)
+        one_percent = result.get("high loss: 1%").value_at(10**6)
+        assert one_percent / baseline > 1.8
+
+    def test_fig09_small_groups_barely_affected(self):
+        result = fig09(grid=SMALL_GRID)
+        baseline = result.get("high loss: 0%").value_at(100)
+        one_percent = result.get("high loss: 1%").value_at(100)
+        assert one_percent / baseline < 1.35
+
+    def test_fig10_integrated_keeps_absolute_advantage(self):
+        hetero_nofec = fig09(grid=[10**6])
+        hetero_integrated = fig10(grid=[10**6])
+        for label in ("high loss: 1%", "high loss: 25%"):
+            assert (
+                hetero_integrated.get(label).value_at(10**6)
+                < hetero_nofec.get(label).value_at(10**6)
+            )
+
+
+class TestFig11Fig12SharedLoss:
+    @pytest.fixture(scope="class")
+    def fig11_result(self):
+        return fig11(depths=[0, 4, 8, 10], replications=60, rng=0)
+
+    @pytest.fixture(scope="class")
+    def fig12_result(self):
+        return fig12(depths=[0, 4, 8, 10], replications=60, rng=0)
+
+    def test_fig11_shared_below_independent(self, fig11_result):
+        for r in (16.0, 256.0, 1024.0):
+            assert (
+                fig11_result.get("non-FEC FBT loss").value_at(r)
+                <= fig11_result.get("non-FEC indep. loss").value_at(r) + 0.05
+            )
+
+    def test_fig11_layered_payoff_needs_larger_groups_on_fbt(self, fig11_result):
+        # at R=16 layered already beats no-FEC under independent loss but
+        # not (or barely) under shared loss
+        indep_gain = (
+            fig11_result.get("non-FEC indep. loss").value_at(256.0)
+            - fig11_result.get("layered FEC indep. loss").value_at(256.0)
+        )
+        fbt_gain = (
+            fig11_result.get("non-FEC FBT loss").value_at(256.0)
+            - fig11_result.get("layered FEC FBT loss").value_at(256.0)
+        )
+        assert indep_gain > fbt_gain
+
+    def test_fig12_integrated_still_wins_under_shared_loss(self, fig12_result):
+        for r in (256.0, 1024.0):
+            assert (
+                fig12_result.get("integrated FEC FBT loss").value_at(r)
+                < fig12_result.get("non-FEC FBT loss").value_at(r)
+            )
+
+    def test_fig12_shared_advantage_smaller(self, fig12_result):
+        indep_gain = (
+            fig12_result.get("non-FEC indep. loss").value_at(1024.0)
+            - fig12_result.get("integrated FEC indep. loss").value_at(1024.0)
+        )
+        fbt_gain = (
+            fig12_result.get("non-FEC FBT loss").value_at(1024.0)
+            - fig12_result.get("integrated FEC FBT loss").value_at(1024.0)
+        )
+        assert fbt_gain < indep_gain
+
+
+class TestFig14Fig15Fig16Burst:
+    def test_fig14_burst_tail_heavier(self):
+        result = fig14(n_packets=300_000, rng=1)
+        bursty = result.get("burst loss, b = 2")
+        independent = result.get("no burst loss")
+        assert bursty.value_at(3.0) > 5 * max(independent.value_at(3.0), 1.0)
+
+    def test_fig15_layered_worse_than_nofec_under_burst(self):
+        result = fig15(sizes=[10, 100, 1000], replications=150, rng=2)
+        for r in (10.0, 100.0, 1000.0):
+            assert (
+                result.get("FEC layer (7+1)").value_at(r)
+                > result.get("no FEC").value_at(r) - 0.05
+            )
+
+    def test_fig16_large_k_restores_performance(self):
+        result = fig16(
+            sizes=[100, 1000], group_sizes=(7, 100), replications=100, rng=3
+        )
+        k7 = result.get("integrated FEC 1, k=7").value_at(1000.0)
+        k100 = result.get("integrated FEC 1, k=100").value_at(1000.0)
+        assert k100 < k7 - 0.2
+
+    def test_fig16_fec2_beats_fec1_at_small_k(self):
+        result = fig16(
+            sizes=[1000], group_sizes=(7,), replications=250, rng=4
+        )
+        fec1 = result.get("integrated FEC 1, k=7").value_at(1000.0)
+        fec2 = result.get("integrated FEC 2, k=7").value_at(1000.0)
+        assert fec2 < fec1
+
+
+class TestFig17Fig18Throughput:
+    def test_fig17_np_receiver_flat_and_high(self):
+        result = fig17(grid=SMALL_GRID)
+        np_receiver = result.get("NP receiver")
+        assert min(np_receiver.y) > 0.6  # pkts/msec
+        assert max(np_receiver.y) - min(np_receiver.y) < 0.3
+
+    def test_fig17_np_sender_is_bottleneck_at_scale(self):
+        result = fig17(grid=SMALL_GRID)
+        assert (
+            result.get("NP sender").value_at(10**4)
+            < result.get("NP receiver").value_at(10**4)
+        )
+
+    def test_fig18_pre_encode_three_x(self):
+        result = fig18(grid=SMALL_GRID)
+        assert (
+            result.get("NP pre-encode").value_at(10**6)
+            / result.get("N2").value_at(10**6)
+            > 2.5
+        )
+
+    def test_fig18_online_encoding_penalty_fades_at_scale(self):
+        # without pre-encoding, NP pays the encoding cost and trails N2 in
+        # the mid-range; at a million receivers retransmission volume
+        # dominates and the two meet (Figure 18's crossover)
+        result = fig18(grid=SMALL_GRID)
+        assert result.get("NP").value_at(100) < result.get("N2").value_at(100)
+        assert (
+            result.get("NP").value_at(10**6)
+            >= 0.95 * result.get("N2").value_at(10**6)
+        )

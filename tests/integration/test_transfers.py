@@ -1,0 +1,233 @@
+"""Integration: full transfers through the event-driven protocol stack.
+
+Every test wires sender + receivers + network + loss model, runs the event
+loop to completion and checks the payload arrived bit-exact everywhere —
+the strongest statement the stack can make.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols.harness import run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import (
+    BernoulliLoss,
+    FullBinaryTreeLoss,
+    GilbertLoss,
+    HeterogeneousLoss,
+    two_class_probabilities,
+)
+
+PAYLOAD = bytes(range(256)) * 150  # ~38 KB
+
+
+def fast_config(**overrides) -> NPConfig:
+    defaults = dict(k=7, h=32, packet_size=512, packet_interval=0.01,
+                    slot_time=0.02)
+    defaults.update(overrides)
+    return NPConfig(**defaults)
+
+
+class TestAllProtocolsAllLossModels:
+    @pytest.mark.parametrize("protocol", ["np", "n2", "layered"])
+    @pytest.mark.parametrize(
+        "loss_name,loss",
+        [
+            ("lossless", BernoulliLoss(10, 0.0)),
+            ("bernoulli", BernoulliLoss(10, 0.08)),
+            ("two_class", HeterogeneousLoss(
+                two_class_probabilities(10, 0.2, 0.02, 0.3))),
+            ("fbt", FullBinaryTreeLoss(4, 0.05)),
+            ("burst", GilbertLoss.from_loss_and_burst(10, 0.05, 2.0, 0.01)),
+        ],
+    )
+    def test_payload_delivered_verbatim(self, protocol, loss_name, loss):
+        config = fast_config(h=8) if protocol == "layered" else fast_config()
+        report = run_transfer(protocol, PAYLOAD, loss, config, rng=99)
+        assert report.verified
+        assert report.transmissions_per_packet >= 1.0
+
+    def test_single_receiver(self):
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(1, 0.1), fast_config(), rng=1
+        )
+        assert report.verified
+
+    def test_single_group_payload(self):
+        report = run_transfer(
+            "np", b"tiny", BernoulliLoss(5, 0.3), fast_config(), rng=2
+        )
+        assert report.n_groups == 1
+        assert report.verified
+
+
+class TestEfficiencyOrdering:
+    """The paper's headline: NP uses the network better than N2."""
+
+    def test_np_beats_n2_on_bandwidth(self):
+        loss = BernoulliLoss(60, 0.08)
+        np_report = run_transfer("np", PAYLOAD, loss, fast_config(), rng=5)
+        n2_report = run_transfer(
+            "n2", PAYLOAD, BernoulliLoss(60, 0.08), fast_config(), rng=5
+        )
+        assert (
+            np_report.transmissions_per_packet
+            < n2_report.transmissions_per_packet
+        )
+
+    def test_np_feedback_far_below_n2(self):
+        # per-TG NAKs vs per-packet NAKs
+        loss = BernoulliLoss(60, 0.08)
+        np_report = run_transfer("np", PAYLOAD, loss, fast_config(), rng=6)
+        n2_report = run_transfer(
+            "n2", PAYLOAD, BernoulliLoss(60, 0.08), fast_config(), rng=6
+        )
+        assert np_report.naks_sent_total < n2_report.naks_sent_total
+
+    def test_np_duplicates_far_below_n2(self):
+        # "reduction of unnecessary receptions" (Section 2.1): a parity is
+        # useful to every receiver, a retransmitted original only to those
+        # that lost it
+        loss = BernoulliLoss(60, 0.08)
+        np_report = run_transfer("np", PAYLOAD, loss, fast_config(), rng=7)
+        n2_report = run_transfer(
+            "n2", PAYLOAD, BernoulliLoss(60, 0.08), fast_config(), rng=7
+        )
+        assert np_report.duplicates_total < n2_report.duplicates_total / 2
+
+    def test_em_close_to_analysis(self):
+        # the event-driven NP should land near the integrated-FEC model
+        from repro.analysis import integrated
+
+        r, p = 40, 0.05
+        reports = [
+            run_transfer(
+                "np",
+                PAYLOAD,
+                BernoulliLoss(r, p),
+                fast_config(),
+                rng=seed,
+            )
+            for seed in range(8)
+        ]
+        measured = np.mean([rep.transmissions_per_packet for rep in reports])
+        predicted = integrated.expected_transmissions_lower_bound(7, p, r)
+        assert abs(measured - predicted) / predicted < 0.12
+
+
+class TestSuppressionAtScale:
+    def test_nak_suppression_effective(self):
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(80, 0.05), fast_config(), rng=8
+        )
+        # with 80 receivers per round, damping must kill most NAKs
+        assert report.suppression_ratio > 0.5
+
+    def test_feedback_per_group_bounded(self):
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(80, 0.05), fast_config(), rng=9
+        )
+        # ideal protocol: ~1 NAK per repair round; allow generous slack
+        rounds = max(1, report.naks_received)
+        assert report.naks_sent_total <= 4 * rounds
+
+
+class TestRobustness:
+    def test_feedback_loss_needs_watchdog(self):
+        with pytest.raises(ValueError, match="watchdog"):
+            run_transfer(
+                "np", PAYLOAD, BernoulliLoss(5, 0.05), fast_config(),
+                rng=10, feedback_loss=0.3,
+            )
+
+    def test_np_survives_lossy_feedback_with_watchdog(self):
+        config = fast_config(nak_watchdog=0.5)
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(8, 0.05), config,
+            rng=11, feedback_loss=0.3,
+        )
+        assert report.verified
+
+    def test_np_survives_lossy_control_plane(self):
+        """Polls get dropped: the known-incomplete watchdog keeps every
+        receiver live by NAKing spontaneously."""
+        config = fast_config(nak_watchdog=0.4)
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(8, 0.05), config,
+            rng=21, control_loss=0.5,
+        )
+        assert report.verified
+
+    def test_np_survives_both_channels_lossy(self):
+        config = fast_config(nak_watchdog=0.4)
+        report = run_transfer(
+            "np", PAYLOAD[:10_000], BernoulliLoss(6, 0.1), config,
+            rng=22, feedback_loss=0.3, control_loss=0.3,
+        )
+        assert report.verified
+
+    def test_lossy_control_without_watchdog_rejected(self):
+        with pytest.raises(ValueError, match="watchdog"):
+            run_transfer(
+                "np", PAYLOAD, BernoulliLoss(5, 0.05), fast_config(),
+                rng=23, control_loss=0.2,
+            )
+
+    def test_np_survives_brutal_loss(self):
+        report = run_transfer(
+            "np", PAYLOAD[:5000], BernoulliLoss(5, 0.4),
+            fast_config(h=64), rng=12,
+        )
+        assert report.verified
+        assert report.transmissions_per_packet > 1.5
+
+    def test_np_parity_exhaustion_falls_back_to_arq(self):
+        # h=1 with 30% loss forces the generation-based ARQ fallback
+        report = run_transfer(
+            "np", PAYLOAD[:4000], BernoulliLoss(6, 0.3),
+            fast_config(h=1), rng=13,
+        )
+        assert report.verified
+        assert report.retransmissions_sent > 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            run_transfer("srm", PAYLOAD, BernoulliLoss(2, 0.0), fast_config())
+
+
+class TestBufferOccupancy:
+    """Quantifies the appendix's infinite-buffer assumption."""
+
+    def test_buffer_metrics_populated(self):
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(40, 0.08), fast_config(), rng=31
+        )
+        assert report.peak_buffered_groups >= 1
+        assert report.peak_buffered_packets >= report.peak_buffered_groups
+
+    def test_buffering_stays_bounded(self):
+        # the NP repair loop keeps at most a handful of groups in flight:
+        # far from needing the whole transfer buffered
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(40, 0.08), fast_config(), rng=32
+        )
+        assert report.peak_buffered_groups < report.n_groups
+        assert (
+            report.peak_buffered_packets
+            < report.peak_buffered_groups * fast_config().k + fast_config().k
+        )
+
+    def test_lossless_run_buffers_one_group(self):
+        report = run_transfer(
+            "np", PAYLOAD, BernoulliLoss(5, 0.0), fast_config(), rng=33
+        )
+        assert report.peak_buffered_groups <= 1
+
+
+class TestPreEncoding:
+    def test_pre_encoded_np_transfers_identically(self):
+        loss = BernoulliLoss(10, 0.1)
+        report = run_transfer(
+            "np", PAYLOAD, loss, fast_config(pre_encode=True), rng=14
+        )
+        assert report.verified

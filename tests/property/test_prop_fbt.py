@@ -1,0 +1,80 @@
+"""Property-based tests for the exact FBT shared-loss analysis."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fbt, nofec
+
+depths = st.integers(min_value=0, max_value=10)
+probabilities = st.floats(min_value=0.001, max_value=0.4)
+
+
+class TestCoverageProbabilityLaws:
+    @given(depth=depths, p=probabilities, m=st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_is_a_probability(self, depth, p, m):
+        value = fbt.coverage_probability(depth, p, m)
+        assert 0.0 <= value <= 1.0
+
+    @given(depth=depths, p=probabilities)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_transmissions(self, depth, p):
+        values = [fbt.coverage_probability(depth, p, m) for m in range(12)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(depth=depths, p1=probabilities, p2=probabilities,
+           m=st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_antitone_in_loss(self, depth, p1, p2, m):
+        assume(p1 < p2)
+        assert (
+            fbt.coverage_probability(depth, p2, m)
+            <= fbt.coverage_probability(depth, p1, m) + 1e-12
+        )
+
+    @given(d1=depths, d2=depths, p=probabilities, m=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_antitone_in_depth(self, d1, d2, p, m):
+        # more receivers (same per-receiver marginal) -> joint coverage
+        # can only drop
+        assume(d1 < d2)
+        assert (
+            fbt.coverage_probability(d2, p, m)
+            <= fbt.coverage_probability(d1, p, m) + 1e-12
+        )
+
+    @given(depth=depths, p=probabilities, m=st.integers(1, 10),
+           k=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_need_never_easier(self, depth, p, m, k):
+        assert (
+            fbt.coverage_probability(depth, p, m, need=k + 1)
+            <= fbt.coverage_probability(depth, p, m, need=k) + 1e-12
+        )
+
+
+class TestExpectedTransmissionLaws:
+    @given(depth=depths, p=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_shared_never_exceeds_independent(self, depth, p):
+        shared = fbt.expected_transmissions_nofec(depth, p)
+        independent = nofec.expected_transmissions(p, 2**depth)
+        assert shared <= independent + 1e-9
+
+    @given(depth=depths, p=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_at_least_single_receiver_cost(self, depth, p):
+        shared = fbt.expected_transmissions_nofec(depth, p)
+        single = nofec.expected_transmissions(p, 1)
+        assert shared >= single - 1e-9
+
+    @given(depth=st.integers(0, 8), p=probabilities,
+           k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_integrated_beats_nofec_per_packet(self, depth, p, k):
+        integrated_em = fbt.expected_transmissions_integrated(depth, p, k)
+        nofec_em = fbt.expected_transmissions_nofec(depth, p)
+        assert integrated_em <= nofec_em + 1e-9
+        assert math.isfinite(integrated_em)

@@ -1,0 +1,98 @@
+"""Property-based tests: GF(2^m) field axioms.
+
+Hypothesis searches for counterexamples to the algebraic laws the RSE codec
+silently relies on.  GF(256) is the production field; GF(16) keeps shrunk
+counterexamples readable.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois.field import GF16, GF256
+
+elements16 = st.integers(min_value=0, max_value=15)
+nonzero16 = st.integers(min_value=1, max_value=15)
+elements256 = st.integers(min_value=0, max_value=255)
+nonzero256 = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxiomsGF16:
+    @given(a=elements16, b=elements16, c=elements16)
+    def test_multiplication_associative(self, a, b, c):
+        gf = GF16
+        left = gf.multiply(gf.multiply(a, b), c)
+        right = gf.multiply(a, gf.multiply(b, c))
+        assert left == right
+
+    @given(a=elements16, b=elements16)
+    def test_multiplication_commutative(self, a, b):
+        assert GF16.multiply(a, b) == GF16.multiply(b, a)
+
+    @given(a=elements16, b=elements16, c=elements16)
+    def test_distributivity(self, a, b, c):
+        gf = GF16
+        left = gf.multiply(a, gf.add(b, c))
+        right = gf.add(gf.multiply(a, b), gf.multiply(a, c))
+        assert left == right
+
+    @given(a=elements16)
+    def test_additive_self_inverse(self, a):
+        assert GF16.add(a, a) == 0
+
+    @given(a=nonzero16)
+    def test_multiplicative_inverse(self, a):
+        assert GF16.multiply(a, GF16.inverse(a)) == 1
+
+    @given(a=nonzero16, b=nonzero16)
+    def test_product_of_nonzero_is_nonzero(self, a, b):
+        assert GF16.multiply(a, b) != 0  # no zero divisors
+
+
+class TestFieldAxiomsGF256:
+    @given(a=elements256, b=elements256, c=elements256)
+    @settings(max_examples=200)
+    def test_associativity_and_distributivity(self, a, b, c):
+        gf = GF256
+        assert gf.multiply(gf.multiply(a, b), c) == gf.multiply(a, gf.multiply(b, c))
+        assert gf.multiply(a, b ^ c) == gf.multiply(a, b) ^ gf.multiply(a, c)
+
+    @given(a=nonzero256, b=nonzero256)
+    def test_division_consistent_with_multiplication(self, a, b):
+        quotient = GF256.divide(a, b)
+        assert GF256.multiply(quotient, b) == a
+
+    @given(a=nonzero256, exponent=st.integers(min_value=-300, max_value=300))
+    def test_power_laws(self, a, exponent):
+        gf = GF256
+        # a^e * a^-e == 1
+        assert gf.multiply(gf.power(a, exponent), gf.power(a, -exponent)) == 1
+
+    @given(a=nonzero256)
+    def test_fermat_little_theorem(self, a):
+        # a^(2^8 - 1) == 1 for all nonzero a
+        assert GF256.power(a, 255) == 1
+
+
+class TestVectorScalarConsistency:
+    @given(
+        c=elements256,
+        data=st.lists(elements256, min_size=1, max_size=64),
+    )
+    def test_scale_elementwise(self, c, data):
+        vector = np.array(data, dtype=np.uint8)
+        out = GF256.scale(c, vector)
+        for value, result in zip(data, out):
+            assert GF256.multiply(c, value) == int(result)
+
+    @given(
+        c1=elements256,
+        c2=elements256,
+        data=st.lists(elements256, min_size=1, max_size=32),
+    )
+    def test_accumulate_linear(self, c1, c2, data):
+        vector = np.array(data, dtype=np.uint8)
+        acc = np.zeros(len(data), dtype=np.uint8)
+        GF256.scale_accumulate(acc, c1, vector)
+        GF256.scale_accumulate(acc, c2, vector)
+        assert np.array_equal(acc, GF256.scale(c1 ^ c2, vector))

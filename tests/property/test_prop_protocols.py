@@ -1,0 +1,120 @@
+"""Property-based tests: protocol correctness under arbitrary loss.
+
+The strongest claims a reliable-multicast stack can make, searched by
+hypothesis: for *any* payload, framing parameters and adversarial loss
+schedule, every receiver ends up with the exact bytes, and the accounting
+invariants of the transfer report hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.harness import run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import ScriptedLoss
+
+# keep scenarios small: hypothesis runs many of them
+payloads = st.binary(min_size=1, max_size=600)
+group_sizes = st.integers(min_value=1, max_value=5)
+packet_sizes = st.sampled_from([16, 32, 64])
+
+
+@st.composite
+def loss_schedules(draw):
+    """An adversarial but finite loss schedule for a small group."""
+    n_receivers = draw(st.integers(min_value=1, max_value=4))
+    n_packets = draw(st.integers(min_value=0, max_value=40))
+    bits = draw(
+        st.lists(
+            st.booleans(), min_size=n_receivers * n_packets,
+            max_size=n_receivers * n_packets,
+        )
+    )
+    schedule = np.array(bits, dtype=bool).reshape(n_receivers, n_packets)
+    return ScriptedLoss(schedule) if n_packets else ScriptedLoss(
+        np.zeros((n_receivers, 0), dtype=bool)
+    )
+
+
+class TestNPCompletesUnderAnySchedule:
+    @given(
+        payload=payloads,
+        k=group_sizes,
+        packet_size=packet_sizes,
+        loss=loss_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_np_delivers_exact_bytes(self, payload, k, packet_size, loss, seed):
+        config = NPConfig(
+            k=k, h=2 * k + 2, packet_size=packet_size,
+            packet_interval=0.01, slot_time=0.02,
+        )
+        report = run_transfer("np", payload, loss, config, rng=seed)
+        assert report.verified
+        assert report.transmissions_per_packet >= 1.0
+
+    @given(
+        payload=payloads,
+        loss=loss_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_n2_delivers_exact_bytes(self, payload, loss, seed):
+        config = NPConfig(k=3, packet_size=32, packet_interval=0.01,
+                          slot_time=0.02)
+        report = run_transfer("n2", payload, loss, config, rng=seed)
+        assert report.verified
+
+    @given(
+        payload=payloads,
+        loss=loss_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_layered_delivers_exact_bytes(self, payload, loss, seed):
+        config = NPConfig(k=3, h=2, packet_size=32, packet_interval=0.01,
+                          slot_time=0.02)
+        report = run_transfer("layered", payload, loss, config, rng=seed)
+        assert report.verified
+
+    @given(
+        payload=payloads,
+        loss=loss_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fec1_delivers_exact_bytes(self, payload, loss, seed):
+        config = NPConfig(k=3, h=8, packet_size=32, packet_interval=0.01)
+        report = run_transfer("fec1", payload, loss, config, rng=seed)
+        assert report.verified
+
+
+class TestReportInvariants:
+    @given(
+        payload=payloads,
+        loss=loss_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_consistency(self, payload, loss, seed):
+        config = NPConfig(k=3, h=8, packet_size=32, packet_interval=0.01,
+                          slot_time=0.02)
+        report = run_transfer("np", payload, loss, config, rng=seed)
+        total = (
+            report.data_sent
+            + report.parity_sent
+            + report.retransmissions_sent
+        )
+        assert report.data_sent == report.total_data_packets
+        assert (
+            report.transmissions_per_packet
+            == total / report.total_data_packets
+        )
+        assert 0.0 <= report.suppression_ratio <= 1.0
+        assert report.naks_received >= 0
+        assert report.completion_time > 0.0
+        # by-kind counters tie out with the stats
+        assert report.by_kind.get("data", 0) == report.data_sent
+        assert report.by_kind.get("parity", 0) == report.parity_sent

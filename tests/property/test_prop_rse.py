@@ -1,0 +1,143 @@
+"""Property-based tests: the any-k-of-n guarantee of the RSE codec.
+
+The single most important invariant in the repository: for every (k, h),
+every payload, and every subset of k received packets, decoding returns the
+original data exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.block import join_stream, slice_stream
+from repro.fec.rse import RSECodec
+from repro.galois.field import GF65536
+
+
+@st.composite
+def codec_and_subset(draw):
+    """A (k, h) configuration, a payload, and a received subset of size k."""
+    k = draw(st.integers(min_value=1, max_value=12))
+    h = draw(st.integers(min_value=0, max_value=10))
+    n = k + h
+    packet_len = draw(st.sampled_from([2, 16, 64]))
+    data = [
+        draw(st.binary(min_size=packet_len, max_size=packet_len))
+        for _ in range(k)
+    ]
+    received_indices = draw(
+        st.permutations(list(range(n))).map(lambda order: sorted(order[:k]))
+    )
+    return k, h, data, received_indices
+
+
+class TestAnyKOfN:
+    @given(config=codec_and_subset())
+    @settings(max_examples=150, deadline=None)
+    def test_decode_from_any_k_subset(self, config):
+        k, h, data, received_indices = config
+        codec = RSECodec(k, h)
+        block = data + codec.encode(data)
+        received = {i: block[i] for i in received_indices}
+        assert codec.decode(received) == data
+
+    @given(
+        k=st.integers(min_value=1, max_value=8),
+        h=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_decode_with_more_than_k_packets(self, k, h, extra, seed):
+        rng = np.random.default_rng(seed)
+        codec = RSECodec(k, h)
+        data = [rng.bytes(16) for _ in range(k)]
+        block = data + codec.encode(data)
+        count = min(k + extra, k + h)
+        chosen = rng.choice(k + h, size=count, replace=False)
+        received = {int(i): block[int(i)] for i in chosen}
+        assert codec.decode(received) == data
+
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        h=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_deterministic(self, k, h, seed):
+        rng = np.random.default_rng(seed)
+        data = [rng.bytes(8) for _ in range(k)]
+        assert RSECodec(k, h).encode(data) == RSECodec(k, h).encode(data)
+
+    @given(config=codec_and_subset())
+    @settings(max_examples=50, deadline=None)
+    def test_wide_field_agrees_on_decodability(self, config):
+        k, h, data, received_indices = config
+        codec = RSECodec(k, h, field=GF65536)
+        block = data + codec.encode(data)
+        received = {i: block[i] for i in received_indices}
+        assert codec.decode(received) == data
+
+
+class TestParityProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_parity_protects_every_packet(self, k, seed):
+        """Flipping any single data packet must change every parity."""
+        rng = np.random.default_rng(seed)
+        codec = RSECodec(k, 2)
+        data = [rng.bytes(4) for _ in range(k)]
+        baseline = codec.encode(data)
+        for i in range(k):
+            mutated = list(data)
+            mutated[i] = bytes(b ^ 0xFF for b in data[i])
+            changed = codec.encode(mutated)
+            assert changed[0] != baseline[0]
+            assert changed[1] != baseline[1]
+
+    @given(
+        k=st.integers(min_value=1, max_value=8),
+        h=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_zero_data_gives_zero_parities(self, k, h):
+        codec = RSECodec(k, h)
+        parities = codec.encode([b"\x00" * 8] * k)
+        assert all(p == b"\x00" * 8 for p in parities)
+
+    @given(
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_over_payloads(self, k, seed):
+        """encode(a XOR b) == encode(a) XOR encode(b) — RSE is linear."""
+        rng = np.random.default_rng(seed)
+        codec = RSECodec(k, 3)
+        a = [rng.bytes(8) for _ in range(k)]
+        b = [rng.bytes(8) for _ in range(k)]
+        combined = [bytes(x ^ y for x, y in zip(pa, pb)) for pa, pb in zip(a, b)]
+        parity_a = codec.encode(a)
+        parity_b = codec.encode(b)
+        parity_combined = codec.encode(combined)
+        for pa, pb, pc in zip(parity_a, parity_b, parity_combined):
+            assert bytes(x ^ y for x, y in zip(pa, pb)) == pc
+
+
+class TestStreamFraming:
+    @given(
+        payload=st.binary(min_size=0, max_size=2000),
+        packet_size=st.integers(min_value=1, max_value=64),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_slice_join_roundtrip(self, payload, packet_size, k):
+        groups = slice_stream(payload, packet_size, k)
+        assert all(len(group) == k for group in groups)
+        assert all(
+            len(packet) == packet_size for group in groups for packet in group
+        )
+        assert join_stream(groups, len(payload)) == payload

@@ -1,0 +1,163 @@
+"""Tests for the adaptive proactive-redundancy extension."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.protocols.adaptive import AdaptiveNPSender, AdaptiveParityController
+from repro.protocols.harness import run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import BernoulliLoss, FullBinaryTreeLoss
+
+
+class TestController:
+    def test_initial_state(self):
+        controller = AdaptiveParityController(initial=2, maximum=8)
+        assert controller.proactive_count() == 2
+
+    def test_shortfall_increases_toward_need(self):
+        controller = AdaptiveParityController(maximum=16)
+        controller.observe_shortfall(3)
+        assert controller.proactive_count() == 3
+        controller.observe_shortfall(2)
+        assert controller.proactive_count() == 5
+
+    def test_increase_capped_at_maximum(self):
+        controller = AdaptiveParityController(maximum=4)
+        controller.observe_shortfall(100)
+        assert controller.proactive_count() == 4
+
+    def test_silence_decays_after_streak(self):
+        controller = AdaptiveParityController(initial=3, maximum=8,
+                                              decrease_after=2)
+        controller.observe_silence()
+        assert controller.proactive_count() == 3
+        controller.observe_silence()
+        assert controller.proactive_count() == 2
+
+    def test_nak_resets_silent_streak(self):
+        controller = AdaptiveParityController(initial=3, maximum=8,
+                                              decrease_after=2)
+        controller.observe_silence()
+        controller.observe_shortfall(1)
+        controller.observe_silence()
+        assert controller.proactive_count() == 4  # streak restarted
+
+    def test_never_negative(self):
+        controller = AdaptiveParityController(decrease_after=1)
+        for _ in range(5):
+            controller.observe_silence()
+        assert controller.proactive_count() == 0
+
+    def test_fractional_increase(self):
+        controller = AdaptiveParityController(maximum=16,
+                                              increase_fraction=0.5)
+        controller.observe_shortfall(4)
+        assert controller.proactive_count() == 2
+
+    def test_zero_shortfall_ignored(self):
+        controller = AdaptiveParityController()
+        controller.observe_shortfall(0)
+        assert controller.naks_observed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveParityController(initial=5, maximum=3)
+        with pytest.raises(ValueError):
+            AdaptiveParityController(decrease_after=0)
+        with pytest.raises(ValueError):
+            AdaptiveParityController(increase_fraction=0.0)
+
+
+class TestAdaptiveTransfers:
+    CONFIG = NPConfig(k=7, h=32, packet_size=512, packet_interval=0.01)
+
+    def test_transfer_verifies(self):
+        report = run_transfer(
+            "np-adaptive", os.urandom(60_000), BernoulliLoss(50, 0.05),
+            self.CONFIG, rng=1,
+        )
+        assert report.verified
+
+    def test_feedback_collapses_vs_plain_np(self):
+        """The point of proactivity: most groups need no NAK round."""
+        payload = os.urandom(150_000)
+        plain = run_transfer(
+            "np", payload, BernoulliLoss(100, 0.05), self.CONFIG, rng=2
+        )
+        adaptive = run_transfer(
+            "np-adaptive", payload, BernoulliLoss(100, 0.05), self.CONFIG, rng=2
+        )
+        assert adaptive.verified
+        assert adaptive.naks_sent_total < plain.naks_sent_total / 2
+        # the price: proactive parities raise bandwidth
+        assert (
+            adaptive.transmissions_per_packet
+            >= plain.transmissions_per_packet
+        )
+
+    def test_budget_converges_under_sustained_loss(self):
+        import numpy as np
+
+        from repro.protocols.np_protocol import NPReceiver
+        from repro.sim.engine import Simulator
+        from repro.sim.network import MulticastNetwork
+
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(100, 0.05), np.random.default_rng(3),
+            latency=0.02,
+        )
+        sender = AdaptiveNPSender(
+            sim, network, os.urandom(150_000), self.CONFIG
+        )
+        pending = set(range(100))
+        receivers = [
+            NPReceiver(sim, network, sender.n_groups, self.CONFIG,
+                       codec=sender.codec,
+                       rng=np.random.default_rng(seed),
+                       on_complete=pending.discard)
+            for seed in range(100)
+        ]
+        sender.start()
+        while pending and sim.step():
+            pass
+        assert not pending
+        assert sender.proactive_sent > 0
+        assert sender.controller.naks_observed > 0
+
+    def test_lossless_environment_stays_at_zero(self):
+        report = run_transfer(
+            "np-adaptive", os.urandom(60_000), BernoulliLoss(20, 0.0),
+            self.CONFIG, rng=4,
+        )
+        assert report.verified
+        assert report.parity_sent == 0  # nothing ever triggered an increase
+
+    def test_shared_loss_adaptivity_sees_effective_need(self):
+        """Section 4.1's warning, embodied: under FBT shared loss the
+        controller reacts to actual (correlated) feedback, so it settles
+        lower than per-receiver loss estimates would suggest."""
+        report = run_transfer(
+            "np-adaptive", os.urandom(80_000), FullBinaryTreeLoss(6, 0.05),
+            self.CONFIG, rng=5,
+        )
+        assert report.verified
+
+    def test_controller_cap_validated_against_budget(self):
+        import numpy as np
+
+        from repro.sim.engine import Simulator
+        from repro.sim.network import MulticastNetwork
+
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(1, 0.0), np.random.default_rng(0)
+        )
+        controller = AdaptiveParityController(maximum=64)
+        with pytest.raises(ValueError, match="exceeds the"):
+            AdaptiveNPSender(
+                sim, network, b"x" * 100, NPConfig(h=32),
+                controller=controller,
+            )

@@ -1,0 +1,110 @@
+"""Tests for the first-order completion-latency models."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay import (
+    DelayParameters,
+    fec1_delay,
+    layered_delay,
+    n2_delay,
+    np_delay,
+)
+
+TIMING = DelayParameters(packet_interval=0.01, latency=0.02, slot_time=0.02)
+
+
+class TestDelayParameters:
+    def test_defaults_match_paper_timing(self):
+        timing = DelayParameters()
+        assert timing.packet_interval == 0.040
+        assert timing.latency == 0.020
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayParameters(packet_interval=0.0)
+        with pytest.raises(ValueError):
+            DelayParameters(latency=-1.0)
+        with pytest.raises(ValueError):
+            DelayParameters(slot_time=0.0)
+
+
+class TestStructuralProperties:
+    def test_zero_loss_floors(self):
+        # without loss: k transmissions plus one propagation leg
+        floor = 7 * TIMING.packet_interval + TIMING.latency
+        assert math.isclose(np_delay(7, 1e-12, 10, TIMING), floor, rel_tol=1e-6)
+        assert math.isclose(fec1_delay(7, 1e-12, 10, TIMING), floor, rel_tol=1e-6)
+
+    def test_monotone_in_loss(self):
+        values = [np_delay(7, p, 100, TIMING) for p in (0.001, 0.01, 0.05, 0.2)]
+        assert values == sorted(values)
+
+    def test_monotone_in_population(self):
+        values = [np_delay(7, 0.02, r, TIMING) for r in (1, 10, 100, 10**4)]
+        assert values == sorted(values)
+
+    def test_fec1_is_the_latency_floor(self):
+        # no feedback waits: FEC1 must undercut NP and N2 whenever loss > 0
+        for p in (0.01, 0.05, 0.1):
+            assert fec1_delay(7, p, 100, TIMING) < np_delay(7, p, 100, TIMING)
+            assert fec1_delay(7, p, 100, TIMING) < n2_delay(7, p, 100, TIMING)
+
+    def test_layered_pays_block_overhead_at_zero_loss(self):
+        # layered always sends n = k + h packets
+        value = layered_delay(7, 3, 1e-12, 10, TIMING)
+        floor = 10 * TIMING.packet_interval + TIMING.latency
+        assert math.isclose(value, floor, rel_tol=1e-6)
+
+
+class TestAgainstEventDrivenSimulation:
+    """Hold the first-order models to the real protocol machines."""
+
+    K, P, R = 7, 0.05, 40
+
+    def _measure(self, protocol, h=32, replications=30):
+        from repro.protocols.harness import run_transfer
+        from repro.protocols.np_protocol import NPConfig
+        from repro.sim.loss import BernoulliLoss
+
+        config = NPConfig(k=self.K, h=h, packet_size=256,
+                          packet_interval=0.01, slot_time=0.02)
+        payload = os.urandom(self.K * 256)  # exactly one group
+        return float(np.mean([
+            run_transfer(protocol, payload, BernoulliLoss(self.R, self.P),
+                         config, rng=seed, latency=0.02).completion_time
+            for seed in range(replications)
+        ]))
+
+    def test_np_model_within_tolerance(self):
+        model = np_delay(self.K, self.P, self.R, TIMING)
+        simulated = self._measure("np")
+        assert abs(model - simulated) / simulated < 0.25
+
+    def test_fec1_model_within_tolerance(self):
+        model = fec1_delay(self.K, self.P, self.R, TIMING)
+        simulated = self._measure("fec1")
+        assert abs(model - simulated) / simulated < 0.2
+
+    def test_layered_model_within_tolerance(self):
+        model = layered_delay(self.K, 2, self.P, self.R, TIMING)
+        simulated = self._measure("layered", h=2)
+        assert abs(model - simulated) / simulated < 0.3
+
+    def test_n2_model_is_a_lower_bound(self):
+        # set-based NAKs splinter rounds: the aggregate-feedback model
+        # must undershoot, never overshoot (documented in the module)
+        model = n2_delay(self.K, self.P, self.R, TIMING)
+        simulated = self._measure("n2")
+        assert model < simulated
+
+    def test_latency_ordering_matches_simulation(self):
+        # FEC1 < NP < N2 in both worlds
+        assert (
+            fec1_delay(self.K, self.P, self.R, TIMING)
+            < np_delay(self.K, self.P, self.R, TIMING)
+        )
+        assert self._measure("fec1") < self._measure("np") < self._measure("n2")

@@ -1,0 +1,135 @@
+"""Unit tests for the exact full-binary-tree shared-loss analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import fbt, integrated, nofec
+
+
+class TestNodeLossProbability:
+    def test_end_to_end_rate_recovered(self):
+        for depth in (0, 3, 10):
+            p_node = fbt.node_loss_probability(depth, 0.05)
+            assert math.isclose(1 - (1 - p_node) ** (depth + 1), 0.05)
+
+    def test_depth_zero_is_identity(self):
+        assert math.isclose(fbt.node_loss_probability(0, 0.1), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fbt.node_loss_probability(-1, 0.1)
+        with pytest.raises(ValueError):
+            fbt.node_loss_probability(3, 1.0)
+
+
+class TestCoverageProbability:
+    def test_zero_transmissions_zero_coverage(self):
+        assert fbt.coverage_probability(4, 0.1, 0) == 0.0
+
+    def test_single_receiver_single_need(self):
+        # depth 0: coverage after m transmissions = 1 - p^m
+        for m in (1, 2, 5):
+            assert math.isclose(
+                fbt.coverage_probability(0, 0.2, m), 1 - 0.2**m, rel_tol=1e-12
+            )
+
+    def test_monotone_in_transmissions(self):
+        values = [fbt.coverage_probability(5, 0.05, m) for m in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_need_k_requires_k_transmissions(self):
+        assert fbt.coverage_probability(3, 0.01, 6, need=7) == 0.0
+        assert fbt.coverage_probability(3, 0.01, 7, need=7) > 0.0
+
+    def test_deeper_trees_cover_less(self):
+        # same end-to-end p but more shared nodes: a single transmission
+        # reaches all leaves with the same per-leaf marginal, but joint
+        # coverage of *all* leaves differs; more receivers -> less likely
+        shallow = fbt.coverage_probability(2, 0.05, 3)
+        deep = fbt.coverage_probability(8, 0.05, 3)
+        assert deep < shallow
+
+    def test_need_validation(self):
+        with pytest.raises(ValueError):
+            fbt.coverage_probability(2, 0.1, 3, need=0)
+
+
+class TestExpectedTransmissions:
+    def test_depth_zero_matches_independent_single(self):
+        assert math.isclose(
+            fbt.expected_transmissions_nofec(0, 0.05),
+            nofec.expected_transmissions(0.05, 1),
+            rel_tol=1e-9,
+        )
+
+    def test_depth_zero_integrated_matches_lower_bound(self):
+        assert math.isclose(
+            fbt.expected_transmissions_integrated(0, 0.05, 7),
+            integrated.expected_transmissions_lower_bound(7, 0.05, 1),
+            rel_tol=1e-9,
+        )
+
+    def test_shared_loss_cheaper_than_independent(self):
+        for depth in (4, 8, 12):
+            r = 2**depth
+            assert (
+                fbt.expected_transmissions_nofec(depth, 0.01)
+                < nofec.expected_transmissions(0.01, r)
+            )
+            assert (
+                fbt.expected_transmissions_integrated(depth, 0.01, 7)
+                < integrated.expected_transmissions_lower_bound(7, 0.01, r)
+            )
+
+    def test_monotone_in_depth(self):
+        values = [
+            fbt.expected_transmissions_nofec(depth, 0.01)
+            for depth in range(0, 14, 2)
+        ]
+        assert values == sorted(values)
+
+    def test_zero_loss(self):
+        assert fbt.expected_transmissions_nofec(5, 0.0) == 1.0
+        assert fbt.expected_transmissions_integrated(5, 0.0, 7) == 1.0
+
+    def test_integrated_below_nofec_on_tree(self):
+        for depth in (6, 10):
+            assert (
+                fbt.expected_transmissions_integrated(depth, 0.01, 7)
+                < fbt.expected_transmissions_nofec(depth, 0.01)
+            )
+
+    def test_paper_scale_runs_fast(self):
+        # the computation the paper called intractable beyond R = 64:
+        # exact E[M] at R = 2^17 must be immediate
+        value = fbt.expected_transmissions_nofec(17, 0.01)
+        assert 2.0 < value < nofec.expected_transmissions(0.01, 2**17)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fbt.expected_transmissions_integrated(3, 0.01, 0)
+
+
+class TestAgainstMonteCarlo:
+    """The exact recursion pins the Figure 11/12 simulators."""
+
+    @pytest.mark.parametrize("depth", [2, 6, 10])
+    def test_nofec_simulator_agrees(self, depth):
+        from repro.mc import simulate_nofec
+        from repro.sim.loss import FullBinaryTreeLoss
+
+        exact = fbt.expected_transmissions_nofec(depth, 0.02)
+        mc = simulate_nofec(FullBinaryTreeLoss(depth, 0.02), 500, rng=depth)
+        assert mc.compatible_with(exact)
+
+    @pytest.mark.parametrize("depth", [2, 6, 10])
+    def test_integrated_simulator_agrees(self, depth):
+        from repro.mc import simulate_integrated_immediate
+        from repro.sim.loss import FullBinaryTreeLoss
+
+        exact = fbt.expected_transmissions_integrated(depth, 0.02, 7)
+        mc = simulate_integrated_immediate(
+            FullBinaryTreeLoss(depth, 0.02), 7, 500, rng=100 + depth
+        )
+        assert mc.compatible_with(exact)

@@ -1,0 +1,118 @@
+"""Tests for the NAK-volume model under slotting-and-damping."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.feedback import (
+    expected_first_round_naks,
+    race_window_probability,
+    suppression_effectiveness,
+)
+
+
+class TestRaceWindow:
+    def test_linear_regime(self):
+        assert race_window_probability(0.01, 0.1) == pytest.approx(0.1)
+
+    def test_clamped_at_one(self):
+        assert race_window_probability(1.0, 0.1) == 1.0
+
+    def test_zero_tau(self):
+        assert race_window_probability(0.0, 0.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            race_window_probability(0.1, 0.0)
+        with pytest.raises(ValueError):
+            race_window_probability(-0.1, 1.0)
+
+
+class TestExpectedNaks:
+    def test_zero_loss_zero_naks(self):
+        assert expected_first_round_naks(7, 0.0, 100) == 0.0
+
+    def test_at_least_one_when_loss_likely(self):
+        # with many receivers someone always loses: at least ~1 NAK
+        value = expected_first_round_naks(7, 0.05, 1000)
+        assert value >= 0.99
+
+    def test_single_receiver_upper_bound(self):
+        # one receiver: at most its probability of losing anything
+        value = expected_first_round_naks(7, 0.1, 1)
+        assert value <= 1.0 - 0.9**7 + 1e-12
+
+    def test_wider_slots_fewer_naks(self):
+        narrow = expected_first_round_naks(7, 0.05, 200, slot_time=0.02)
+        wide = expected_first_round_naks(7, 0.05, 200, slot_time=0.40)
+        assert wide < narrow
+
+    def test_far_below_population(self):
+        # the whole point: feedback stays O(1)-ish, not O(R)
+        value = expected_first_round_naks(7, 0.05, 10_000)
+        assert value < 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_first_round_naks(0, 0.1, 10)
+        with pytest.raises(ValueError):
+            expected_first_round_naks(7, 1.0, 10)
+
+
+class TestSuppressionEffectiveness:
+    def test_zero_loss(self):
+        assert suppression_effectiveness(7, 0.0, 100) == 0.0
+
+    def test_improves_with_population(self):
+        small = suppression_effectiveness(7, 0.05, 10)
+        large = suppression_effectiveness(7, 0.05, 10_000)
+        assert large > small
+        assert large > 0.95  # thousands of would-be NAKs collapse to a few
+
+    def test_bounded(self):
+        for r in (1, 100, 10**4):
+            value = suppression_effectiveness(7, 0.02, r)
+            assert 0.0 <= value <= 1.0
+
+
+class TestAgainstEventDrivenProtocol:
+    """The model must track the real NP machine's NAK counts."""
+
+    @pytest.mark.parametrize(
+        "k,p,n_receivers,slot_time",
+        [(7, 0.05, 100, 0.05), (7, 0.05, 100, 0.2), (20, 0.01, 300, 0.05)],
+    )
+    def test_model_within_band(self, k, p, n_receivers, slot_time):
+        from repro.protocols.np_protocol import NPConfig, NPReceiver, NPSender
+        from repro.sim.engine import Simulator
+        from repro.sim.loss import BernoulliLoss
+        from repro.sim.network import MulticastNetwork
+
+        latency = 0.02
+        counts = []
+        for seed in range(40):
+            sim = Simulator()
+            network = MulticastNetwork(
+                sim, BernoulliLoss(n_receivers, p),
+                np.random.default_rng(seed), latency=latency,
+            )
+            config = NPConfig(k=k, h=32, packet_size=64,
+                              packet_interval=0.01, slot_time=slot_time)
+            sender = NPSender(sim, network, os.urandom(k * 64), config)
+            receivers = [
+                NPReceiver(sim, network, 1, config, codec=sender.codec,
+                           rng=np.random.default_rng(10_000 + seed * 500 + i))
+                for i in range(n_receivers)
+            ]
+            sender.start()
+            sim.run()
+            counts.append(sum(r.slotter.stats.naks_sent for r in receivers))
+        simulated = float(np.mean(counts))  # includes rounds > 1
+        model = expected_first_round_naks(
+            k, p, n_receivers, slot_time, latency
+        )
+        # the model covers round 1 only, so it must land at or below the
+        # all-rounds measurement, and within a 2x band of it
+        assert model <= simulated * 1.15
+        assert model >= simulated * 0.5

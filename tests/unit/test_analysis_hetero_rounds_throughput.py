@@ -1,0 +1,178 @@
+"""Unit tests for the heterogeneous, round-count and throughput models."""
+
+import math
+
+import pytest
+
+from repro.analysis import integrated, nofec
+from repro.analysis.hetero import (
+    TwoClassPopulation,
+    integrated_two_class,
+    layered_two_class,
+    nofec_two_class,
+)
+from repro.analysis.rounds import (
+    expected_receiver_rounds,
+    expected_rounds,
+    geometric_tail_stats,
+    receiver_rounds_cdf,
+    receiver_rounds_tail_stats,
+)
+from repro.analysis.throughput import (
+    PAPER_COSTS,
+    ProcessingCosts,
+    n2_rates,
+    np_rates,
+    throughput_comparison,
+)
+
+
+class TestTwoClassPopulation:
+    def test_counts(self):
+        population = TwoClassPopulation(1000, 0.05)
+        assert population.n_high == 50
+        assert population.n_low == 950
+
+    def test_probability_vector(self):
+        population = TwoClassPopulation(10, 0.2, p_low=0.01, p_high=0.3)
+        probabilities = population.probabilities()
+        assert (probabilities[:8] == 0.01).all()
+        assert (probabilities[8:] == 0.3).all()
+
+    def test_zero_fraction_matches_homogeneous(self):
+        population = TwoClassPopulation(500, 0.0)
+        assert math.isclose(
+            nofec_two_class(population),
+            nofec.expected_transmissions(0.01, 500),
+            rel_tol=1e-9,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoClassPopulation(0, 0.1)
+        with pytest.raises(ValueError):
+            TwoClassPopulation(10, 1.5)
+        with pytest.raises(ValueError):
+            TwoClassPopulation(10, 0.1, p_high=1.0)
+
+    def test_paper_anchor_fig9_one_percent_doubles(self):
+        # Figure 9: at R=1e6, 1% high-loss receivers roughly double E[M]
+        baseline = nofec_two_class(TwoClassPopulation(10**6, 0.0))
+        with_high = nofec_two_class(TwoClassPopulation(10**6, 0.01))
+        assert with_high / baseline > 1.8
+
+    def test_paper_anchor_fig10_integrated_same_effect(self):
+        baseline = integrated_two_class(TwoClassPopulation(10**6, 0.0), 7)
+        with_high = integrated_two_class(TwoClassPopulation(10**6, 0.01), 7)
+        assert with_high / baseline > 1.6
+        # but absolute values stay far below the no-FEC equivalents
+        assert with_high < nofec_two_class(TwoClassPopulation(10**6, 0.01))
+
+    def test_effect_grows_with_population(self):
+        # the paper: high-loss receivers matter more as R grows
+        small_ratio = nofec_two_class(
+            TwoClassPopulation(100, 0.01)
+        ) / nofec_two_class(TwoClassPopulation(100, 0.0))
+        large_ratio = nofec_two_class(
+            TwoClassPopulation(10**6, 0.01)
+        ) / nofec_two_class(TwoClassPopulation(10**6, 0.0))
+        assert large_ratio > small_ratio
+
+    def test_layered_two_class_runs(self):
+        value = layered_two_class(TwoClassPopulation(1000, 0.05), 7, 9)
+        assert value > 9 / 7
+
+
+class TestRounds:
+    def test_cdf_basics(self):
+        assert receiver_rounds_cdf(0, 0.1, 7) == 0.0
+        assert receiver_rounds_cdf(1, 0.0, 7) == 1.0
+        assert math.isclose(receiver_rounds_cdf(1, 0.1, 7), 0.9**7)
+
+    def test_cdf_monotone(self):
+        values = [receiver_rounds_cdf(m, 0.2, 10) for m in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_expected_receiver_rounds_exceeds_one(self):
+        assert expected_receiver_rounds(0.01, 20) > 1.0
+        assert expected_receiver_rounds(0.01, 20) < 2.0
+
+    def test_expected_rounds_grows_with_population(self):
+        values = [expected_rounds(0.01, 20, r) for r in (1, 100, 10**4, 10**6)]
+        assert values == sorted(values)
+
+    def test_receiver_tail_stats_consistency(self):
+        p, k = 0.1, 10
+        prob_tail, conditional = receiver_rounds_tail_stats(p, k)
+        assert math.isclose(prob_tail, 1 - receiver_rounds_cdf(2, p, k))
+        assert conditional > 2.0
+
+    def test_receiver_tail_stats_zero_loss(self):
+        assert receiver_rounds_tail_stats(0.0, 5) == (0.0, 0.0)
+
+    def test_geometric_tail_stats(self):
+        prob_tail, conditional = geometric_tail_stats(0.1)
+        assert math.isclose(prob_tail, 0.01)
+        assert conditional > 3.0  # conditional mean beyond 2 attempts
+        assert geometric_tail_stats(0.0) == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            receiver_rounds_cdf(1, 1.0, 5)
+        with pytest.raises(ValueError):
+            expected_rounds(0.1, 5, 0)
+
+
+class TestThroughput:
+    def test_costs_without_encoding(self):
+        assert PAPER_COSTS.without_encoding().encode_constant == 0.0
+        assert PAPER_COSTS.encode_constant == 700e-6  # frozen original
+
+    def test_n2_single_receiver_rate(self):
+        # R=1, p=0.01: E[M] ~ 1.0101; sender time ~ 1.0101ms + 0.0101*0.5ms
+        report = n2_rates(0.01, 1)
+        assert 0.9 < report.sender_rate / 1000 < 1.0
+        assert report.throughput == min(report.sender_rate, report.receiver_rate)
+
+    def test_n2_rates_decrease_with_population(self):
+        rates = [n2_rates(0.01, r).sender_rate for r in (1, 10**3, 10**6)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_np_receiver_beats_np_sender_at_scale(self):
+        # Figure 17: encoding makes the NP sender the bottleneck
+        report = np_rates(0.01, 20, 10**4)
+        assert report.receiver_rate > 2 * report.sender_rate
+
+    def test_pre_encoding_restores_sender_rate(self):
+        online = np_rates(0.01, 20, 10**4)
+        pre = np_rates(0.01, 20, 10**4, pre_encoded=True)
+        assert pre.sender_rate > 2 * online.sender_rate
+        assert math.isclose(pre.receiver_rate, online.receiver_rate)
+
+    def test_paper_anchor_fig18_three_x(self):
+        # the summary's claim: pre-encoded NP up to ~3x N2 throughput
+        comparison = throughput_comparison(0.01, 20, 10**6)
+        assert comparison["NP pre-encode"] / comparison["N2"] > 2.5
+
+    def test_nak_per_packet_slows_receiver(self):
+        aggregated = np_rates(0.01, 20, 10**6)
+        per_packet = np_rates(0.01, 20, 10**6, nak_per_missing_packet=True)
+        assert per_packet.receiver_rate <= aggregated.receiver_rate
+
+    def test_in_packets_per_msec(self):
+        report = n2_rates(0.01, 100)
+        sender, receiver, throughput = report.in_packets_per_msec()
+        assert math.isclose(sender, report.sender_rate / 1000)
+        assert math.isclose(throughput, report.throughput / 1000)
+
+    def test_custom_costs(self):
+        fast = ProcessingCosts(
+            packet_send=1e-6, packet_receive=1e-6, nak_sender=1e-6,
+            nak_transmit=1e-6, nak_receive=1e-6,
+        )
+        report = n2_rates(0.01, 100, fast)
+        assert report.sender_rate > 100 * n2_rates(0.01, 100).sender_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            np_rates(0.01, 0, 100)

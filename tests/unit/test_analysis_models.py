@@ -1,0 +1,235 @@
+"""Unit tests for the no-FEC, layered and integrated closed-form models.
+
+Numeric anchors come from the paper's figures (read off the curves), so a
+regression here means the reproduction no longer matches the publication.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import integrated, layered, nofec
+from repro.analysis.integrated import LrDistribution
+
+
+class TestNoFec:
+    def test_single_receiver_geometric(self):
+        assert math.isclose(nofec.expected_transmissions(0.2, 1), 1.25)
+
+    def test_paper_anchor_million_receivers(self):
+        # Figure 5 / 7: no-FEC at p=0.01, R=1e6 reads ~3.6-3.7
+        value = nofec.expected_transmissions(0.01, 10**6)
+        assert 3.5 < value < 3.8
+
+    def test_zero_loss(self):
+        assert nofec.expected_transmissions(0.0, 10**6) == 1.0
+
+    def test_per_receiver_mean(self):
+        assert math.isclose(nofec.per_receiver_expected_transmissions(0.5), 2.0)
+        with pytest.raises(ValueError):
+            nofec.per_receiver_expected_transmissions(1.0)
+
+    def test_heterogeneous_collapses_to_homogeneous(self):
+        uniform = np.full(500, 0.02)
+        assert math.isclose(
+            nofec.expected_transmissions_heterogeneous(uniform),
+            nofec.expected_transmissions(0.02, 500),
+            rel_tol=1e-9,
+        )
+
+    def test_heterogeneous_worst_class_dominates(self):
+        # one receiver at 25% loss among 99 at 1%: E[M] must exceed the
+        # homogeneous-1% value and approach the single-25% value
+        probabilities = np.full(100, 0.01)
+        probabilities[0] = 0.25
+        value = nofec.expected_transmissions_heterogeneous(probabilities)
+        assert value > nofec.expected_transmissions(0.01, 100)
+        assert value > nofec.expected_transmissions(0.25, 1)
+
+    def test_heterogeneous_validation(self):
+        with pytest.raises(ValueError):
+            nofec.expected_transmissions_heterogeneous(np.array([]))
+        with pytest.raises(ValueError):
+            nofec.expected_transmissions_heterogeneous(np.array([0.1, 1.0]))
+
+
+class TestLayered:
+    def test_rm_loss_probability_no_parity_is_p(self):
+        assert layered.rm_loss_probability(7, 7, 0.05) == 0.05
+
+    def test_rm_loss_probability_decreases_with_h(self):
+        values = [layered.rm_loss_probability(7, 7 + h, 0.01) for h in range(5)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 1e-7
+
+    def test_rm_loss_probability_zero_p(self):
+        assert layered.rm_loss_probability(7, 10, 0.0) == 0.0
+
+    def test_rm_loss_exact_small_case(self):
+        # k=2, h=1 (n=3): q = p * P(at least 1 of other 2 lost)
+        p = 0.1
+        expected = p * (1 - (1 - p) ** 2)
+        assert math.isclose(layered.rm_loss_probability(2, 3, p), expected)
+
+    def test_expected_transmissions_floor_is_overhead(self):
+        # with tiny populations E[M] -> n/k (parities always sent)
+        value = layered.expected_transmissions(7, 9, 0.01, 1)
+        assert math.isclose(value, 9 / 7, rel_tol=1e-2)
+
+    def test_paper_anchor_fig3(self):
+        # Figure 3 (h=2, p=0.01) at R=1e6: k=7 curve reads ~2.5-2.6,
+        # k=100 reads ~3.0-3.2 (worse — too few parities for a big group)
+        k7 = layered.expected_transmissions(7, 9, 0.01, 10**6)
+        k100 = layered.expected_transmissions(100, 102, 0.01, 10**6)
+        assert 2.4 < k7 < 2.7
+        assert 2.9 < k100 < 3.3
+        assert k100 > k7
+
+    def test_paper_anchor_fig4_large_k_wins_midrange(self):
+        # Figure 4 (h=7): k=100 is best around R=1e4
+        k7 = layered.expected_transmissions(7, 14, 0.01, 10**4)
+        k100 = layered.expected_transmissions(100, 107, 0.01, 10**4)
+        assert k100 < k7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layered.expected_transmissions(0, 5, 0.01, 10)
+        with pytest.raises(ValueError):
+            layered.expected_transmissions(5, 4, 0.01, 10)
+        with pytest.raises(ValueError):
+            layered.expected_transmissions(5, 7, 0.01, 0)
+
+    def test_heterogeneous_collapses_to_homogeneous(self):
+        uniform = np.full(200, 0.01)
+        assert math.isclose(
+            layered.expected_transmissions_heterogeneous(7, 9, uniform),
+            layered.expected_transmissions(7, 9, 0.01, 200),
+            rel_tol=1e-9,
+        )
+
+
+class TestLrDistribution:
+    def test_pmf_sums_to_one(self):
+        lr = LrDistribution(7, 0.1)
+        total = sum(lr.pmf(m) for m in range(200))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_pmf_zero_matches_binomial(self):
+        # a=0: Lr=0 iff no loss among the k packets
+        lr = LrDistribution(5, 0.2)
+        assert math.isclose(lr.cdf(0), 0.8**5, rel_tol=1e-12)
+
+    def test_proactive_parities_shift_mass_down(self):
+        no_proactive = LrDistribution(7, 0.1, a=0)
+        with_proactive = LrDistribution(7, 0.1, a=2)
+        assert with_proactive.cdf(0) > no_proactive.cdf(0)
+
+    def test_proactive_cdf0_value(self):
+        # a=1: P(Lr=0) = P(at most 1 loss among k+1)
+        k, p = 4, 0.1
+        lr = LrDistribution(k, p, a=1)
+        expected = (1 - p) ** 5 + 5 * p * (1 - p) ** 4
+        assert math.isclose(lr.cdf(0), expected, rel_tol=1e-12)
+
+    def test_survival_monotone_nonincreasing(self):
+        lr = LrDistribution(7, 0.05)
+        values = [lr.survival(m) for m in range(30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_survival_deep_tail_positive(self):
+        # must not saturate to 0 while the true value is representable
+        lr = LrDistribution(7, 0.01)
+        assert 0.0 < lr.survival(20) < 1e-30
+
+    def test_zero_loss_degenerate(self):
+        lr = LrDistribution(7, 0.0)
+        assert lr.cdf(0) == 1.0
+        assert lr.survival(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LrDistribution(0, 0.1)
+        with pytest.raises(ValueError):
+            LrDistribution(5, 1.0)
+        with pytest.raises(ValueError):
+            LrDistribution(5, 0.1, a=-1)
+
+
+class TestIntegrated:
+    def test_single_receiver_lower_bound(self):
+        # E[L] for one receiver = k p / (1-p) (negative binomial mean)
+        k, p = 10, 0.1
+        expected = (k + k * p / (1 - p)) / k
+        value = integrated.expected_transmissions_lower_bound(k, p, 1)
+        assert math.isclose(value, expected, rel_tol=1e-9)
+
+    def test_paper_anchor_fig5(self):
+        # Figure 5: integrated k=7 at R=1e6 reads ~1.5-1.6
+        value = integrated.expected_transmissions_lower_bound(7, 0.01, 10**6)
+        assert 1.5 < value < 1.65
+
+    def test_paper_anchor_fig7_large_k(self):
+        # Figure 7: k=100 stays below ~1.1 even at a million receivers
+        value = integrated.expected_transmissions_lower_bound(100, 0.01, 10**6)
+        assert value < 1.12
+
+    def test_finite_budget_reduces_to_nofec_at_n_equals_k(self):
+        assert math.isclose(
+            integrated.expected_transmissions(7, 7, 0.01, 500),
+            nofec.expected_transmissions(0.01, 500),
+            rel_tol=1e-9,
+        )
+
+    def test_finite_budget_converges_to_lower_bound(self):
+        bound = integrated.expected_transmissions_lower_bound(7, 0.01, 1000)
+        wide = integrated.expected_transmissions(7, 50, 0.01, 1000)
+        assert math.isclose(wide, bound, rel_tol=1e-6)
+
+    def test_paper_anchor_fig6_three_parities_suffice(self):
+        # Figure 6: (7,10) is within a hair of (7,inf) at R=1e5
+        n10 = integrated.expected_transmissions(7, 10, 0.01, 10**5)
+        bound = integrated.expected_transmissions_lower_bound(7, 0.01, 10**5)
+        assert n10 - bound < 0.1
+        # while (7,8) is clearly worse
+        n8 = integrated.expected_transmissions(7, 8, 0.01, 10**5)
+        assert n8 - bound > 0.5
+
+    def test_monotone_in_budget(self):
+        values = [
+            integrated.expected_transmissions(7, n, 0.01, 10**4)
+            for n in (7, 8, 9, 10, 12)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_proactive_parities_raise_floor(self):
+        # with a>0 the minimum cost is (k+a)/k even with no loss
+        value = integrated.expected_transmissions_lower_bound(10, 1e-9, 1, a=5)
+        assert math.isclose(value, 1.5, rel_tol=1e-6)
+
+    def test_expected_additional_parities_monotone_in_population(self):
+        values = [
+            integrated.expected_additional_parities(7, 0.01, r)
+            for r in (1, 100, 10**4, 10**6)
+        ]
+        assert values == sorted(values)
+
+    def test_heterogeneous_collapses_to_homogeneous(self):
+        uniform = np.full(300, 0.02)
+        assert math.isclose(
+            integrated.expected_transmissions_heterogeneous(7, uniform),
+            integrated.expected_transmissions_lower_bound(7, 0.02, 300),
+            rel_tol=1e-9,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n >= k"):
+            integrated.expected_transmissions(7, 6, 0.01, 10)
+        with pytest.raises(ValueError):
+            integrated.expected_additional_parities(7, 0.01, 0)
+
+    def test_infinite_n_dispatches_to_lower_bound(self):
+        assert math.isclose(
+            integrated.expected_transmissions(7, math.inf, 0.01, 100),
+            integrated.expected_transmissions_lower_bound(7, 0.01, 100),
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for the shared numerics in repro.analysis._series."""
+
+import math
+
+import pytest
+
+from repro.analysis._series import (
+    binomial_cdf,
+    binomial_pmf,
+    expected_from_survival,
+    expected_max_geometric,
+    log_binomial,
+    max_survival,
+    power_survival,
+    product_survival,
+)
+
+
+class TestPowerSurvival:
+    def test_boundaries(self):
+        assert power_survival(1.0, 1e6) == 0.0
+        assert power_survival(0.0, 1e6) == 1.0
+
+    def test_matches_naive_for_moderate_values(self):
+        for cdf, population in [(0.9, 10), (0.5, 3), (0.99, 100)]:
+            assert math.isclose(
+                power_survival(cdf, population), 1 - cdf**population
+            )
+
+    def test_huge_population_no_underflow(self):
+        # 1 - (1 - 1e-12)^1e9 ~ 1e-3; naive evaluation collapses to 0.0.
+        # power_survival takes a CDF, so representation of 1 - 1e-12 costs
+        # ~1e-4 relative accuracy (max_survival is the precise variant);
+        # what matters is the order of magnitude survives.
+        value = power_survival(1 - 1e-12, 1e9)
+        reference = -math.expm1(1e9 * math.log1p(-1e-12))
+        assert math.isclose(value, reference, rel_tol=1e-3)
+        assert 0.0009 < value < 0.0011
+
+
+class TestMaxSurvival:
+    def test_subnormal_survival_scales_linearly(self):
+        # survival far below eps: max over R ~ R * s
+        s = 1e-40
+        assert math.isclose(max_survival(s, 1e6), 1e6 * s, rel_tol=1e-6)
+
+    def test_boundaries(self):
+        assert max_survival(0.0, 100) == 0.0
+        assert max_survival(1.0, 100) == 1.0
+
+    def test_agreement_with_power_survival(self):
+        for s, population in [(0.3, 7), (0.01, 1000)]:
+            assert math.isclose(
+                max_survival(s, population), power_survival(1 - s, population)
+            )
+
+
+class TestExpectedFromSurvival:
+    def test_geometric_mean(self):
+        # survival of geometric(success 1-q) attempts-until-success
+        q = 0.25
+        value = expected_from_survival(lambda i: q**i)
+        assert math.isclose(value, 1 / (1 - q), rel_tol=1e-9)
+
+    def test_divergent_series_raises(self):
+        with pytest.raises(RuntimeError, match="converge"):
+            expected_from_survival(lambda i: 1.0, max_terms=1000)
+
+
+class TestExpectedMaxGeometric:
+    def test_single_receiver(self):
+        assert math.isclose(expected_max_geometric(0.5, 1), 2.0)
+
+    def test_zero_loss(self):
+        assert expected_max_geometric(0.0, 12345) == 1.0
+
+    def test_monotone_in_population(self):
+        values = [expected_max_geometric(0.1, r) for r in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_monotone_in_loss(self):
+        values = [expected_max_geometric(q, 100) for q in (0.01, 0.05, 0.2)]
+        assert values == sorted(values)
+
+    def test_fractional_population(self):
+        # used by the effective-group-size view of shared loss
+        low = expected_max_geometric(0.01, 10.0)
+        mid = expected_max_geometric(0.01, 10.5)
+        high = expected_max_geometric(0.01, 11.0)
+        assert low < mid < high
+
+    def test_exact_two_receiver_value(self):
+        # E[max of 2 geometrics] = 2/(1-q) - 1/(1-q^2)
+        q = 0.3
+        expected = 2 / (1 - q) - 1 / (1 - q * q)
+        assert math.isclose(expected_max_geometric(q, 2), expected, rel_tol=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_max_geometric(1.0, 10)
+        with pytest.raises(ValueError):
+            expected_max_geometric(0.5, 0)
+
+
+class TestBinomialHelpers:
+    def test_log_binomial_matches_comb(self):
+        for n, k in [(10, 3), (50, 25), (255, 7)]:
+            assert math.isclose(
+                log_binomial(n, k), math.log(math.comb(n, k)), rel_tol=1e-12
+            )
+
+    def test_log_binomial_out_of_range(self):
+        assert log_binomial(5, 6) == -math.inf
+        assert log_binomial(5, -1) == -math.inf
+
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(20, j, 0.3) for j in range(21))
+        assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+    def test_pmf_degenerate_p(self):
+        assert binomial_pmf(5, 0, 0.0) == 1.0
+        assert binomial_pmf(5, 3, 0.0) == 0.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+
+    def test_cdf_boundaries(self):
+        assert binomial_cdf(10, -1, 0.5) == 0.0
+        assert binomial_cdf(10, 10, 0.5) == 1.0
+        assert binomial_cdf(10, 15, 0.5) == 1.0
+
+    def test_cdf_median_symmetry(self):
+        # Binomial(2n, 1/2): P(X <= n-1) + P(X <= n) = 1 by symmetry
+        assert math.isclose(
+            binomial_cdf(10, 4, 0.5) + binomial_cdf(10, 5, 0.5), 1.0,
+            rel_tol=1e-12,
+        )
+
+
+class TestProductSurvival:
+    def test_homogeneous_matches_power(self):
+        assert math.isclose(
+            product_survival([0.9] * 10), power_survival(0.9, 10)
+        )
+
+    def test_zero_factor_dominates(self):
+        assert product_survival([0.5, 0.0, 0.9]) == 1.0
+
+    def test_all_ones(self):
+        assert product_survival([1.0, 1.0]) == 0.0

@@ -1,0 +1,160 @@
+"""Unit tests for the public core API: config, planner, session."""
+
+import math
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.core.planner import (
+    expected_overhead,
+    proactive_parities_for_single_round,
+    required_parities,
+)
+from repro.core.session import ReliableMulticastSession, compare_protocols
+from repro.sim.loss import (
+    BernoulliLoss,
+    FullBinaryTreeLoss,
+    GilbertLoss,
+    HeterogeneousLoss,
+)
+
+
+class TestScenarioConfig:
+    def test_defaults(self):
+        config = ScenarioConfig()
+        assert isinstance(config.loss_model(), BernoulliLoss)
+        assert config.protocol_config().k == 7
+
+    def test_loss_model_dispatch(self):
+        assert isinstance(
+            ScenarioConfig(loss="two_class").loss_model(), HeterogeneousLoss
+        )
+        assert isinstance(
+            ScenarioConfig(loss="fbt", n_receivers=16).loss_model(),
+            FullBinaryTreeLoss,
+        )
+        assert isinstance(
+            ScenarioConfig(loss="burst").loss_model(), GilbertLoss
+        )
+
+    def test_fbt_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="2\\*\\*d"):
+            ScenarioConfig(loss="fbt", n_receivers=10)
+        ScenarioConfig(loss="fbt", n_receivers=16)  # fine
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError, match="unknown loss model"):
+            ScenarioConfig(loss="quantum")
+
+    def test_two_class_population_split(self):
+        config = ScenarioConfig(
+            loss="two_class", n_receivers=100, fraction_high=0.25, p=0.02
+        )
+        probabilities = config.loss_model().marginal_loss_probability()
+        assert (probabilities == 0.02).sum() == 75
+        assert (probabilities == 0.25).sum() == 25
+
+    def test_burst_model_stationary_rate(self):
+        config = ScenarioConfig(loss="burst", p=0.03)
+        model = config.loss_model()
+        assert math.isclose(model.stationary_loss_probability, 0.03)
+
+    def test_rng_seeding(self):
+        a = ScenarioConfig(seed=5).rng().integers(1000)
+        b = ScenarioConfig(seed=5).rng().integers(1000)
+        assert a == b
+
+    def test_bursty_tree_dispatch(self):
+        from repro.sim.loss import BurstyTreeLoss
+
+        config = ScenarioConfig(loss="bursty_tree", n_receivers=8, p=0.02)
+        model = config.loss_model()
+        assert isinstance(model, BurstyTreeLoss)
+        assert model.n_receivers == 8
+        with pytest.raises(ValueError, match="2\\*\\*d"):
+            ScenarioConfig(loss="bursty_tree", n_receivers=10)
+
+    def test_interleave_depth_propagates(self):
+        config = ScenarioConfig(interleave_depth=3)
+        assert config.protocol_config().interleave_depth == 3
+
+
+class TestPlanner:
+    def test_required_parities_monotone_in_population(self):
+        values = [
+            required_parities(7, 0.01, r) for r in (1, 100, 10**4, 10**6)
+        ]
+        assert values == sorted(values)
+
+    def test_required_parities_monotone_in_confidence(self):
+        low = required_parities(7, 0.01, 1000, confidence=0.9)
+        high = required_parities(7, 0.01, 1000, confidence=0.9999)
+        assert high >= low
+
+    def test_required_parities_meets_confidence(self):
+        from repro.analysis._series import max_survival
+        from repro.analysis.integrated import LrDistribution
+
+        k, p, population, confidence = 7, 0.02, 5000, 0.995
+        h = required_parities(k, p, population, confidence)
+        lr = LrDistribution(k, p)
+        achieved = 1.0 - max_survival(lr.survival(h), population)
+        assert achieved >= confidence
+        if h > 0:
+            below = 1.0 - max_survival(lr.survival(h - 1), population)
+            assert below < confidence  # h is minimal
+
+    def test_proactive_covers_initial_round(self):
+        a = proactive_parities_for_single_round(7, 0.01, 1000, 0.99)
+        assert a >= 1
+        # with zero population risk the answer must be 0
+        assert proactive_parities_for_single_round(7, 1e-12, 1, 0.9) == 0
+
+    def test_confidence_bounds_validated(self):
+        with pytest.raises(ValueError):
+            required_parities(7, 0.01, 100, confidence=1.0)
+        with pytest.raises(ValueError):
+            proactive_parities_for_single_round(7, 0.01, 100, confidence=0.0)
+
+    def test_expected_overhead_ordering(self):
+        overhead = expected_overhead(7, 3, 0.01, 10**4)
+        # integrated <= no-FEC always in this regime; layered pays h/k
+        assert overhead["integrated"] < overhead["no_fec"]
+        assert overhead["layered"] >= 3 / 7 - 1e-9
+
+
+class TestSession:
+    def test_send_and_verify(self):
+        session = ReliableMulticastSession(
+            ScenarioConfig(n_receivers=5, p=0.05, seed=1, packet_size=256)
+        )
+        report = session.send(b"payload" * 400)
+        assert report.verified
+        assert session.history == [report]
+
+    def test_empty_payload_rejected(self):
+        session = ReliableMulticastSession(ScenarioConfig(seed=1))
+        with pytest.raises(ValueError, match="empty payload"):
+            session.send(b"")
+
+    def test_repeated_sends_accumulate_history(self):
+        session = ReliableMulticastSession(
+            ScenarioConfig(n_receivers=3, p=0.02, seed=2, packet_size=128)
+        )
+        session.send(b"a" * 500)
+        session.send(b"b" * 500)
+        assert len(session.history) == 2
+
+    def test_with_protocol(self):
+        session = ReliableMulticastSession(ScenarioConfig(seed=3))
+        sibling = session.with_protocol("n2")
+        assert sibling.config.protocol == "n2"
+        assert session.config.protocol == "np"
+
+    def test_compare_protocols_returns_all(self):
+        reports = compare_protocols(
+            b"x" * 2000,
+            ScenarioConfig(n_receivers=4, p=0.05, h=8, seed=4, packet_size=128),
+        )
+        assert set(reports) == {"np", "n2", "layered"}
+        assert all(report.verified for report in reports.values())

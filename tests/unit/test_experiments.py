@@ -1,0 +1,118 @@
+"""Unit tests for the experiment containers and registry."""
+
+import math
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.series import FigureResult, Series
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            Series("s", [1.0, 2.0], [1.0])
+
+    def test_errors_length_checked(self):
+        with pytest.raises(ValueError, match="errors"):
+            Series("s", [1.0], [1.0], errors=[0.1, 0.2])
+
+    def test_value_at(self):
+        series = Series("s", [1.0, 10.0], [2.5, 3.5])
+        assert series.value_at(10.0) == 3.5
+        with pytest.raises(KeyError):
+            series.value_at(5.0)
+
+    def test_len(self):
+        assert len(Series("s", [1.0, 2.0, 3.0], [0.0, 0.0, 0.0])) == 3
+
+
+class TestFigureResult:
+    @pytest.fixture
+    def figure(self):
+        return FigureResult(
+            figure_id="figX",
+            title="test figure",
+            x_label="R",
+            y_label="E[M]",
+            series=[
+                Series("a", [1.0, 2.0], [1.5, 2.5]),
+                Series("b", [1.0, 2.0], [1.1, 2.1], errors=[0.01, 0.02]),
+            ],
+        )
+
+    def test_get_by_label(self, figure):
+        assert figure.get("a").y == [1.5, 2.5]
+        with pytest.raises(KeyError, match="available"):
+            figure.get("zzz")
+
+    def test_to_rows_long_format(self, figure):
+        rows = figure.to_rows()
+        assert len(rows) == 4
+        assert rows[0] == {
+            "figure": "figX", "series": "a", "x": 1.0, "y": 1.5,
+            "stderr": rows[0]["stderr"],
+        }
+        assert math.isnan(rows[0]["stderr"])
+        assert rows[2]["stderr"] == 0.01
+
+    def test_to_csv(self, figure):
+        csv = figure.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "figure,series,x,y,stderr"
+        assert len(lines) == 5
+        assert "figX,b,1,1.1,0.01" in csv
+
+    def test_render_table_contains_all_series(self, figure):
+        table = figure.render_table()
+        assert "figX" in table
+        assert "a" in table and "b" in table
+        assert "1.500" in table
+
+    def test_render_table_handles_missing_points(self):
+        figure = FigureResult(
+            "f", "t", "x", "y",
+            series=[
+                Series("a", [1.0], [5.0]),
+                Series("b", [2.0], [6.0]),
+            ],
+        )
+        table = figure.render_table()
+        assert "-" in table
+
+
+class TestRegistry:
+    def test_all_sixteen_figures_registered(self):
+        expected = {
+            "fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
+            "fig17", "fig18",
+        }
+        figures = {i for i in experiment_ids() if i.startswith("fig")}
+        assert figures == expected
+
+    def test_seven_ablations_registered(self):
+        ablations = {i for i in experiment_ids() if i.startswith("abl_")}
+        assert ablations == {
+            "abl_proactive", "abl_suppression", "abl_symbol_size",
+            "abl_validation", "abl_adaptive", "abl_bursty_tree",
+            "abl_latency",
+        }
+
+    def test_every_experiment_has_metadata(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.paper_caption
+            assert experiment.method in (
+                "analysis", "simulation", "measurement", "extension",
+            )
+            assert experiment.expected_shape
+            assert callable(experiment.runner)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_forwards_kwargs(self):
+        result = run_experiment("fig05", grid=[1, 10, 100])
+        assert result.figure_id == "fig05"
+        assert result.get("no FEC").x == [1.0, 10.0, 100.0]

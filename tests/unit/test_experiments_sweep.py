@@ -1,0 +1,102 @@
+"""Tests for the generic sweep utility."""
+
+import math
+
+import pytest
+
+from repro.analysis import integrated, nofec
+from repro.experiments.sweep import sweep, sweep_many
+
+
+class TestSweep:
+    def test_single_curve(self):
+        result = sweep(
+            lambda R: nofec.expected_transmissions(0.01, R),
+            x=("R", [1, 100, 10**4]),
+            figure_id="s1",
+            y_label="E[M]",
+        )
+        assert len(result.series) == 1
+        assert result.series[0].x == [1.0, 100.0, 10000.0]
+        assert math.isclose(
+            result.series[0].value_at(100.0),
+            nofec.expected_transmissions(0.01, 100),
+        )
+
+    def test_series_parameter(self):
+        result = sweep(
+            lambda R, k: integrated.expected_transmissions_lower_bound(
+                k, 0.01, R
+            ),
+            x=("R", [10, 1000]),
+            series=("k", [7, 20]),
+            figure_id="s2",
+        )
+        assert result.labels == ["k = 7", "k = 20"]
+        assert result.get("k = 20").value_at(1000.0) < result.get(
+            "k = 7"
+        ).value_at(1000.0)
+
+    def test_fixed_parameters_forwarded(self):
+        result = sweep(
+            lambda R, p: nofec.expected_transmissions(p, R),
+            x=("R", [10]),
+            figure_id="s3",
+            p=0.1,
+        )
+        assert math.isclose(
+            result.series[0].y[0], nofec.expected_transmissions(0.1, 10)
+        )
+
+    def test_custom_label_format(self):
+        result = sweep(
+            lambda R, k: float(k),
+            x=("R", [1]),
+            series=("k", [3]),
+            label_format="group size {value}",
+        )
+        assert result.labels == ["group size 3"]
+
+    def test_named_function_label(self):
+        def my_metric(R):
+            return float(R)
+
+        result = sweep(my_metric, x=("R", [1, 2]))
+        assert result.labels == ["my_metric"]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep(lambda R: R, x=("R", []))
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep(lambda R, k: R, x=("R", [1]), series=("k", []))
+
+
+class TestSweepMany:
+    def test_multiple_functions(self):
+        result = sweep_many(
+            {
+                "no FEC": lambda R: nofec.expected_transmissions(0.01, R),
+                "integrated": lambda R: (
+                    integrated.expected_transmissions_lower_bound(7, 0.01, R)
+                ),
+            },
+            x=("R", [100, 10**4]),
+            figure_id="cmp",
+        )
+        assert result.labels == ["no FEC", "integrated"]
+        for r in (100.0, 10**4):
+            assert (
+                result.get("integrated").value_at(r)
+                < result.get("no FEC").value_at(r)
+            )
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep_many({}, x=("R", [1]))
+
+    def test_renders(self):
+        result = sweep_many(
+            {"f": lambda R: float(R)}, x=("R", [1, 2]), y_label="identity"
+        )
+        table = result.render_table()
+        assert "identity" in table

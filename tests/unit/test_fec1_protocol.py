@@ -1,0 +1,120 @@
+"""Unit + integration tests for the feedback-free Integrated-FEC-1 scheme."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import integrated
+from repro.protocols.fec1 import Fec1Receiver, Fec1Sender, GroupMembership
+from repro.protocols.harness import run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.engine import Simulator
+from repro.sim.loss import BernoulliLoss, GilbertLoss
+from repro.sim.network import MulticastNetwork
+
+
+class TestGroupMembership:
+    def test_initial_membership_full(self):
+        membership = GroupMembership(n_receivers=5, n_groups=3)
+        assert membership.member_count(0) == 5
+        assert not membership.is_empty(2)
+
+    def test_leave_until_empty(self):
+        membership = GroupMembership(2, 1)
+        membership.leave(0, 0)
+        assert membership.member_count(0) == 1
+        membership.leave(0, 1)
+        assert membership.is_empty(0)
+        assert membership.leaves_signalled == 2
+
+    def test_leave_is_idempotent(self):
+        membership = GroupMembership(2, 1)
+        membership.leave(0, 0)
+        membership.leave(0, 0)
+        assert membership.member_count(0) == 1
+
+
+class TestFec1Lossless:
+    def test_sends_exactly_k_per_group_without_loss(self):
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(3, 0.0), np.random.default_rng(0),
+            latency=0.001,
+        )
+        config = NPConfig(k=4, h=8, packet_size=64, packet_interval=0.01)
+        sender = Fec1Sender(sim, network, b"x" * 512, config)  # 2 groups
+        receivers = [
+            Fec1Receiver(sim, network, sender.n_groups, config,
+                         membership=sender.membership,
+                         codec=sender.codec)
+            for _ in range(3)
+        ]
+        sender.start()
+        sim.run()
+        assert all(r.complete for r in receivers)
+        # prune (1 ms) beats the packet interval (10 ms): zero parities
+        assert sender.stats.parity_sent == 0
+        assert sender.stats.data_sent == 8
+
+    def test_receiver_requires_shared_membership(self):
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(1, 0.0), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="GroupMembership"):
+            Fec1Receiver(sim, network, 1, NPConfig())
+
+
+class TestFec1Transfers:
+    def test_lossy_transfer_verifies(self):
+        config = NPConfig(k=7, h=32, packet_size=512, packet_interval=0.01)
+        report = run_transfer(
+            "fec1", os.urandom(30_000), BernoulliLoss(20, 0.08), config, rng=1
+        )
+        assert report.verified
+        assert report.naks_sent_total == 0  # feedback-free by construction
+
+    def test_burst_loss_transfer_verifies(self):
+        config = NPConfig(k=7, h=64, packet_size=512, packet_interval=0.01)
+        model = GilbertLoss.from_loss_and_burst(10, 0.05, 2.0, 0.01)
+        report = run_transfer("fec1", os.urandom(20_000), model, config, rng=2)
+        assert report.verified
+
+    def test_fast_prune_reaches_lower_bound(self):
+        """The paper's proviso: with departure faster than the packet
+        interval, FEC 1 sends no unnecessary parity at all."""
+        config = NPConfig(k=7, h=64, packet_size=512, packet_interval=0.01)
+        measured = np.mean([
+            run_transfer(
+                "fec1", os.urandom(40_000), BernoulliLoss(30, 0.05),
+                config, rng=seed, latency=0.001,
+            ).transmissions_per_packet
+            for seed in range(5)
+        ])
+        bound = integrated.expected_transmissions_lower_bound(7, 0.05, 30)
+        assert abs(measured - bound) / bound < 0.08
+
+    def test_slow_prune_costs_parities(self):
+        """Departure slower than the packet interval wastes parities —
+        quantifying the paper's warning."""
+        config = NPConfig(k=7, h=64, packet_size=512, packet_interval=0.01)
+        fast = run_transfer(
+            "fec1", os.urandom(40_000), BernoulliLoss(30, 0.05),
+            config, rng=3, latency=0.001,
+        )
+        slow = run_transfer(
+            "fec1", os.urandom(40_000), BernoulliLoss(30, 0.05),
+            config, rng=3, latency=0.05,
+        )
+        assert (
+            slow.transmissions_per_packet > fast.transmissions_per_packet
+        )
+
+    def test_parity_exhaustion_falls_back_to_originals(self):
+        config = NPConfig(k=4, h=1, packet_size=256, packet_interval=0.01)
+        report = run_transfer(
+            "fec1", os.urandom(5_000), BernoulliLoss(6, 0.3), config, rng=4
+        )
+        assert report.verified
+        assert report.retransmissions_sent > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the burst-loss block interleaver."""
+
+import pytest
+
+from repro.fec.interleaver import (
+    BlockInterleaver,
+    Deinterleaver,
+    interleave_indices,
+)
+
+
+class TestInterleaveIndices:
+    def test_depth_one_is_identity(self):
+        assert interleave_indices(5, 1) == list(range(5))
+
+    def test_column_major_order(self):
+        # 2 blocks of 3: blocks [0,1,2] and [3,4,5] -> 0,3,1,4,2,5
+        assert interleave_indices(3, 2) == [0, 3, 1, 4, 2, 5]
+
+    def test_is_permutation(self):
+        order = interleave_indices(7, 4)
+        assert sorted(order) == list(range(28))
+
+    def test_consecutive_outputs_from_different_blocks(self):
+        order = interleave_indices(5, 3)
+        for a, b in zip(order, order[1:]):
+            assert a // 5 != b // 5  # adjacent packets never share a block
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            interleave_indices(0, 2)
+        with pytest.raises(ValueError):
+            interleave_indices(3, 0)
+
+
+class TestBlockInterleaver:
+    def test_round_trip(self):
+        interleaver = BlockInterleaver(block_length=4, depth=3)
+        packets = list(range(12))
+        interleaver.push_block(packets)
+        sent = interleaver.pop_ready()
+        assert sorted(sent) == packets
+        restored = Deinterleaver(4, 3).restore(sent)
+        assert restored == packets
+
+    def test_partial_batch_not_released(self):
+        interleaver = BlockInterleaver(block_length=4, depth=2)
+        for i in range(7):
+            interleaver.push(i)
+        assert interleaver.pop_ready() == []
+        interleaver.push(7)
+        assert len(interleaver.pop_ready()) == 8
+
+    def test_flush_drains_tail_in_order(self):
+        interleaver = BlockInterleaver(block_length=4, depth=2)
+        for i in range(10):
+            interleaver.push(i)
+        ready = interleaver.pop_ready()
+        assert len(ready) == 8
+        assert interleaver.flush() == [8, 9]
+        assert interleaver.flush() == []
+
+    def test_multiple_batches(self):
+        interleaver = BlockInterleaver(block_length=2, depth=2)
+        interleaver.push_block(range(8))
+        sent = interleaver.pop_ready()
+        assert sent == [0, 2, 1, 3, 4, 6, 5, 7]
+
+    def test_burst_spreads_across_blocks(self):
+        # a burst of `depth` consecutive transmissions kills at most one
+        # packet per FEC block — the property interleaving exists for
+        block_length, depth = 6, 4
+        interleaver = BlockInterleaver(block_length, depth)
+        interleaver.push_block(range(block_length * depth))
+        sent = interleaver.pop_ready()
+        for start in range(len(sent) - depth + 1):
+            burst = sent[start: start + depth]
+            blocks_hit = [p // block_length for p in burst]
+            assert len(set(blocks_hit)) == depth  # all distinct blocks
+
+
+class TestDeinterleaver:
+    def test_rejects_partial_batch(self):
+        with pytest.raises(ValueError, match="full batch"):
+            Deinterleaver(4, 2).restore([1, 2, 3])
+
+    def test_inverse_of_every_permutation_size(self):
+        for block_length, depth in [(1, 1), (3, 2), (5, 5), (8, 3)]:
+            order = interleave_indices(block_length, depth)
+            packets = list(range(block_length * depth))
+            sent = [packets[i] for i in order]
+            assert Deinterleaver(block_length, depth).restore(sent) == packets

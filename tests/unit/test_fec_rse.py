@@ -1,0 +1,214 @@
+"""Unit tests for the systematic RSE codec."""
+
+import numpy as np
+import pytest
+
+from repro.fec.rse import CodecStats, DecodeError, RSECodec, max_block_length
+from repro.galois.field import GF16, GF256, GF65536
+
+from tests.conftest import random_packets
+
+
+class TestConstruction:
+    def test_basic_parameters(self):
+        codec = RSECodec(7, 3)
+        assert (codec.k, codec.h, codec.n) == (7, 3, 10)
+        assert codec.field is GF256
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            RSECodec(0, 3)
+        with pytest.raises(ValueError, match="h must be >= 0"):
+            RSECodec(3, -1)
+
+    def test_block_length_limit_enforced(self):
+        with pytest.raises(ValueError, match="exceeds limit"):
+            RSECodec(200, 100)  # n=300 > 255 for GF256
+        RSECodec(200, 55)  # n=255 ok
+        RSECodec(200, 100, field=GF65536)  # wide field ok
+
+    def test_max_block_length(self):
+        assert max_block_length(GF256) == 255
+        assert max_block_length(GF16) == 15
+        assert max_block_length(GF65536) == 65535
+
+    def test_generator_cached_across_instances(self):
+        a = RSECodec(5, 2)
+        b = RSECodec(5, 2)
+        assert a.generator is b.generator
+
+
+class TestEncode:
+    def test_produces_h_parities_of_same_length(self, small_codec, rng):
+        data = random_packets(rng, 7, 100)
+        parities = small_codec.encode(data)
+        assert len(parities) == 3
+        assert all(len(p) == 100 for p in parities)
+
+    def test_wrong_packet_count_rejected(self, small_codec, rng):
+        with pytest.raises(ValueError, match="exactly k=7"):
+            small_codec.encode(random_packets(rng, 6))
+
+    def test_unequal_lengths_rejected(self, small_codec, rng):
+        data = random_packets(rng, 6, 64) + [rng.bytes(32)]
+        with pytest.raises(ValueError, match="equal length"):
+            small_codec.encode(data)
+
+    def test_h_zero_produces_nothing(self, rng):
+        codec = RSECodec(4, 0)
+        assert codec.encode(random_packets(rng, 4)) == []
+
+    def test_parity_is_xor_when_single_parity_over_two(self, rng):
+        # with the systematic Vandermonde construction the exact parity
+        # values are construction-defined, but determinism must hold
+        codec = RSECodec(2, 1)
+        data = random_packets(rng, 2, 16)
+        assert codec.encode(data) == codec.encode(data)
+
+    def test_gf65536_requires_even_packet_length(self, rng):
+        codec = RSECodec(3, 2, field=GF65536)
+        with pytest.raises(ValueError, match="symbol size"):
+            codec.encode([rng.bytes(15) for _ in range(3)])
+
+    def test_encode_deterministic_across_instances(self, rng):
+        data = random_packets(rng, 7, 64)
+        assert RSECodec(7, 3).encode(data) == RSECodec(7, 3).encode(data)
+
+
+class TestDecode:
+    def test_all_data_received_no_work(self, small_codec, rng):
+        data = random_packets(rng, 7)
+        received = {i: data[i] for i in range(7)}
+        small_codec.stats.reset()
+        assert small_codec.decode(received) == data
+        assert small_codec.stats.packets_decoded == 0
+
+    @pytest.mark.parametrize("lost", [(0,), (6,), (0, 3), (1, 2, 5)])
+    def test_recovers_lost_data_from_parities(self, small_codec, rng, lost):
+        data = random_packets(rng, 7)
+        parities = small_codec.encode(data)
+        received = {i: data[i] for i in range(7) if i not in lost}
+        received.update({7 + j: parities[j] for j in range(len(lost))})
+        assert small_codec.decode(received) == data
+
+    def test_any_parity_subset_works(self, small_codec, rng):
+        data = random_packets(rng, 7)
+        parities = small_codec.encode(data)
+        # lose packets 0 and 1, repair with parities 1 and 3 (h indices 0,2)
+        received = {i: data[i] for i in range(2, 7)}
+        received[7] = parities[0]
+        received[9] = parities[2]
+        assert small_codec.decode(received) == data
+
+    def test_only_parities_suffice(self, rng):
+        codec = RSECodec(3, 3)
+        data = random_packets(rng, 3)
+        parities = codec.encode(data)
+        received = {3 + j: parities[j] for j in range(3)}
+        assert codec.decode(received) == data
+
+    def test_insufficient_packets_raises(self, small_codec, rng):
+        data = random_packets(rng, 7)
+        received = {i: data[i] for i in range(6)}  # only 6 of 7
+        with pytest.raises(DecodeError, match="need at least k=7"):
+            small_codec.decode(received)
+
+    def test_empty_reception_raises(self, small_codec):
+        with pytest.raises(DecodeError, match="no packets"):
+            small_codec.decode({})
+
+    def test_out_of_range_index_raises(self, small_codec, rng):
+        received = {i: rng.bytes(8) for i in range(7)}
+        received[10] = rng.bytes(8)  # n == 10, valid indices 0..9
+        with pytest.raises(ValueError, match="out of range"):
+            small_codec.decode(received)
+
+    def test_inconsistent_lengths_raise(self, small_codec, rng):
+        received = {i: rng.bytes(8) for i in range(6)}
+        received[7] = rng.bytes(16)
+        with pytest.raises(ValueError, match="inconsistent"):
+            small_codec.decode(received)
+
+    def test_extra_packets_ignored_gracefully(self, small_codec, rng):
+        data = random_packets(rng, 7)
+        parities = small_codec.encode(data)
+        received = {i: data[i] for i in range(7)}
+        received.update({7 + j: parities[j] for j in range(3)})
+        assert small_codec.decode(received) == data
+
+
+class TestStats:
+    def test_encode_decode_counters(self, rng):
+        codec = RSECodec(4, 2)
+        data = random_packets(rng, 4)
+        parities = codec.encode(data)
+        assert codec.stats.packets_encoded == 4
+        assert codec.stats.parities_produced == 2
+        received = {0: data[0], 1: data[1], 4: parities[0], 5: parities[1]}
+        codec.decode(received)
+        assert codec.stats.packets_decoded == 2
+
+    def test_reset(self):
+        stats = CodecStats(packets_encoded=5, parities_produced=2)
+        stats.reset()
+        assert stats.packets_encoded == 0
+        assert stats.parities_produced == 0
+
+
+class TestNarrowField:
+    """GF(2^4) packs two symbols per payload byte (Section 2.2 scheme)."""
+
+    def test_nibble_roundtrip(self, rng):
+        codec = RSECodec(5, 3, field=GF16)
+        data = [rng.bytes(32) for _ in range(5)]
+        parities = codec.encode(data)
+        assert all(len(p) == 32 for p in parities)
+        received = {1: data[1], 3: data[3], 5: parities[0], 6: parities[1],
+                    7: parities[2]}
+        assert codec.decode(received) == data
+
+    def test_nibble_packing_is_big_endian_high_first(self):
+        codec = RSECodec(1, 0, field=GF16)
+        symbols = codec._to_symbols(b"\xAB")
+        assert list(symbols) == [0xA, 0xB]
+        assert codec._to_bytes(symbols) == b"\xAB"
+
+    def test_block_limit_small_field(self):
+        with pytest.raises(ValueError, match="exceeds limit"):
+            RSECodec(10, 6, field=GF16)  # n=16 > 15
+
+    def test_unsupported_width_byte_payload(self, rng):
+        from repro.galois.field import field_for_width
+
+        codec = RSECodec(2, 1, field=field_for_width(5))
+        with pytest.raises(ValueError, match="encode_symbols"):
+            codec.encode([rng.bytes(4), rng.bytes(4)])
+
+    def test_out_of_range_symbols_rejected(self):
+        import numpy as np
+
+        codec = RSECodec(2, 1, field=GF16)
+        bad = np.array([3, 200], dtype=np.uint8)  # 200 >= 16
+        with pytest.raises(ValueError, match="exceeds"):
+            codec.encode_symbols(np.vstack([bad, bad]))
+
+
+class TestWideField:
+    def test_large_block_gf65536(self, rng):
+        codec = RSECodec(30, 30, field=GF65536)
+        data = random_packets(rng, 30, 32)
+        parities = codec.encode(data)
+        received = {60 - 1 - j: parities[29 - j] for j in range(0)}  # none
+        received = {i + 30: parities[i] for i in range(30)}
+        assert codec.decode(received) == data
+
+    def test_symbol_level_roundtrip(self, rng):
+        codec = RSECodec(5, 3, field=GF65536)
+        data = np.ascontiguousarray(
+            rng.integers(0, 65536, size=(5, 20)), dtype=np.uint16
+        )
+        parities = codec.encode_symbols(data)
+        rows = {0: data[0], 2: data[2], 4: data[4], 5: parities[0], 7: parities[2]}
+        out = codec.decode_symbols(rows)
+        for i in range(5):
+            assert np.array_equal(out[i], data[i])

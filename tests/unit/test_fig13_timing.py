@@ -1,0 +1,76 @@
+"""Tests for the Figure-13 timing-diagram renderer."""
+
+import pytest
+
+from repro.experiments.fig13_timing import render_timing_diagram, scheme_timelines
+from repro.mc import Timing
+
+TIMING = Timing(packet_interval=0.04, round_gap=0.2)
+
+
+class TestSchemeTimelines:
+    def test_all_four_schemes_present(self):
+        timelines = scheme_timelines(timing=TIMING)
+        assert set(timelines) == {
+            "no FEC", "layered FEC", "integrated FEC 1", "integrated FEC 2",
+        }
+
+    def test_nofec_spacing_is_delta_plus_t(self):
+        events = scheme_timelines(timing=TIMING)["no FEC"]
+        gaps = [b[0] - a[0] for a, b in zip(events, events[1:])]
+        assert all(abs(g - 0.24) < 1e-12 for g in gaps)
+        assert all(symbol == "o" for _, symbol in events)
+
+    def test_layered_sends_full_blocks(self):
+        events = scheme_timelines(k=4, h=2, timing=TIMING)["layered FEC"]
+        symbols = [s for _, s in events]
+        # each round: 4 originals then 2 parities
+        assert symbols == ["o"] * 4 + ["p"] * 2 + ["o"] * 4 + ["p"] * 2 + \
+            ["o"] * 4 + ["p"] * 2
+
+    def test_fec1_back_to_back(self):
+        events = scheme_timelines(
+            k=4, h=2, repair_counts=(2, 1), timing=TIMING
+        )["integrated FEC 1"]
+        gaps = [b[0] - a[0] for a, b in zip(events, events[1:])]
+        assert all(abs(g - 0.04) < 1e-12 for g in gaps)
+        assert [s for _, s in events] == ["o"] * 4 + ["p"] * 3
+
+    def test_fec2_rounds_separated_by_t(self):
+        events = scheme_timelines(
+            k=4, h=2, repair_counts=(2, 1), timing=TIMING
+        )["integrated FEC 2"]
+        parity_times = [t for t, s in events if s == "p"]
+        # first batch of 2 at Delta spacing, second batch T later
+        assert abs(parity_times[1] - parity_times[0] - 0.04) < 1e-12
+        assert parity_times[2] - parity_times[1] > 0.2 - 1e-12
+
+    def test_fec1_and_fec2_same_parity_total(self):
+        timelines = scheme_timelines(repair_counts=(3, 2, 1), timing=TIMING)
+        fec1_parities = sum(1 for _, s in timelines["integrated FEC 1"] if s == "p")
+        fec2_parities = sum(1 for _, s in timelines["integrated FEC 2"] if s == "p")
+        assert fec1_parities == fec2_parities == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scheme_timelines(k=0)
+
+
+class TestRenderDiagram:
+    def test_renders_all_rows(self):
+        diagram = render_timing_diagram(timing=TIMING)
+        assert "no FEC" in diagram
+        assert "integrated FEC 2" in diagram
+        assert "o" in diagram and "p" in diagram
+
+    def test_legend_mentions_timing(self):
+        diagram = render_timing_diagram(timing=TIMING)
+        assert "Delta = 40 ms" in diagram
+        assert "T = 200 ms" in diagram
+
+    def test_no_fec_row_has_no_parities(self):
+        diagram = render_timing_diagram(timing=TIMING)
+        nofec_row = next(
+            line for line in diagram.splitlines() if line.startswith("no FEC")
+        )
+        assert "p" not in nofec_row

@@ -1,0 +1,169 @@
+"""Unit tests for GaloisField scalar and vector arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.galois.field import GF16, GF256, GF65536, GaloisField, field_for_width
+from repro.galois.tables import FieldTableError
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self, field):
+        assert field.add(0b1010, 0b0110) == 0b1100
+        assert field.subtract(0b1010, 0b0110) == 0b1100
+
+    @staticmethod
+    def _carryless_multiply(a: int, b: int, poly: int, m: int) -> int:
+        """Independent reference: schoolbook GF(2)[x] multiply + reduce."""
+        product = 0
+        while b:
+            if b & 1:
+                product ^= a
+            b >>= 1
+            a <<= 1
+        for bit in range(2 * m - 2, m - 1, -1):
+            if product & (1 << bit):
+                product ^= poly << (bit - m)
+        return product
+
+    def test_multiply_matches_independent_reference(self, field):
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            a = int(rng.integers(0, field.order))
+            b = int(rng.integers(0, field.order))
+            expected = self._carryless_multiply(
+                a, b, field.primitive_poly, field.m
+            )
+            assert field.multiply(a, b) == expected
+
+    def test_multiply_by_zero_and_one(self, field):
+        for a in (0, 1, 2, field.order - 1):
+            assert field.multiply(a, 0) == 0
+            assert field.multiply(0, a) == 0
+            assert field.multiply(a, 1) == a
+
+    def test_division_inverts_multiplication(self, field):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            a = int(rng.integers(0, field.order))
+            b = int(rng.integers(1, field.order))
+            assert field.divide(field.multiply(a, b), b) == a
+
+    def test_division_by_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.divide(1, 0)
+
+    def test_inverse(self, field):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a = int(rng.integers(1, field.order))
+            assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    def test_power_basic_identities(self, field):
+        assert field.power(0, 0) == 1
+        assert field.power(5 % field.order, 0) == 1
+        assert field.power(0, 3) == 0
+        a = 3 % field.order
+        assert field.power(a, 1) == a
+        assert field.power(a, 2) == field.multiply(a, a)
+
+    def test_power_negative_exponent(self, field):
+        a = 7 % field.order or 3
+        assert field.power(a, -1) == field.inverse(a)
+
+    def test_power_zero_negative_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.power(0, -2)
+
+    def test_alpha_power_order(self, field):
+        # alpha^(2^m - 1) == 1 (multiplicative group order)
+        assert field.alpha_power(field.order - 1) == 1
+        assert field.alpha_power(0) == 1
+
+
+class TestVectorArithmetic:
+    def test_multiply_vec_matches_scalar(self, field):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, field.order, size=64).astype(field.dtype)
+        b = rng.integers(0, field.order, size=64).astype(field.dtype)
+        out = field.multiply_vec(a, b)
+        for i in range(64):
+            assert int(out[i]) == field.multiply(int(a[i]), int(b[i]))
+
+    def test_multiply_vec_broadcasts(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        out = GF256.multiply_vec(a, np.uint8(2))
+        expected = [GF256.multiply(int(x), 2) for x in a]
+        assert list(out) == expected
+
+    def test_scale_matches_scalar(self, field):
+        rng = np.random.default_rng(5)
+        v = rng.integers(0, field.order, size=128).astype(field.dtype)
+        for c in (0, 1, 2, field.order - 1):
+            out = field.scale(c, v)
+            for i in range(0, 128, 17):
+                assert int(out[i]) == field.multiply(c, int(v[i]))
+
+    def test_scale_zero_returns_zeros(self, field):
+        v = np.arange(16, dtype=field.dtype)
+        assert not field.scale(0, v).any()
+
+    def test_scale_one_returns_copy(self, field):
+        v = np.arange(16, dtype=field.dtype)  # all < 16 <= field order
+        out = field.scale(1, v)
+        assert np.array_equal(out, v)
+        out[0] = 1  # must not alias the input
+        assert v[0] == 0
+
+    def test_scale_accumulate(self, field):
+        rng = np.random.default_rng(6)
+        v = rng.integers(0, field.order, size=32).astype(field.dtype)
+        acc = np.zeros(32, dtype=field.dtype)
+        field.scale_accumulate(acc, 3 % field.order, v)
+        assert np.array_equal(acc, field.scale(3 % field.order, v))
+        # accumulating the same thing again cancels (characteristic 2)
+        field.scale_accumulate(acc, 3 % field.order, v)
+        assert not acc.any()
+
+    def test_scale_accumulate_zero_coefficient_is_noop(self, field):
+        acc = np.ones(8, dtype=field.dtype)
+        field.scale_accumulate(acc, 0, np.full(8, 5, dtype=field.dtype))
+        assert np.array_equal(acc, np.ones(8, dtype=field.dtype))
+
+    def test_dot(self, field):
+        rng = np.random.default_rng(7)
+        coefficients = rng.integers(0, field.order, size=5)
+        vectors = rng.integers(0, field.order, size=(5, 16)).astype(field.dtype)
+        out = field.dot(coefficients, vectors)
+        expected = np.zeros(16, dtype=field.dtype)
+        for c, row in zip(coefficients, vectors):
+            expected ^= field.scale(int(c), row)
+        assert np.array_equal(out, expected)
+
+
+class TestFieldConstruction:
+    def test_field_for_width_returns_shared_instances(self):
+        assert field_for_width(8) is GF256
+        assert field_for_width(4) is GF16
+        assert field_for_width(16) is GF65536
+
+    def test_field_for_width_builds_nonstandard(self):
+        gf32 = field_for_width(5)
+        assert gf32.order == 32
+        assert gf32.multiply(3, gf32.inverse(3)) == 1
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(FieldTableError):
+            GaloisField(40)
+
+    def test_equality_and_hash(self):
+        assert GaloisField(8) == GF256
+        assert hash(GaloisField(8)) == hash(GF256)
+        assert GaloisField(8, primitive_poly=0x187) != GF256
+
+    def test_elements(self):
+        assert list(GF16.elements()) == list(range(16))

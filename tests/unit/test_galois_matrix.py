@@ -1,0 +1,135 @@
+"""Unit tests for GF matrix algebra and the systematic generator."""
+
+import numpy as np
+import pytest
+
+from repro.galois.field import GF16, GF256
+from repro.galois.matrix import (
+    SingularMatrixError,
+    identity,
+    invert,
+    matmul,
+    solve,
+    systematic_generator,
+    vandermonde,
+)
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = vandermonde(GF256, 6, 4)
+        assert v.shape == (6, 4)
+        assert all(v[:, 0] == 1)  # x^0 column
+
+    def test_rows_are_powers_of_distinct_points(self):
+        v = vandermonde(GF256, 5, 3)
+        for i in range(5):
+            x = GF256.alpha_power(i)
+            assert int(v[i, 1]) == x
+            assert int(v[i, 2]) == GF256.multiply(x, x)
+
+    def test_every_square_submatrix_invertible(self):
+        # the MDS property, by brute force on a small instance
+        from itertools import combinations
+
+        v = vandermonde(GF16, 6, 3)
+        for rows in combinations(range(6), 3):
+            invert(GF16, v[list(rows)])  # must not raise
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            vandermonde(GF256, 3, 2, points=[1, 1, 2])
+
+    def test_too_many_rows_for_field(self):
+        with pytest.raises(ValueError, match="distinct alpha powers"):
+            vandermonde(GF16, 20, 3)
+
+    def test_point_count_mismatch(self):
+        with pytest.raises(ValueError, match="one evaluation point per row"):
+            vandermonde(GF256, 3, 2, points=[1, 2])
+
+
+class TestMatmulInvert:
+    def test_identity_is_neutral(self):
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        eye = identity(GF256, 4)
+        assert np.array_equal(matmul(GF256, a, eye), a)
+        assert np.array_equal(matmul(GF256, eye, a), a)
+
+    def test_invert_roundtrip(self):
+        v = vandermonde(GF256, 5, 5)
+        v_inv = invert(GF256, v)
+        assert np.array_equal(matmul(GF256, v, v_inv), identity(GF256, 5))
+        assert np.array_equal(matmul(GF256, v_inv, v), identity(GF256, 5))
+
+    def test_invert_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            invert(GF256, np.zeros((2, 3), dtype=np.uint8))
+
+    def test_singular_matrix_detected(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            invert(GF256, singular)
+
+    def test_zero_matrix_singular(self):
+        with pytest.raises(SingularMatrixError):
+            invert(GF256, np.zeros((3, 3), dtype=np.uint8))
+
+    def test_invert_with_row_swaps(self):
+        # leading zero forces pivoting
+        matrix = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        inv = invert(GF256, matrix)
+        assert np.array_equal(matmul(GF256, matrix, inv), identity(GF256, 2))
+
+    def test_matmul_vector(self):
+        a = vandermonde(GF256, 3, 3)
+        x = np.array([1, 2, 3], dtype=np.uint8)
+        b = matmul(GF256, a, x)
+        assert b.shape == (3,)
+        assert np.array_equal(solve(GF256, a, b), x)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            matmul(GF256, np.zeros((2, 3), dtype=np.uint8),
+                   np.zeros((4, 2), dtype=np.uint8))
+
+    def test_solve_matrix_rhs(self):
+        a = vandermonde(GF256, 4, 4)
+        x = vandermonde(GF256, 4, 2)
+        b = matmul(GF256, a, x)
+        assert np.array_equal(solve(GF256, a, b), x)
+
+
+class TestSystematicGenerator:
+    def test_top_is_identity(self):
+        g = systematic_generator(GF256, 5, 9)
+        assert np.array_equal(g[:5], identity(GF256, 5))
+
+    def test_any_k_rows_invertible(self):
+        from itertools import combinations
+
+        g = systematic_generator(GF16, 4, 8)
+        for rows in combinations(range(8), 4):
+            invert(GF16, g[list(rows)])  # MDS: must not raise
+
+    def test_k_equals_n(self):
+        g = systematic_generator(GF256, 3, 3)
+        assert np.array_equal(g, identity(GF256, 3))
+
+    def test_block_length_limit(self):
+        with pytest.raises(ValueError, match="code length limit"):
+            systematic_generator(GF16, 8, 16)  # n > 2^4 - 1
+        systematic_generator(GF16, 8, 15)  # n == limit is fine
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="1 <= k <= n"):
+            systematic_generator(GF256, 0, 4)
+        with pytest.raises(ValueError, match="1 <= k <= n"):
+            systematic_generator(GF256, 5, 4)
+
+    def test_parity_rows_have_no_zero_entries(self):
+        # a zero coefficient would mean a parity ignores some data packet,
+        # weakening the code; the Vandermonde construction avoids this
+        g = systematic_generator(GF256, 7, 10)
+        assert (g[7:] != 0).all()

@@ -1,0 +1,166 @@
+"""Tests for GF polynomials and the Equation-(1) polynomial codec."""
+
+import numpy as np
+import pytest
+
+from repro.galois.field import GF16, GF256
+from repro.galois.polynomial import GFPolynomial, PolynomialCodec
+
+from tests.conftest import random_packets
+
+
+class TestGFPolynomial:
+    def test_zero_polynomial(self):
+        zero = GFPolynomial(GF256, [])
+        assert zero.degree == -1
+        assert zero(5) == 0
+
+    def test_trailing_zeros_trimmed(self):
+        poly = GFPolynomial(GF256, [1, 2, 0, 0])
+        assert poly.degree == 1
+
+    def test_horner_evaluation(self):
+        # F(X) = 3 + 5X + 7X^2 at x: explicit vs Horner
+        poly = GFPolynomial(GF256, [3, 5, 7])
+        for x in (0, 1, 2, 17, 255):
+            explicit = (
+                3
+                ^ GF256.multiply(5, x)
+                ^ GF256.multiply(7, GF256.multiply(x, x))
+            )
+            assert poly(x) == explicit
+
+    def test_constant_term_at_zero(self):
+        assert GFPolynomial(GF256, [42, 1, 1])(0) == 42
+
+    def test_addition_is_pointwise(self):
+        f = GFPolynomial(GF256, [1, 2, 3])
+        g = GFPolynomial(GF256, [4, 5])
+        for x in range(0, 256, 37):
+            assert (f + g)(x) == f(x) ^ g(x)
+
+    def test_self_addition_cancels(self):
+        f = GFPolynomial(GF256, [9, 9, 9])
+        assert (f + f).degree == -1
+
+    def test_multiplication_is_pointwise(self):
+        f = GFPolynomial(GF256, [1, 2])
+        g = GFPolynomial(GF256, [3, 0, 4])
+        for x in range(0, 256, 41):
+            assert (f * g)(x) == GF256.multiply(f(x), g(x))
+
+    def test_scalar_multiplication(self):
+        f = GFPolynomial(GF256, [1, 2, 3])
+        for x in (1, 7, 200):
+            assert (f * 9)(x) == GF256.multiply(9, f(x))
+            assert (9 * f)(x) == GF256.multiply(9, f(x))
+
+    def test_multiply_by_zero_polynomial(self):
+        f = GFPolynomial(GF256, [1, 2])
+        assert (f * GFPolynomial(GF256, [])).degree == -1
+
+    def test_coefficient_range_checked(self):
+        with pytest.raises(ValueError, match="range"):
+            GFPolynomial(GF16, [20])
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(ValueError, match="different fields"):
+            GFPolynomial(GF256, [1]) + GFPolynomial(GF16, [1])
+
+
+class TestInterpolation:
+    def test_roundtrip(self, rng):
+        coefficients = [int(c) for c in rng.integers(0, 256, size=5)]
+        poly = GFPolynomial(GF256, coefficients)
+        xs = [1, 2, 3, 4, 5]
+        points = [(x, poly(x)) for x in xs]
+        assert GFPolynomial.interpolate(GF256, points) == poly
+
+    def test_underdetermined_gives_lower_degree(self):
+        # 2 points determine a line even if the source was a cubic
+        points = [(1, 5), (2, 9)]
+        poly = GFPolynomial.interpolate(GF256, points)
+        assert poly.degree <= 1
+        assert poly(1) == 5 and poly(2) == 9
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            GFPolynomial.interpolate(GF256, [(1, 2), (1, 3)])
+
+    def test_zero_values_interpolate_to_zero(self):
+        points = [(1, 0), (2, 0), (3, 0)]
+        assert GFPolynomial.interpolate(GF256, points).degree == -1
+
+
+class TestPolynomialCodec:
+    def test_matches_paper_parity_definition(self, rng):
+        """p_j must literally equal F(alpha^(j-1)) per symbol column."""
+        codec = PolynomialCodec(3, 4)
+        data = random_packets(rng, 3, 8)
+        parities = codec.encode(data)
+        for s in range(8):  # every symbol column
+            coefficients = [data[i][s] for i in range(3)]
+            poly = GFPolynomial(GF256, coefficients)
+            for j in range(4):
+                assert parities[j][s] == poly(GF256.alpha_power(j))
+
+    @pytest.mark.parametrize("kept_data,kept_parity", [
+        (3, 0), (2, 1), (1, 2), (0, 3),
+    ])
+    def test_any_k_of_n_decodes(self, rng, kept_data, kept_parity):
+        codec = PolynomialCodec(3, 5)
+        data = random_packets(rng, 3, 16)
+        parities = codec.encode(data)
+        received = {i: data[i] for i in range(kept_data)}
+        received.update({3 + j: parities[j] for j in range(kept_parity)})
+        assert codec.decode(received) == data
+
+    def test_interpolation_decode_agrees_with_matrix_decode(self, rng):
+        codec = PolynomialCodec(4, 6)
+        data = random_packets(rng, 4, 8)
+        parities = codec.encode(data)
+        evaluations = {4 + j: parities[j] for j in (0, 2, 3, 5)}
+        assert (
+            codec.decode_by_interpolation(evaluations)
+            == codec.decode(evaluations)
+            == data
+        )
+
+    def test_interpolation_decode_rejects_data_indices(self, rng):
+        codec = PolynomialCodec(2, 2)
+        data = random_packets(rng, 2, 4)
+        parities = codec.encode(data)
+        with pytest.raises(ValueError, match="parity indices"):
+            codec.decode_by_interpolation({0: data[0], 2: parities[0]})
+
+    def test_insufficient_packets(self, rng):
+        codec = PolynomialCodec(3, 2)
+        with pytest.raises(ValueError, match="at least 3"):
+            codec.decode({0: b"aa"})
+
+    def test_block_length_limit(self):
+        with pytest.raises(ValueError, match="block longer"):
+            PolynomialCodec(200, 100)
+
+    def test_differs_from_systematic_codec_in_parities_only(self, rng):
+        """Both codecs carry the data verbatim; their parity bits differ
+        (different generator matrices) but both decode any k of n."""
+        from repro.fec.rse import RSECodec
+
+        data = random_packets(rng, 4, 16)
+        poly_codec = PolynomialCodec(4, 3)
+        rse_codec = RSECodec(4, 3)
+        poly_parities = poly_codec.encode(data)
+        rse_parities = rse_codec.encode(data)
+        assert poly_parities != rse_parities  # different constructions
+        # both repair the same worst-case loss
+        assert (
+            poly_codec.decode({4: poly_parities[0], 5: poly_parities[1],
+                               6: poly_parities[2], 0: data[0]})
+            == data
+        )
+        assert (
+            rse_codec.decode({4: rse_parities[0], 5: rse_parities[1],
+                              6: rse_parities[2], 0: data[0]})
+            == data
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for the GF(2^m) discrete-log tables."""
+
+import numpy as np
+import pytest
+
+from repro.galois.tables import (
+    PRIMITIVE_POLYNOMIALS,
+    SUPPORTED_WIDTHS,
+    FieldTableError,
+    build_exp_log,
+    exp_log_tables,
+    full_multiplication_table,
+)
+
+
+class TestBuildExpLog:
+    @pytest.mark.parametrize("m", SUPPORTED_WIDTHS)
+    def test_exp_table_cycles_through_all_nonzero_elements(self, m):
+        exp, _ = build_exp_log(m)
+        n = (1 << m) - 1
+        assert sorted(set(int(v) for v in exp[:n])) == list(range(1, n + 1))
+
+    @pytest.mark.parametrize("m", SUPPORTED_WIDTHS)
+    def test_exp_table_is_doubled_for_modulo_free_lookup(self, m):
+        exp, _ = build_exp_log(m)
+        n = (1 << m) - 1
+        assert exp.shape == (2 * n,)
+        assert np.array_equal(exp[:n], exp[n:])
+
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_log_inverts_exp(self, m):
+        exp, log = build_exp_log(m)
+        n = (1 << m) - 1
+        for i in range(0, n, max(1, n // 257)):
+            assert log[int(exp[i])] == i
+
+    def test_exp_starts_at_one(self):
+        exp, _ = build_exp_log(8)
+        assert exp[0] == 1
+
+    def test_log_zero_is_sentinel(self):
+        _, log = build_exp_log(8)
+        assert log[0] == -1
+
+    def test_unsupported_width_raises(self):
+        with pytest.raises(FieldTableError, match="unsupported"):
+            build_exp_log(1)
+        with pytest.raises(FieldTableError, match="unsupported"):
+            build_exp_log(17)
+
+    def test_wrong_degree_polynomial_raises(self):
+        with pytest.raises(FieldTableError, match="degree"):
+            build_exp_log(8, primitive_poly=0x13)  # degree-4 poly for m=8
+
+    def test_non_primitive_polynomial_raises(self):
+        # x^8 + 1 = 0x101 is reducible, hence not primitive
+        with pytest.raises(FieldTableError, match="not primitive"):
+            build_exp_log(8, primitive_poly=0x101)
+
+    def test_alternate_primitive_polynomial_works(self):
+        # 0x187 = x^8+x^7+x^2+x+1 is another primitive octet polynomial
+        exp, log = build_exp_log(8, primitive_poly=0x187)
+        assert sorted(set(int(v) for v in exp[:255])) == list(range(1, 256))
+
+
+class TestCachedTables:
+    def test_cached_tables_are_readonly(self):
+        exp, log = exp_log_tables(8)
+        with pytest.raises(ValueError):
+            exp[0] = 5
+        with pytest.raises(ValueError):
+            log[1] = 5
+
+    def test_cache_returns_same_objects(self):
+        assert exp_log_tables(8)[0] is exp_log_tables(8)[0]
+
+    def test_dtype_matches_width(self):
+        assert exp_log_tables(8)[0].dtype == np.uint8
+        assert exp_log_tables(16)[0].dtype == np.uint16
+        assert exp_log_tables(4)[0].dtype == np.uint8
+
+
+class TestFullMultiplicationTable:
+    def test_agrees_with_exp_log_multiplication(self):
+        table = full_multiplication_table(8)
+        exp, log = exp_log_tables(8)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = int(rng.integers(1, 256)), int(rng.integers(1, 256))
+            expected = int(exp[int(log[a]) + int(log[b])])
+            assert int(table[a, b]) == expected
+
+    def test_zero_row_and_column(self):
+        table = full_multiplication_table(8)
+        assert not table[0].any()
+        assert not table[:, 0].any()
+
+    def test_one_is_identity(self):
+        table = full_multiplication_table(4)
+        assert np.array_equal(table[1], np.arange(16, dtype=np.uint8))
+
+    def test_large_width_rejected(self):
+        with pytest.raises(FieldTableError, match="MiB"):
+            full_multiplication_table(16)
+
+    def test_symmetry(self):
+        table = full_multiplication_table(4)
+        assert np.array_equal(table, table.T)

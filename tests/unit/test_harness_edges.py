@@ -1,0 +1,114 @@
+"""Edge-case tests for the transfer harness and its report."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.protocols.harness import TransferReport, run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import BernoulliLoss, ScriptedLoss
+
+
+def fast_config(**overrides):
+    defaults = dict(k=3, h=8, packet_size=64, packet_interval=0.01,
+                    slot_time=0.02)
+    defaults.update(overrides)
+    return NPConfig(**defaults)
+
+
+class TestHarnessFailureModes:
+    def test_timeout_raises_with_context(self):
+        # brutal loss + an absurdly small time budget: the harness must
+        # fail loudly, naming the number of incomplete receivers
+        with pytest.raises(RuntimeError, match="receivers incomplete"):
+            run_transfer(
+                "np", os.urandom(5000), BernoulliLoss(5, 0.9),
+                fast_config(), rng=1, max_sim_time=0.05,
+            )
+
+    def test_unknown_protocol_lists_options(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_transfer("rmtp", b"x", BernoulliLoss(1, 0.0), fast_config())
+        message = str(excinfo.value)
+        for name in ("np", "n2", "layered", "fec1"):
+            assert name in message
+
+    def test_rng_accepts_seed_and_generator(self):
+        payload = os.urandom(2000)
+        by_seed = run_transfer(
+            "np", payload, BernoulliLoss(3, 0.1), fast_config(), rng=42
+        )
+        by_generator = run_transfer(
+            "np", payload, BernoulliLoss(3, 0.1), fast_config(),
+            rng=np.random.default_rng(42),
+        )
+        assert (
+            by_seed.transmissions_per_packet
+            == by_generator.transmissions_per_packet
+        )
+
+
+class TestTransferReportDerived:
+    def _report(self, **overrides):
+        fields = dict(
+            protocol="np", n_receivers=4, n_groups=10,
+            total_data_packets=30, payload_bytes=1000, verified=True,
+            completion_time=1.5, transmissions_per_packet=1.2,
+            data_sent=30, parity_sent=6, retransmissions_sent=0,
+            polls_sent=12, naks_received=5, naks_sent_total=5,
+            naks_suppressed_total=15, duplicates_total=3,
+            packets_reconstructed_total=4, events_dispatched=100,
+        )
+        fields.update(overrides)
+        return TransferReport(**fields)
+
+    def test_feedback_per_group(self):
+        assert self._report().feedback_per_group == 0.5
+        assert self._report(n_groups=0).feedback_per_group == 0.0
+
+    def test_suppression_ratio(self):
+        assert self._report().suppression_ratio == 0.75
+        quiet = self._report(naks_sent_total=0, naks_suppressed_total=0)
+        assert quiet.suppression_ratio == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        summary = self._report().summary()
+        assert "E[M]=1.200" in summary
+        assert "R=4" in summary
+        assert "verified=True" in summary
+
+    def test_buffer_fields_default_zero(self):
+        report = self._report()
+        assert report.peak_buffered_groups == 0
+        assert report.peak_buffered_packets == 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_reports(self):
+        payload = os.urandom(4000)
+        a = run_transfer("np", payload, BernoulliLoss(6, 0.1),
+                         fast_config(), rng=7)
+        b = run_transfer("np", payload, BernoulliLoss(6, 0.1),
+                         fast_config(), rng=7)
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        payload = os.urandom(4000)
+        reports = {
+            run_transfer("np", payload, BernoulliLoss(6, 0.1),
+                         fast_config(), rng=seed).events_dispatched
+            for seed in range(6)
+        }
+        assert len(reports) > 1
+
+    def test_scripted_loss_fully_deterministic_across_protocols(self):
+        schedule = np.zeros((2, 12), dtype=bool)
+        schedule[0, 1] = schedule[1, 4] = True
+        payload = os.urandom(3 * 64)
+        for protocol in ("np", "n2", "layered", "fec1"):
+            a = run_transfer(protocol, payload, ScriptedLoss(schedule.copy()),
+                             fast_config(), rng=0)
+            b = run_transfer(protocol, payload, ScriptedLoss(schedule.copy()),
+                             fast_config(), rng=0)
+            assert a == b, protocol

@@ -1,0 +1,185 @@
+"""Unit tests for the Monte-Carlo simulators and their helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mc import (
+    MCResult,
+    PAPER_TIMING,
+    Timing,
+    burst_length_histogram,
+    run_lengths,
+    simulate_integrated_immediate,
+    simulate_integrated_rounds,
+    simulate_layered,
+    simulate_nofec,
+)
+from repro.mc._common import resolve_rng, summarize
+from repro.sim.loss import BernoulliLoss, GilbertLoss
+
+
+class TestCommon:
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            Timing(packet_interval=0.0)
+        with pytest.raises(ValueError):
+            Timing(round_gap=-1.0)
+        assert PAPER_TIMING.packet_interval == 0.040
+        assert PAPER_TIMING.round_gap == 0.300
+
+    def test_mcresult_confidence_interval(self):
+        result = MCResult(mean=2.0, stderr=0.1, replications=100)
+        low, high = result.confidence95
+        assert math.isclose(low, 2.0 - 0.196)
+        assert math.isclose(high, 2.0 + 0.196)
+
+    def test_mcresult_compatibility(self):
+        result = MCResult(mean=2.0, stderr=0.1, replications=100)
+        assert result.compatible_with(2.3)
+        assert not result.compatible_with(3.0)
+        exact = MCResult(mean=2.0, stderr=0.0, replications=1)
+        assert exact.compatible_with(2.0)
+        assert not exact.compatible_with(2.1)
+
+    def test_summarize(self):
+        result = summarize([1.0, 2.0, 3.0])
+        assert result.mean == 2.0
+        assert result.replications == 3
+        assert result.stderr > 0
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summarize_single_sample(self):
+        assert summarize([5.0]).stderr == 0.0
+
+    def test_resolve_rng(self):
+        generator = np.random.default_rng(1)
+        assert resolve_rng(generator) is generator
+        assert isinstance(resolve_rng(42), np.random.Generator)
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+class TestNoFecSimulator:
+    def test_zero_loss_single_transmission(self):
+        result = simulate_nofec(BernoulliLoss(10, 0.0), replications=5, rng=1)
+        assert result.mean == 1.0
+        assert result.stderr == 0.0
+
+    def test_single_receiver_geometric_mean(self):
+        result = simulate_nofec(BernoulliLoss(1, 0.5), replications=3000, rng=2)
+        assert result.compatible_with(2.0)
+
+    def test_increases_with_population(self):
+        small = simulate_nofec(BernoulliLoss(2, 0.2), 500, rng=3)
+        large = simulate_nofec(BernoulliLoss(200, 0.2), 500, rng=3)
+        assert large.mean > small.mean
+
+    def test_deterministic_given_seed(self):
+        a = simulate_nofec(BernoulliLoss(10, 0.1), 50, rng=7)
+        b = simulate_nofec(BernoulliLoss(10, 0.1), 50, rng=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_nofec(BernoulliLoss(5, 0.1), replications=0)
+
+
+class TestLayeredSimulator:
+    def test_zero_loss_floor_is_overhead(self):
+        result = simulate_layered(BernoulliLoss(5, 0.0), 7, 2, 5, rng=1)
+        assert math.isclose(result.mean, 9 / 7)
+
+    def test_h_zero_matches_nofec_process(self):
+        # without parities, per-packet recovery is plain per-round loss
+        layered_result = simulate_layered(BernoulliLoss(1, 0.3), 1, 0, 2000, rng=4)
+        assert layered_result.compatible_with(1 / 0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_layered(BernoulliLoss(5, 0.1), 0, 1)
+        with pytest.raises(ValueError):
+            simulate_layered(BernoulliLoss(5, 0.1), 5, -1)
+        with pytest.raises(ValueError):
+            simulate_layered(BernoulliLoss(5, 0.1), 5, 1, replications=0)
+
+
+class TestIntegratedSimulators:
+    def test_zero_loss_sends_exactly_k(self):
+        for scheme in (simulate_integrated_immediate, simulate_integrated_rounds):
+            result = scheme(BernoulliLoss(8, 0.0), 7, 5, rng=1)
+            assert result.mean == 1.0
+
+    def test_initial_parities_set_floor(self):
+        result = simulate_integrated_immediate(
+            BernoulliLoss(4, 0.0), 10, 5, rng=1, initial_parities=5
+        )
+        assert math.isclose(result.mean, 1.5)
+
+    def test_schemes_agree_without_temporal_correlation(self):
+        # with memoryless loss the timing difference between FEC1 and FEC2
+        # is irrelevant; both estimate the same E[M]
+        model = BernoulliLoss(50, 0.05)
+        fec1 = simulate_integrated_immediate(model, 7, 800, rng=5)
+        fec2 = simulate_integrated_rounds(model, 7, 800, rng=6)
+        assert abs(fec1.mean - fec2.mean) < 4 * (fec1.stderr + fec2.stderr)
+
+    def test_validation(self):
+        model = BernoulliLoss(5, 0.1)
+        for scheme in (simulate_integrated_immediate, simulate_integrated_rounds):
+            with pytest.raises(ValueError):
+                scheme(model, 0)
+            with pytest.raises(ValueError):
+                scheme(model, 5, initial_parities=-1)
+            with pytest.raises(ValueError):
+                scheme(model, 5, replications=0)
+
+
+class TestRunLengths:
+    def test_basic_runs(self):
+        lost = np.array([1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert list(run_lengths(lost)) == [2, 1, 3]
+
+    def test_all_lost(self):
+        assert list(run_lengths(np.ones(5, dtype=bool))) == [5]
+
+    def test_none_lost(self):
+        assert run_lengths(np.zeros(5, dtype=bool)).size == 0
+
+    def test_empty(self):
+        assert run_lengths(np.array([], dtype=bool)).size == 0
+
+    def test_single_true(self):
+        assert list(run_lengths(np.array([True]))) == [1]
+
+
+class TestBurstHistogram:
+    def test_bernoulli_histogram_rate(self):
+        histogram = burst_length_histogram(0.05, 100_000, None, rng=8)
+        assert abs(histogram.loss_rate - 0.05) < 0.005
+        assert histogram.n_packets == 100_000
+
+    def test_bursty_tail_heavier_than_bernoulli(self):
+        bursty = burst_length_histogram(0.01, 300_000, 2.0, rng=9)
+        independent = burst_length_histogram(0.01, 300_000, None, rng=9)
+        long_bursty = sum(c for length, c in bursty.as_rows() if length >= 3)
+        long_indep = sum(c for length, c in independent.as_rows() if length >= 3)
+        assert long_bursty > 5 * max(long_indep, 1)
+
+    def test_geometric_tail_ratio(self):
+        # consecutive occurrence counts should fall roughly by 1/b = 0.5
+        histogram = burst_length_histogram(0.02, 2_000_000, 2.0, rng=10)
+        counts = dict(histogram.as_rows())
+        ratio21 = counts[2] / counts[1]
+        ratio32 = counts[3] / counts[2]
+        assert 0.4 < ratio21 < 0.6
+        assert 0.35 < ratio32 < 0.65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_length_histogram(0.01, 0)
+
+    def test_no_losses_empty_histogram(self):
+        histogram = burst_length_histogram(1e-9, 1000, None, rng=11)
+        assert histogram.lengths.size == 0 or histogram.occurrences.sum() <= 1

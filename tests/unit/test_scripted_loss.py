@@ -1,0 +1,128 @@
+"""ScriptedLoss itself, plus deterministic protocol corner-case tests.
+
+With an explicit loss schedule we can force the exact scenarios that
+random seeds only hit occasionally: a whole group lost, repairs lost
+again, a receiver that only ever sees parities.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.protocols.harness import run_transfer
+from repro.protocols.np_protocol import NPConfig
+from repro.sim.loss import ScriptedLoss
+
+
+class TestScriptedLossModel:
+    def test_schedule_consumed_in_order(self):
+        schedule = np.array([[True, False, True], [False, True, False]])
+        model = ScriptedLoss(schedule)
+        sampler = model.start(np.random.default_rng(0))
+        first = sampler.sample(np.array([0.0, 1.0]))
+        assert np.array_equal(first, schedule[:, :2])
+        second = sampler.sample(np.array([2.0]))
+        assert np.array_equal(second, schedule[:, 2:3])
+
+    def test_beyond_schedule_is_lossless(self):
+        model = ScriptedLoss(np.array([[True]]))
+        sampler = model.start(np.random.default_rng(0))
+        out = sampler.sample(np.array([0.0, 1.0, 2.0]))
+        assert out[0, 0] and not out[0, 1] and not out[0, 2]
+
+    def test_sample_at_restarts_cursor(self):
+        model = ScriptedLoss(np.array([[True, False]]))
+        rng = np.random.default_rng(0)
+        assert model.sample_at(np.array([0.0]), rng)[0, 0]
+        assert model.sample_at(np.array([0.0]), rng)[0, 0]  # fresh cursor
+
+    def test_marginal(self):
+        model = ScriptedLoss(np.array([[True, True, False, False]]))
+        assert model.marginal_loss_probability()[0] == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ScriptedLoss(np.array([True, False]))
+
+
+class TestForcedProtocolScenarios:
+    """Deterministic NP corner cases via scripted loss."""
+
+    CONFIG = NPConfig(k=3, h=8, packet_size=64, packet_interval=0.01,
+                      slot_time=0.02)
+
+    def _payload(self):
+        return os.urandom(3 * 64)  # exactly one transmission group
+
+    def test_entire_group_lost_then_recovered(self):
+        # receiver loses all 3 data packets; poll still arrives (control
+        # channel); 3 parities repair everything
+        schedule = np.ones((1, 3), dtype=bool)
+        report = run_transfer(
+            "np", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.verified
+        assert report.parity_sent == 3
+
+    def test_repairs_lost_forces_second_round(self):
+        # round 1: lose packet 2; round 2: the single parity is lost too;
+        # round 3 repairs
+        schedule = np.array([[False, False, True, True]])
+        report = run_transfer(
+            "np", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.verified
+        assert report.parity_sent == 2  # one lost, one delivered
+        assert report.naks_received == 2
+
+    def test_disjoint_losses_repaired_by_shared_parities(self):
+        # three receivers each lose a DIFFERENT data packet: one parity
+        # repairs all three (the paper's core argument)
+        schedule = np.array([
+            [True, False, False],
+            [False, True, False],
+            [False, False, True],
+        ])
+        report = run_transfer(
+            "np", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.verified
+        assert report.parity_sent == 1
+
+    def test_worst_receiver_sets_parity_count(self):
+        # receiver 0 loses one packet, receiver 1 loses two: the sender
+        # must send two parities (max need), and receiver 0's NAK is damped
+        schedule = np.array([
+            [True, False, False],
+            [True, True, False],
+        ])
+        report = run_transfer(
+            "np", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.verified
+        assert report.parity_sent == 2
+        assert report.naks_sent_total <= 2
+
+    def test_lossless_run_sends_exactly_k(self):
+        schedule = np.zeros((2, 3), dtype=bool)
+        report = run_transfer(
+            "np", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.parity_sent == 0
+        assert report.naks_sent_total == 0
+        assert report.transmissions_per_packet == 1.0
+
+    def test_n2_retransmits_per_receiver_unlike_np(self):
+        # same disjoint-loss scenario under N2: three distinct originals
+        # must be retransmitted where NP needed a single parity
+        schedule = np.array([
+            [True, False, False],
+            [False, True, False],
+            [False, False, True],
+        ])
+        report = run_transfer(
+            "n2", self._payload(), ScriptedLoss(schedule), self.CONFIG, rng=0
+        )
+        assert report.verified
+        assert report.retransmissions_sent == 3

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, lambda name=name: fired.append(name))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="into the past"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="before current time"):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_cancel_from_earlier_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_counts_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1  # lazily removed
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_event_budget_guards_livelock(self):
+        sim = Simulator(max_events=100)
+
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="budget exhausted"):
+            sim.run()
+
+    def test_events_dispatched_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_run_until_skips_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        head = sim.schedule(1.0, lambda: fired.append("head"))
+        sim.schedule(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        sim.run(until=10.0)
+        assert fired == ["tail"]
+
+    def test_zero_delay_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]

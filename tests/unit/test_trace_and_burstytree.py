@@ -1,0 +1,164 @@
+"""Tests for the trace recorder and the combined bursty-tree loss model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.loss import BernoulliLoss, BurstyTreeLoss
+from repro.sim.network import MulticastNetwork
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def build(self):
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(2, 0.0), np.random.default_rng(0)
+        )
+        network.attach_sender(lambda p: None)
+        network.attach_receiver(lambda p: None)
+        network.attach_receiver(lambda p: None)
+        recorder = TraceRecorder(sim)
+        recorder.attach(network)
+        return sim, network, recorder
+
+    def test_records_all_channels(self):
+        sim, network, recorder = self.build()
+        network.multicast("d1", kind="data")
+        network.multicast_control("p1", kind="poll")
+        network.multicast_feedback("n1", origin=0, kind="nak")
+        assert len(recorder) == 3
+        channels = [event.channel for event in recorder.events]
+        assert channels == ["downstream", "control", "feedback"]
+
+    def test_delivery_unchanged_by_tracing(self):
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(1, 0.0), np.random.default_rng(0)
+        )
+        network.attach_sender(lambda p: None)
+        inbox = []
+        network.attach_receiver(inbox.append)
+        recorder = TraceRecorder(sim)
+        recorder.attach(network)
+        network.multicast("payload")
+        sim.run()
+        assert inbox == ["payload"]
+
+    def test_query_filters(self):
+        sim, network, recorder = self.build()
+        network.multicast("a", kind="data")
+        network.multicast("b", kind="parity")
+        network.multicast("c", kind="data")
+        data_events = list(recorder.query(kind="data"))
+        assert [event.packet for event in data_events] == ["a", "c"]
+        assert list(recorder.query(channel="feedback")) == []
+
+    def test_query_time_window(self):
+        sim, network, recorder = self.build()
+        network.multicast("early")
+        sim.schedule(5.0, lambda: network.multicast("late"))
+        sim.run()
+        assert [e.packet for e in recorder.query(since=1.0)] == ["late"]
+        assert [e.packet for e in recorder.query(until=1.0)] == ["early"]
+
+    def test_kinds_and_summary(self):
+        sim, network, recorder = self.build()
+        network.multicast("a", kind="data")
+        network.multicast("b", kind="data")
+        network.multicast_control("c", kind="poll")
+        assert recorder.kinds() == {"data": 2, "poll": 1}
+        assert "data=2" in recorder.summary()
+
+    def test_capacity_bound(self):
+        sim, network, _ = self.build()
+        recorder = TraceRecorder(sim, capacity=2)
+        recorder.attach(network)
+        for _ in range(5):
+            network.multicast("x")
+        assert len(recorder) == 2
+        assert recorder.dropped_events == 3
+
+    def test_detach_restores(self):
+        sim, network, recorder = self.build()
+        recorder.detach()
+        network.multicast("after")
+        assert len(recorder) == 0
+
+    def test_pacing_measurement_on_real_protocol(self):
+        """The NP sender must space payload packets by packet_interval."""
+        import os
+
+        from repro.protocols.np_protocol import NPConfig, NPReceiver, NPSender
+
+        sim = Simulator()
+        network = MulticastNetwork(
+            sim, BernoulliLoss(1, 0.0), np.random.default_rng(1)
+        )
+        recorder = TraceRecorder(sim)
+        recorder.attach(network)
+        config = NPConfig(k=3, h=2, packet_size=64, packet_interval=0.025)
+        sender = NPSender(sim, network, os.urandom(300), config)
+        NPReceiver(sim, network, sender.n_groups, config,
+                   codec=sender.codec, rng=np.random.default_rng(2))
+        sender.start()
+        sim.run()
+        gaps = recorder.inter_send_gaps()
+        assert gaps  # at least two payload packets
+        assert all(abs(gap - 0.025) < 1e-9 for gap in gaps)
+
+
+class TestBurstyTreeLoss:
+    def test_shape_and_receivers(self, rng):
+        model = BurstyTreeLoss(4, 0.05)
+        lost = model.sample_at(np.arange(100) * 0.04, rng)
+        assert lost.shape == (16, 100)
+        assert (model.marginal_loss_probability() == 0.05).all()
+
+    def test_marginal_rate_unbiased(self):
+        model = BurstyTreeLoss(3, 0.05, 2.0, 0.04)
+        rates = []
+        for seed in range(25):
+            lost = model.sample_at(
+                np.arange(2000) * 0.04, np.random.default_rng(seed)
+            )
+            rates.append(lost.mean())
+        assert abs(np.mean(rates) - 0.05) < 0.005
+
+    def test_temporal_correlation_present(self, rng):
+        model = BurstyTreeLoss(2, 0.05, 3.0, 0.04)
+        lost = model.sample_at(np.arange(50_000) * 0.04, rng)
+        row = lost[0]
+        conditional = row[1:][row[:-1]].mean()
+        assert conditional > 5 * 0.05  # sticky loss state
+
+    def test_spatial_correlation_present(self, rng):
+        model = BurstyTreeLoss(5, 0.05)
+        lost = model.sample_at(np.arange(20_000) * 0.04, rng)
+        joint = (lost[0] & lost[1]).mean()
+        assert joint > 3 * lost[0].mean() * lost[1].mean()
+
+    def test_sampler_continues_realisation(self, rng):
+        model = BurstyTreeLoss(2, 0.3, 2.0, 0.04)
+        sampler = model.start(rng)
+        first = sampler.sample(np.array([0.0]))
+        again = sampler.sample(np.array([0.0]))  # zero elapsed time
+        assert np.array_equal(first, again)
+
+    def test_transfer_over_bursty_tree(self):
+        import os
+
+        from repro.protocols.harness import run_transfer
+        from repro.protocols.np_protocol import NPConfig
+
+        config = NPConfig(k=7, h=32, packet_size=512, packet_interval=0.01)
+        report = run_transfer(
+            "np", os.urandom(20_000), BurstyTreeLoss(3, 0.05), config, rng=3
+        )
+        assert report.verified
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyTreeLoss(-1, 0.05)
+        with pytest.raises(ValueError):
+            BurstyTreeLoss(3, 0.0)
