@@ -2,8 +2,12 @@
 
 Section 2.2 picks m = 8 ("sufficiently large for our purposes").  This
 ablation measures what the choice costs/buys: GF(2^4) caps blocks at 15
-packets for no speed gain, GF(2^16) permits blocks beyond 255 packets at
-a substantial throughput penalty (no dense multiplication table).
+packets and halves the rate (two symbols per byte doubles the symbol
+count), while GF(2^16) permits blocks beyond 255 packets.  Historical
+note: with the scalar exp/log loops GF(2^16) paid a substantial
+throughput penalty; the batched nibble-sliced kernel works word-wide
+without a dense multiplication table, so wide symbols now encode at
+roughly GF(2^8) speed — the remaining trade-off is capacity vs memory.
 """
 
 import pytest
@@ -21,9 +25,10 @@ def test_symbol_width_tradeoff(benchmark, record_figure):
     rates = result.get("encode rate")
     limits = result.get("max block length n")
 
-    # m=8 is at least as fast as m=4 (same table-driven path) and much
-    # faster than m=16 (log/exp path, double-width symbols)
-    assert rates.value_at(8.0) > 2 * rates.value_at(16.0)
+    # m=8 is at least as fast as m=4 (nibble packing doubles the symbol
+    # count) and comparable to m=16 (the sliced kernel removed the old
+    # exp/log penalty; double-width symbols halve the count per packet)
+    assert rates.value_at(8.0) > 0.4 * rates.value_at(16.0)
     assert rates.value_at(8.0) > 0.5 * rates.value_at(4.0)
 
     # the capacity story: m=4 cannot even hold the paper's k=100 blocks

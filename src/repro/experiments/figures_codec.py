@@ -5,6 +5,19 @@ The paper measured Rizzo's C coder on a Pentium 133 (1 KB packets, m = 8):
 re-measure our own codec on the current host.  Absolute rates differ by 25+
 years of hardware; the figure's claim — throughput inversely proportional
 to ``h * k``, redundancy on the x-axis — is what the reproduction checks.
+
+Two measurement paths:
+
+* ``path="batched"`` (default) — the production codec: one table-driven GF
+  matrix product per block plus the erasure-pattern inverse cache.  This is
+  what a deployment gets, but its fixed per-call cost and word-wide XOR
+  selection *flatten* the paper's ``1/(h k)`` law for small configurations.
+* ``path="scalar"`` — the retained row-by-row reference loops
+  (:meth:`RSECodec.encode_symbols_scalar` /
+  :meth:`RSECodec.decode_symbols_scalar`), structurally equivalent to
+  Rizzo's coder.  The paper's scaling shape is asserted on this path;
+  ``benchmarks/test_perf_codec_batch.py`` pins the batched kernels'
+  speedup over it.
 """
 
 from __future__ import annotations
@@ -13,10 +26,26 @@ import math
 import os
 import time
 
+import numpy as np
+
 from repro.experiments.series import FigureResult, Series
 from repro.fec.rse import RSECodec
 
 __all__ = ["fig01", "measure_codec_rates"]
+
+_PATHS = ("batched", "scalar")
+
+
+def _timed(fn, min_duration: float) -> float:
+    """Calls per second of ``fn`` over at least ``min_duration`` seconds."""
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_duration:
+            return calls / elapsed
 
 
 def measure_codec_rates(
@@ -24,6 +53,7 @@ def measure_codec_rates(
     h: int,
     packet_size: int = 1024,
     min_duration: float = 0.05,
+    path: str = "batched",
 ) -> tuple[float, float]:
     """(encode, decode) rates in *data packets per second* for one (k, h).
 
@@ -31,37 +61,53 @@ def measure_codec_rates(
     parities per group of ``k``.  Decoding rate counts data packets
     reconstructed when ``h`` of every ``k`` originals are lost (the paper's
     definition; requires ``h <= k``); decode input uses parities in place
-    of the lost originals.
+    of the lost originals.  ``path`` selects the production batched codec
+    or the scalar reference loops (see module docstring).
     """
+    if path not in _PATHS:
+        raise ValueError(f"path must be one of {_PATHS}, got {path!r}")
     codec = RSECodec(k, h)
+    lost = min(h, k)
+
+    if path == "scalar":
+        symbols = np.frombuffer(
+            os.urandom(k * packet_size), dtype=np.uint8
+        ).reshape(k, packet_size).copy()
+        parities = codec.encode_symbols_scalar(symbols)
+        received = {i: symbols[i] for i in range(lost, k)}
+        received.update({k + j: parities[j] for j in range(lost)})
+
+        out = codec.decode_symbols_scalar(dict(received))
+        assert all(np.array_equal(out[i], symbols[i]) for i in range(k)), (
+            "decode produced wrong packets during measurement"
+        )
+        encode_rate = k * _timed(
+            lambda: codec.encode_symbols_scalar(symbols), min_duration
+        )
+        decode_rate = (
+            lost * _timed(
+                lambda: codec.decode_symbols_scalar(dict(received)),
+                min_duration,
+            )
+            if lost
+            else math.inf
+        )
+        return encode_rate, decode_rate
+
     data = [os.urandom(packet_size) for _ in range(k)]
     parities = codec.encode(data)
-
-    # --- encode ---
-    blocks = 0
-    start = time.perf_counter()
-    while True:
-        codec.encode(data)
-        blocks += 1
-        elapsed = time.perf_counter() - start
-        if elapsed >= min_duration:
-            break
-    encode_rate = blocks * k / elapsed
-
-    # --- decode: h lost data packets reconstructed from h parities ---
-    lost = min(h, k)
     received = {i: data[i] for i in range(lost, k)}
     received.update({k + j: parities[j] for j in range(lost)})
-    blocks = 0
-    start = time.perf_counter()
-    while True:
-        out = codec.decode(received)
-        blocks += 1
-        elapsed = time.perf_counter() - start
-        if elapsed >= min_duration:
-            break
-    assert out == data, "decode produced wrong packets during measurement"
-    decode_rate = blocks * lost / elapsed if lost else math.inf
+
+    assert codec.decode(received) == data, (
+        "decode produced wrong packets during measurement"
+    )
+    encode_rate = k * _timed(lambda: codec.encode(data), min_duration)
+    decode_rate = (
+        lost * _timed(lambda: codec.decode(received), min_duration)
+        if lost
+        else math.inf
+    )
     return encode_rate, decode_rate
 
 
@@ -70,6 +116,7 @@ def fig01(
     redundancies: tuple[float, ...] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
     packet_size: int = 1024,
     min_duration: float = 0.05,
+    path: str = "batched",
 ) -> FigureResult:
     """Figure 1: coding and decoding rates vs redundancy ``h/k``."""
     result = FigureResult(
@@ -77,14 +124,14 @@ def fig01(
         title="RSE encoding/decoding speed vs redundancy",
         x_label="redundancy [%]",
         y_label="rate [data packets/s]",
-        notes=f"P = {packet_size} bytes, GF(2^8), this host",
+        notes=f"P = {packet_size} bytes, GF(2^8), {path} path, this host",
     )
     for k in group_sizes:
         xs, encode_rates, decode_rates = [], [], []
         for redundancy in redundancies:
             h = max(1, round(redundancy * k))
             encode_rate, decode_rate = measure_codec_rates(
-                k, h, packet_size, min_duration
+                k, h, packet_size, min_duration, path
             )
             xs.append(100.0 * h / k)
             encode_rates.append(encode_rate)

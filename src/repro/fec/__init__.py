@@ -14,12 +14,21 @@ from repro.fec.block import (
     slice_stream,
 )
 from repro.fec.interleaver import BlockInterleaver, Deinterleaver, interleave_indices
-from repro.fec.rse import CodecStats, DecodeError, RSECodec, max_block_length
+from repro.fec.rse import (
+    CodecStats,
+    DecodeError,
+    InverseCache,
+    RSECodec,
+    default_inverse_cache,
+    max_block_length,
+)
 
 __all__ = [
     "RSECodec",
     "DecodeError",
     "CodecStats",
+    "InverseCache",
+    "default_inverse_cache",
     "max_block_length",
     "BlockEncoder",
     "BlockDecoder",

@@ -128,9 +128,14 @@ class BlockEncoder:
             TransmissionGroup(index=i, data=group)
             for i, group in enumerate(slice_stream(data, packet_size, k))
         ]
-        if pre_encode:
-            for group in self.groups:
-                self._ensure_parities(group, h)
+        if pre_encode and h > 0:
+            # all groups share the packet size, so the whole stream is one
+            # batched (B, k, S) encode instead of a per-group Python loop
+            all_parities = self.codec.encode_many(
+                [group.data for group in self.groups]
+            )
+            for group, parities in zip(self.groups, all_parities):
+                group.parities = parities
 
     def __len__(self) -> int:
         return len(self.groups)

@@ -31,15 +31,24 @@ True
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
+from threading import Lock
 
 import numpy as np
 
 from repro.galois.field import GF256, GaloisField
 from repro.galois.matrix import invert, systematic_generator
 
-__all__ = ["RSECodec", "DecodeError", "CodecStats", "max_block_length"]
+__all__ = [
+    "RSECodec",
+    "DecodeError",
+    "CodecStats",
+    "InverseCache",
+    "default_inverse_cache",
+    "max_block_length",
+]
 
 
 class DecodeError(ValueError):
@@ -65,19 +74,31 @@ class CodecStats:
         Number of *lost data* packets reconstructed by
         :meth:`RSECodec.decode` (receiving all data costs nothing).
     symbols_multiplied:
-        Total constant-times-packet GF multiplications performed.
+        Constant-times-packet GF scale-accumulate operations actually
+        performed, i.e. one per *nonzero* coefficient met while encoding or
+        reconstructing (zero coefficients do no work and are not charged).
+    decode_cache_hits:
+        Decodes that reused a cached inverted submatrix for their erasure
+        pattern, skipping Gaussian elimination entirely.
+    decode_cache_misses:
+        Decodes that had to run Gaussian elimination (and populated the
+        cache for the next receiver with the same erasure pattern).
     """
 
     packets_encoded: int = 0
     parities_produced: int = 0
     packets_decoded: int = 0
     symbols_multiplied: int = 0
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
 
     def reset(self) -> None:
         self.packets_encoded = 0
         self.parities_produced = 0
         self.packets_decoded = 0
         self.symbols_multiplied = 0
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
 
 
 @lru_cache(maxsize=128)
@@ -85,6 +106,66 @@ def _cached_generator(field: GaloisField, k: int, n: int) -> np.ndarray:
     generator = systematic_generator(field, k, n)
     generator.setflags(write=False)
     return generator
+
+
+class InverseCache:
+    """Bounded LRU of inverted ``(k, k)`` decode submatrices.
+
+    Keys are ``(field, k, n, use)`` where ``use`` is the sorted tuple of
+    block indices whose generator rows form the submatrix — i.e. the
+    erasure pattern.  Across 10^6 simulated receivers and repeated MC
+    trials the same few patterns recur constantly, so a hit replaces an
+    O(k^3) Gaussian elimination with a dictionary lookup.  Cached arrays
+    are frozen read-only; the field in the key keeps codecs over different
+    fields (or different ``(k, n)``) from ever colliding.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        with self._lock:
+            inverse = self._entries.get(key)
+            if inverse is not None:
+                self._entries.move_to_end(key)
+            return inverse
+
+    def put(self, key: tuple, inverse: np.ndarray) -> np.ndarray:
+        """Store ``inverse`` (frozen read-only); returns the stored array."""
+        inverse.setflags(write=False)
+        with self._lock:
+            self._entries[key] = inverse
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return inverse
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.evictions = 0
+
+
+#: Process-wide cache shared by codecs that don't bring their own; the key
+#: includes the field and code geometry, so sharing is always safe.
+_DEFAULT_INVERSE_CACHE = InverseCache(maxsize=512)
+
+
+def default_inverse_cache() -> InverseCache:
+    """The shared inverse cache used by codecs constructed without one."""
+    return _DEFAULT_INVERSE_CACHE
 
 
 class RSECodec:
@@ -98,12 +179,21 @@ class RSECodec:
         Number of parity packets per block.
     field:
         Galois field to operate in; defaults to GF(2^8).
+    inverse_cache:
+        Bounded LRU for inverted decode submatrices; defaults to the
+        process-wide shared cache (safe: keys carry field and geometry).
 
     The codec is stateless apart from :attr:`stats`; one instance can safely
     encode and decode any number of blocks.
     """
 
-    def __init__(self, k: int, h: int, field: GaloisField = GF256):
+    def __init__(
+        self,
+        k: int,
+        h: int,
+        field: GaloisField = GF256,
+        inverse_cache: InverseCache | None = None,
+    ):
         if k < 1:
             raise ValueError(f"transmission group size k must be >= 1, got {k}")
         if h < 0:
@@ -120,6 +210,13 @@ class RSECodec:
         self.field = field
         self._symbol_bytes = field.dtype.itemsize
         self.generator = _cached_generator(field, k, n)
+        self.inverse_cache = (
+            inverse_cache if inverse_cache is not None else _DEFAULT_INVERSE_CACHE
+        )
+        # scale-accumulate operations per encoded block: one per nonzero
+        # parity coefficient (systematic generators are dense, but count
+        # honestly rather than assuming h * k)
+        self._parity_ops = int(np.count_nonzero(self.generator[self.k:]))
         self.stats = CodecStats()
 
     # ------------------------------------------------------------------
@@ -189,10 +286,12 @@ class RSECodec:
             )
         return np.vstack(rows)
 
-    def encode_symbols(self, data: np.ndarray) -> np.ndarray:
-        """Encode a ``(k, S)`` symbol matrix; returns the ``(h, S)`` parities."""
-        if data.shape[0] != self.k:
-            raise ValueError(f"expected k={self.k} rows, got {data.shape[0]}")
+    def _check_symbols(self, data: np.ndarray, rows_axis: int) -> np.ndarray:
+        """Validate a symbol array's row count and value range."""
+        if data.shape[rows_axis] != self.k:
+            raise ValueError(
+                f"expected k={self.k} rows, got {data.shape[rows_axis]}"
+            )
         # dtypes wider than the field (e.g. uint8 for GF(2^4)) can smuggle
         # out-of-range symbols into the lookup tables; reject them here
         if self.field.order <= np.iinfo(self.field.dtype).max:
@@ -201,15 +300,69 @@ class RSECodec:
                 raise ValueError(
                     f"symbol value exceeds GF(2^{self.field.m}) range"
                 )
+        return np.asarray(data, dtype=self.field.dtype)
+
+    def encode_symbols(self, data: np.ndarray) -> np.ndarray:
+        """Encode a ``(k, S)`` symbol matrix; returns the ``(h, S)`` parities.
+
+        The parity block is one batched GF matrix product
+        ``G[k:] @ data`` — a table gather plus XOR reduction instead of the
+        ``h * k`` Python-level loop of :meth:`encode_symbols_scalar`.
+        """
+        data = self._check_symbols(data, rows_axis=0)
+        parities = self.field.matmul(self.generator[self.k:], data)
+        self.stats.packets_encoded += self.k
+        self.stats.parities_produced += self.h
+        self.stats.symbols_multiplied += self._parity_ops
+        return parities
+
+    def encode_blocks(self, data: np.ndarray) -> np.ndarray:
+        """Encode a ``(B, k, S)`` batch of blocks; returns ``(B, h, S)``.
+
+        All ``B`` transmission groups share the generator matrix, so the
+        whole batch is a single broadcast matrix product — the sender-side
+        pre-encoding fast path.
+        """
+        if data.ndim != 3:
+            raise ValueError(
+                f"expected a (B, k, S) symbol batch, got shape {data.shape}"
+            )
+        data = self._check_symbols(data, rows_axis=1)
+        parities = self.field.matmul(self.generator[self.k:], data)
+        n_blocks = data.shape[0]
+        self.stats.packets_encoded += n_blocks * self.k
+        self.stats.parities_produced += n_blocks * self.h
+        self.stats.symbols_multiplied += n_blocks * self._parity_ops
+        return parities
+
+    def encode_many(self, groups: list[list[bytes]]) -> list[list[bytes]]:
+        """Byte-level batch encode: parities for many equal-shape groups."""
+        if not groups:
+            return []
+        stacked = np.stack([self._stack(group) for group in groups])
+        parities = self.encode_blocks(stacked)
+        return [
+            [self._to_bytes(row) for row in block] for block in parities
+        ]
+
+    def encode_symbols_scalar(self, data: np.ndarray) -> np.ndarray:
+        """Reference scalar encode: the row-by-row loop the batched kernel
+        replaced.  Kept for differential tests and benchmarks; bit-identical
+        to :meth:`encode_symbols` (including the stats accounting)."""
+        data = self._check_symbols(data, rows_axis=0)
         parities = np.zeros((self.h, data.shape[1]), dtype=self.field.dtype)
         parity_rows = self.generator[self.k:]
+        operations = 0
         for j in range(self.h):
             acc = parities[j]
             for i in range(self.k):
-                self.field.scale_accumulate(acc, int(parity_rows[j, i]), data[i])
+                coefficient = int(parity_rows[j, i])
+                if coefficient:
+                    operations += 1
+                self.field.scale_accumulate(acc, coefficient, data[i])
         self.stats.packets_encoded += self.k
         self.stats.parities_produced += self.h
-        self.stats.symbols_multiplied += self.h * self.k
+        self.stats.symbols_multiplied += operations
         return parities
 
     # ------------------------------------------------------------------
@@ -252,20 +405,12 @@ class RSECodec:
         decoded = self.decode_symbols(rows)
         return [self._to_bytes(decoded[i]) for i in range(self.k)]
 
-    def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
-        """Symbol-level decode; returns ``{data_index: (S,) symbols}``.
-
-        Only missing data packets are actually reconstructed (the Rizzo
-        optimisation — cost proportional to the number of losses); received
-        data rows are passed through.
-        """
+    def _decode_plan(
+        self, rows: dict[int, np.ndarray]
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Pick the k equations for a decode: (have_data, missing, use)."""
         have_data = [i for i in rows if i < self.k]
         missing = [i for i in range(self.k) if i not in rows]
-        out: dict[int, np.ndarray] = {i: rows[i] for i in have_data}
-        if not missing:
-            return out
-
-        # Choose k equations: all received data rows plus enough parities.
         parities = sorted(i for i in rows if i >= self.k)
         needed = self.k - len(have_data)
         if len(parities) < needed:
@@ -274,17 +419,66 @@ class RSECodec:
                 f"{len(parities)} parity packets, need {self.k} total"
             )
         use = sorted(have_data) + parities[:needed]
-        submatrix = self.generator[use]  # (k, k)
-        inverse = invert(self.field, submatrix)
-        stacked = np.vstack([rows[i] for i in use])  # (k, S)
+        return have_data, missing, use
 
+    def _inverted_submatrix(self, use: list[int]) -> np.ndarray:
+        """Inverse of ``generator[use]``, via the erasure-pattern cache."""
+        key = (self.field, self.k, self.n, tuple(use))
+        inverse = self.inverse_cache.get(key)
+        if inverse is not None:
+            self.stats.decode_cache_hits += 1
+            return inverse
+        self.stats.decode_cache_misses += 1
+        return self.inverse_cache.put(key, invert(self.field, self.generator[use]))
+
+    def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Symbol-level decode; returns ``{data_index: (S,) symbols}``.
+
+        Only missing data packets are actually reconstructed (the Rizzo
+        optimisation — cost proportional to the number of losses); received
+        data rows are passed through.  The inverted submatrix for the
+        erasure pattern comes from a bounded LRU (:class:`InverseCache`),
+        so repeated patterns skip Gaussian elimination, and all missing
+        packets are rebuilt in one batched matrix product.
+        """
+        have_data, missing, use = self._decode_plan(rows)
+        out: dict[int, np.ndarray] = {i: rows[i] for i in have_data}
+        if not missing:
+            return out
+
+        inverse = self._inverted_submatrix(use)
+        stacked = np.vstack([rows[i] for i in use])  # (k, S)
+        coefficients = inverse[missing]  # (M, k)
+        reconstructed = self.field.matmul(coefficients, stacked)
+        for row, data_index in zip(reconstructed, missing):
+            out[data_index] = row
+        self.stats.symbols_multiplied += int(np.count_nonzero(coefficients))
+        self.stats.packets_decoded += len(missing)
+        return out
+
+    def decode_symbols_scalar(
+        self, rows: dict[int, np.ndarray]
+    ) -> dict[int, np.ndarray]:
+        """Reference scalar decode: per-packet loop, no inverse cache.
+
+        Always runs Gaussian elimination; bit-identical output (and stats
+        accounting, cache counters aside) to :meth:`decode_symbols`."""
+        have_data, missing, use = self._decode_plan(rows)
+        out: dict[int, np.ndarray] = {i: rows[i] for i in have_data}
+        if not missing:
+            return out
+
+        inverse = invert(self.field, self.generator[use])
+        stacked = np.vstack([rows[i] for i in use])  # (k, S)
         for data_index in missing:
             coefficients = inverse[data_index]
             acc = np.zeros(stacked.shape[1], dtype=self.field.dtype)
             for c, row in zip(coefficients, stacked):
-                self.field.scale_accumulate(acc, int(c), row)
+                coefficient = int(c)
+                if coefficient:
+                    self.stats.symbols_multiplied += 1
+                self.field.scale_accumulate(acc, coefficient, row)
             out[data_index] = acc
-            self.stats.symbols_multiplied += self.k
         self.stats.packets_decoded += len(missing)
         return out
 

@@ -167,6 +167,179 @@ class GaloisField:
         return acc
 
     # ------------------------------------------------------------------
+    # batched kernels
+    # ------------------------------------------------------------------
+    # These replace the per-row Python loops of the RSE hot path with one
+    # table gather plus an XOR reduction.  For m <= 8 the dense
+    # multiplication table makes zero handling implicit (row/column 0 of
+    # the table are zero); the exp/log path masks zeros explicitly, using
+    # the same ``% (order - 1)`` idiom as :meth:`multiply_vec` to keep the
+    # ``log[0] = -1`` sentinel out of range trouble.
+
+    def _products(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise products of two broadcastable symbol arrays."""
+        if self._mul_table is not None:
+            return self._mul_table[a, b]
+        logs = self._log[a] + self._log[b]
+        out = self._exp[logs % (self.order - 1)]
+        zero = (a == 0) | (b == 0)
+        return np.where(zero, self.dtype.type(0), out).astype(self.dtype, copy=False)
+
+    def multiply_outer(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Field outer product: ``out[i, j] = u[i] * v[j]``.
+
+        The batched building block of Gauss-Jordan elimination: one call
+        eliminates a whole column instead of one row at a time.
+        """
+        u = self._as_symbols(u)
+        v = self._as_symbols(v)
+        return self._products(u[:, None], v[None, :])
+
+    def scale_accumulate_many(
+        self, acc: np.ndarray, coefficients: np.ndarray, vectors: np.ndarray
+    ) -> None:
+        """In-place ``acc ^= sum_i coefficients[i] * vectors[i]`` (batched).
+
+        ``coefficients`` has shape ``(t,)`` and ``vectors`` ``(t, S)``; the
+        whole linear combination is one table gather and one XOR reduction
+        instead of ``t`` Python-level :meth:`scale_accumulate` calls.
+        """
+        coefficients = self._as_symbols(coefficients)
+        vectors = self._as_symbols(vectors)
+        if coefficients.shape[0] == 0:
+            return
+        products = self._products(coefficients[:, None], vectors)
+        np.bitwise_xor(acc, np.bitwise_xor.reduce(products, axis=0), out=acc)
+
+    #: Scratch elements allowed for one matmul gather tensor (~4 MiB of
+    #: uint8); the reduction axis is chunked to stay under this.
+    _MATMUL_SCRATCH = 1 << 22
+    #: Largest batch slab (bytes of right-operand payload) the nibble-sliced
+    #: kernel materialises tables for at once.
+    _SLICED_SLAB = 1 << 24
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product over the field, vectorised.
+
+        ``a`` has shape ``(r, s)``; ``b`` may be a vector ``(s,)``, a matrix
+        ``(s, c)`` or a batch of matrices ``(B, s, c)`` (one product per
+        batch entry, as used by :meth:`repro.fec.rse.RSECodec.encode_blocks`).
+
+        Two kernels, selected by problem shape:
+
+        * a *gather* kernel — one multiplication-table lookup per product
+          term, reduction axis chunked to keep the scratch tensor small;
+        * a *nibble-sliced* kernel for packet-sized payloads (the
+          gf-complete "split table" trick): the ``2^b * row`` multiples of
+          ``b`` are built once, the 15 nonzero nibble multiples derived
+          from them by XOR (GF(2^m) scaling is linear), and each output row
+          is then a pure word-wide XOR of selected rows — no per-element
+          table gathers in the ``r * s``-sized inner loop at all.
+        """
+        a = self._as_symbols(a)
+        b = self._as_symbols(b)
+        if a.ndim != 2:
+            raise ValueError(f"left operand must be 2-D, got shape {a.shape}")
+        vector = b.ndim == 1
+        if vector:
+            b = b[:, None]
+        batched = b.ndim == 3
+        b3 = b if batched else b[None]
+        r, s = a.shape
+        n_batch, s_b, c = b3.shape
+        if s != s_b:
+            raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+
+        # The sliced kernel pays a fixed cost (bit planes + nibble tables)
+        # per call; it only wins once the r*s*B selection work amortises it
+        # and the rows are long enough for word-wide XORs to matter.
+        row_bytes = c * self.dtype.itemsize
+        if r >= 4 and row_bytes >= 256 and r * s * n_batch >= 48:
+            out = self._matmul_sliced(a, b3)
+        else:
+            out = self._matmul_gather(a, b3)
+        if batched:
+            return out
+        return out[0, :, 0] if vector else out[0]
+
+    def _matmul_gather(self, a: np.ndarray, b3: np.ndarray) -> np.ndarray:
+        """Table-gather product kernel: ``(r, s) @ (B, s, c) -> (B, r, c)``."""
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        out = np.zeros((n_batch, r, c), dtype=self.dtype)
+        chunk = max(1, self._MATMUL_SCRATCH // max(1, n_batch * r * c))
+        for s0 in range(0, s, chunk):
+            a_chunk = a[None, :, s0:s0 + chunk, None]     # (1, r, t, 1)
+            b_chunk = b3[:, None, s0:s0 + chunk, :]       # (B, 1, t, c)
+            products = self._products(a_chunk, b_chunk)   # (B, r, t, c)
+            out ^= np.bitwise_xor.reduce(products, axis=2)
+        return out
+
+    def _matmul_sliced(self, a: np.ndarray, b3: np.ndarray) -> np.ndarray:
+        """Nibble-sliced product kernel: ``(r, s) @ (B, s, c) -> (B, r, c)``."""
+        n_batch, s, c = b3.shape
+        out = np.empty((n_batch, a.shape[0], c), dtype=self.dtype)
+        rows_per_slab = max(1, self._SLICED_SLAB // max(1, 16 * s * c))
+        for b0 in range(0, n_batch, rows_per_slab):
+            out[b0:b0 + rows_per_slab] = self._matmul_sliced_slab(
+                a, b3[b0:b0 + rows_per_slab]
+            )
+        return out
+
+    def _matmul_sliced_slab(self, a: np.ndarray, b3: np.ndarray) -> np.ndarray:
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        itemsize = self.dtype.itemsize
+        # pad rows to a whole number of 8-byte words for the uint64 view
+        symbols_per_word = 8 // itemsize
+        c_pad = -(-c // symbols_per_word) * symbols_per_word
+        words = c_pad * itemsize // 8
+
+        # bit multiples: planes[bit] = (2^bit) * row for every row of b,
+        # built by repeated doubling — x*2 = (x << 1) ^ (reduce if x's top
+        # bit is set) — which is branch-free SIMD arithmetic, no gathers
+        flat = np.zeros((s * n_batch, c_pad), dtype=self.dtype)
+        flat[:, :c] = b3.transpose(1, 0, 2).reshape(s * n_batch, c)
+        planes = np.empty((self.m, s * n_batch, c_pad), dtype=self.dtype)
+        planes[0] = flat
+        mask = self.dtype.type(self.order - 1)
+        reduce = self.dtype.type(self.primitive_poly & (self.order - 1))
+        top_shift = self.m - 1
+        for bit in range(1, self.m):
+            prev = planes[bit - 1]
+            doubled = planes[bit]
+            np.left_shift(prev, 1, out=doubled)
+            doubled &= mask
+            doubled ^= (prev >> top_shift) * reduce
+        planes64 = planes.view(np.uint64).reshape(self.m, s, n_batch, words)
+
+        # nibble multiples by linearity: (u ^ v) * x == u*x ^ v*x
+        n_positions = -(-self.m // 4)
+        tables = np.zeros((n_positions, 16, s, n_batch, words), dtype=np.uint64)
+        for position in range(n_positions):
+            for value in range(1, 16):
+                low_bit = value & -value
+                rest = tables[position, value ^ low_bit]
+                bit = 4 * position + low_bit.bit_length() - 1
+                if bit < self.m:
+                    tables[position, value] = rest ^ planes64[bit]
+                else:
+                    tables[position, value] = rest
+
+        nibbles = np.stack(
+            [(a >> (4 * q)) & 15 for q in range(n_positions)]
+        ).astype(np.intp)  # (positions, r, s)
+        row_index = np.arange(s)
+        out64 = np.empty((n_batch, r, words), dtype=np.uint64)
+        for j in range(r):
+            selected = tables[0][nibbles[0, j], row_index]  # (s, B, words)
+            for position in range(1, n_positions):
+                selected ^= tables[position][nibbles[position, j], row_index]
+            out64[:, j] = np.bitwise_xor.reduce(selected, axis=0)
+        out = out64.view(self.dtype).reshape(n_batch, r, c_pad)
+        return np.ascontiguousarray(out[:, :, :c])
+
+    # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
     def elements(self) -> np.ndarray:

@@ -73,18 +73,13 @@ def matmul(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Matrix product over the field.
 
     ``a`` is ``(r, s)``; ``b`` is ``(s, c)`` (or ``(s,)`` for a vector).
+    Delegates to the batched :meth:`GaloisField.matmul` kernel.
     """
     a = np.asarray(a, dtype=field.dtype)
     b = np.asarray(b, dtype=field.dtype)
-    vector = b.ndim == 1
-    if vector:
-        b = b[:, None]
-    if a.shape[1] != b.shape[0]:
+    if a.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
-    for i in range(a.shape[0]):
-        out[i] = field.dot(a[i], b)
-    return out[:, 0] if vector else out
+    return field.matmul(a, b)
 
 
 def invert(field: GaloisField, matrix: np.ndarray) -> np.ndarray:
@@ -110,14 +105,12 @@ def invert(field: GaloisField, matrix: np.ndarray) -> np.ndarray:
         work[col] = field.scale(pivot_inv, work[col])
         inverse[col] = field.scale(pivot_inv, inverse[col])
 
-        for row in range(size):
-            if row == col:
-                continue
-            factor = int(work[row, col])
-            if factor == 0:
-                continue
-            field.scale_accumulate(work[row], factor, work[col])
-            field.scale_accumulate(inverse[row], factor, inverse[col])
+        # Eliminate the whole column at once: rows with a zero factor (and
+        # the pivot row, masked below) pick up an all-zero outer-product row.
+        factors = work[:, col].copy()
+        factors[col] = 0
+        work ^= field.multiply_outer(factors, work[col])
+        inverse ^= field.multiply_outer(factors, inverse[col])
     return inverse
 
 

@@ -7,7 +7,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Timing", "PAPER_TIMING", "MCResult", "resolve_rng"]
+__all__ = [
+    "Timing",
+    "PAPER_TIMING",
+    "MCResult",
+    "PayloadVerifier",
+    "resolve_rng",
+]
 
 
 @dataclass(frozen=True)
@@ -77,3 +83,88 @@ def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+class PayloadVerifier:
+    """Opt-in end-to-end coding check for the Monte-Carlo simulators.
+
+    The MC loops track only *which* packets each receiver got; passing a
+    codec to a simulator additionally pushes real payloads through the
+    batched RSE paths: one reference block is encoded per verifier (via
+    :meth:`RSECodec.encode_blocks`), and every *distinct* erasure pattern
+    that lets a receiver decode is replayed through
+    :meth:`RSECodec.decode_symbols` and checked bit-for-bit against the
+    data.  Patterns are deduplicated here per verifier, and the codec's
+    :class:`InverseCache` deduplicates the Gaussian eliminations across
+    replications and simulator calls — across 10^6 simulated receivers the
+    same few patterns recur constantly, which is exactly the case the
+    inverse cache is built for.
+
+    Parameters
+    ----------
+    codec:
+        Codec whose geometry matches the simulated block (``k`` data
+        packets, up to ``codec.h`` parities).
+    symbols:
+        Payload symbols per packet of the reference block.
+    rng:
+        Source for the reference payload; a seed or Generator.
+    """
+
+    def __init__(self, codec, symbols: int = 64, rng=None):
+        if symbols < 1:
+            raise ValueError(f"symbols must be >= 1, got {symbols}")
+        self.codec = codec
+        generator = resolve_rng(rng)
+        self.data = generator.integers(
+            0, codec.field.order, size=(1, codec.k, symbols)
+        ).astype(codec.field.dtype)
+        parities = codec.encode_blocks(self.data)
+        #: the full FEC block, data rows then parity rows: (n, symbols)
+        self.block = np.concatenate([self.data[0], parities[0]])
+        self.patterns_verified = 0
+        self._seen: set[tuple[int, ...]] = set()
+
+    def verify_masks(self, received: np.ndarray) -> int:
+        """Check every distinct decodable erasure pattern in ``received``.
+
+        ``received`` is a boolean ``(R, n)`` (or ``(n,)``) matrix of
+        per-receiver reception indicators over the first ``n <= codec.n``
+        packets of a block.  Patterns with at least ``k`` packets are
+        decoded and compared against the reference data; returns the
+        number of *new* patterns verified.
+
+        Raises
+        ------
+        AssertionError
+            If a decode does not reproduce the original data packets —
+            a codec correctness bug, which MC statistics would silently
+            absorb.
+        """
+        received = np.atleast_2d(np.asarray(received, dtype=bool))
+        n = received.shape[1]
+        if n > self.codec.n:
+            raise ValueError(
+                f"pattern covers {n} packets but the codec block is only "
+                f"n={self.codec.n}"
+            )
+        decodable = received.sum(axis=1) >= self.codec.k
+        if not decodable.any():
+            return 0
+        fresh = 0
+        for row in np.unique(received[decodable], axis=0):
+            pattern = tuple(int(i) for i in np.flatnonzero(row))
+            if pattern in self._seen:
+                continue
+            self._seen.add(pattern)
+            rows = {i: self.block[i] for i in pattern}
+            decoded = self.codec.decode_symbols(rows)
+            for i in range(self.codec.k):
+                if not np.array_equal(decoded[i], self.data[0, i]):
+                    raise AssertionError(
+                        f"codec failed to reconstruct packet {i} from "
+                        f"erasure pattern {pattern}"
+                    )
+            fresh += 1
+        self.patterns_verified += fresh
+        return fresh

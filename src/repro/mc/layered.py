@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mc._common import MCResult, PAPER_TIMING, Timing, resolve_rng, summarize
+from repro.mc._common import (
+    MCResult,
+    PAPER_TIMING,
+    PayloadVerifier,
+    Timing,
+    resolve_rng,
+    summarize,
+)
 from repro.sim.loss import LossModel
 
 __all__ = ["simulate_layered"]
@@ -31,6 +38,7 @@ def _one_replication(
     h: int,
     timing: Timing,
     rng: np.random.Generator,
+    verifier: PayloadVerifier | None = None,
 ) -> float:
     n = k + h
     n_receivers = loss_model.n_receivers
@@ -43,6 +51,10 @@ def _one_replication(
         lost = sampler.sample(times)  # (R, n)
         received = ~lost
         decodable = received.sum(axis=1) >= k  # (R,)
+        if verifier is not None:
+            # replay each distinct decodable pattern through the real
+            # batched codec (cache-backed, so repeats cost a lookup)
+            verifier.verify_masks(received)
         recovered = received[:, :k] | decodable[:, None]  # (R, k)
         pending &= ~recovered
         unfinished = pending.any(axis=0)  # per packet
@@ -61,6 +73,7 @@ def simulate_layered(
     replications: int = 200,
     timing: Timing = PAPER_TIMING,
     rng: np.random.Generator | int | None = None,
+    codec=None,
 ) -> MCResult:
     """Estimate layered-FEC E[M] (transmissions per data packet).
 
@@ -74,14 +87,32 @@ def simulate_layered(
         Independent transmission groups to average over.
     timing:
         ``Delta`` and ``T`` of Figure 13 — only material under burst loss.
+    codec:
+        Optional :class:`repro.fec.rse.RSECodec` with matching ``(k, h)``.
+        When given, every distinct decodable erasure pattern sampled by the
+        simulation is replayed through the codec's batched, cache-backed
+        decode path and checked against real payloads (see
+        :class:`repro.mc._common.PayloadVerifier`); the statistics are
+        unchanged.
     """
     if k < 1 or h < 0:
         raise ValueError(f"need k >= 1 and h >= 0, got k={k}, h={h}")
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
+    verifier = None
+    if codec is not None:
+        if codec.k != k or codec.h != h:
+            raise ValueError(
+                f"codec geometry (k={codec.k}, h={codec.h}) does not match "
+                f"the simulated block (k={k}, h={h})"
+            )
+        # dedicated payload RNG: drawing the reference block from the
+        # simulation's stream would perturb the loss samples, making the
+        # codec-verified run statistically different from the plain one
+        verifier = PayloadVerifier(codec, rng=np.random.default_rng(0x5EED))
     samples = [
-        _one_replication(loss_model, k, h, timing, rng)
+        _one_replication(loss_model, k, h, timing, rng, verifier)
         for _ in range(replications)
     ]
     return summarize(samples)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fec.rse import RSECodec
+from repro.fec.rse import InverseCache, RSECodec
 from repro.mc._common import resolve_rng
 from repro.protocols.adaptive import AdaptiveNPSender
 from repro.protocols.fec1 import Fec1Receiver, Fec1Sender
@@ -61,6 +61,12 @@ class TransferReport:
     by_kind: dict[str, int] = field(default_factory=dict)
     peak_buffered_groups: int = 0
     peak_buffered_packets: int = 0
+    #: GF(2^m) scale-accumulate operations performed by the shared codec
+    #: (nonzero coefficients only; 0 for the no-FEC ``n2`` baseline)
+    codec_symbols_multiplied: int = 0
+    #: decode-plan lookups served from / missed by the codec's InverseCache
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
 
     @property
     def feedback_per_group(self) -> float:
@@ -134,9 +140,16 @@ def run_transfer(
         sim, loss_model, rng, latency=latency,
         feedback_loss=feedback_loss, control_loss=control_loss,
     )
-    # one shared codec instance: the generator matrix is cached anyway, and
-    # sharing mirrors a real deployment where all parties agree on the code
-    codec = RSECodec(config.k, config.h) if protocol != "n2" else None
+    # One shared codec instance: the generator matrix is cached anyway, and
+    # sharing mirrors a real deployment where all parties agree on the code.
+    # The inverse cache is private to the transfer so the reported hit/miss
+    # counters are deterministic for a seed (the process-wide cache would
+    # leak warm entries from earlier transfers into this report).
+    codec = (
+        RSECodec(config.k, config.h, inverse_cache=InverseCache())
+        if protocol != "n2"
+        else None
+    )
 
     kwargs = {} if codec is None else {"codec": codec}
     sender = sender_cls(sim, network, data, config, **kwargs)
@@ -227,5 +240,14 @@ def run_transfer(
         peak_buffered_packets=max(
             (getattr(r.stats, "peak_buffered_packets", 0) for r in receivers),
             default=0,
+        ),
+        codec_symbols_multiplied=(
+            codec.stats.symbols_multiplied if codec is not None else 0
+        ),
+        decode_cache_hits=(
+            codec.stats.decode_cache_hits if codec is not None else 0
+        ),
+        decode_cache_misses=(
+            codec.stats.decode_cache_misses if codec is not None else 0
         ),
     )
