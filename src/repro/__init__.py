@@ -34,6 +34,18 @@ from repro.core import (
 )
 from repro.fec import RSECodec
 from repro.protocols import NPConfig, TransferReport, run_transfer
+from repro.resilience import (
+    DeliveryCorrupt,
+    FaultInjector,
+    FaultPlan,
+    OutageWindow,
+    ReceiverCrash,
+    ResilienceSummary,
+    StallReport,
+    TransferError,
+    TransferStalled,
+    TransferTimeout,
+)
 
 __version__ = "1.0.0"
 
@@ -48,5 +60,15 @@ __all__ = [
     "NPConfig",
     "TransferReport",
     "run_transfer",
+    "FaultPlan",
+    "FaultInjector",
+    "OutageWindow",
+    "ReceiverCrash",
+    "TransferError",
+    "TransferTimeout",
+    "TransferStalled",
+    "DeliveryCorrupt",
+    "StallReport",
+    "ResilienceSummary",
     "__version__",
 ]

@@ -23,14 +23,18 @@ from repro.protocols.np_protocol import (
     NPReceiver,
     NPSender,
     ParityExhaustedError,
+    RoundLimitExceeded,
 )
 from repro.protocols.packets import (
     DataPacket,
+    GroupAbort,
     Nak,
     ParityPacket,
     Poll,
     Retransmission,
     SelectiveNak,
+    checksum_of,
+    payload_intact,
 )
 
 __all__ = [
@@ -38,6 +42,7 @@ __all__ = [
     "NPSender",
     "NPReceiver",
     "ParityExhaustedError",
+    "RoundLimitExceeded",
     "N2Sender",
     "N2Receiver",
     "LayeredSender",
@@ -58,4 +63,7 @@ __all__ = [
     "Nak",
     "SelectiveNak",
     "Retransmission",
+    "GroupAbort",
+    "checksum_of",
+    "payload_intact",
 ]

@@ -25,7 +25,12 @@ import numpy as np
 from repro.fec.block import BlockDecoder, BlockEncoder
 from repro.fec.rse import RSECodec
 from repro.protocols.np_protocol import NPConfig, ReceiverStats, SenderStats
-from repro.protocols.packets import DataPacket, ParityPacket
+from repro.protocols.packets import (
+    DataPacket,
+    ParityPacket,
+    checksum_of,
+    payload_intact,
+)
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import MulticastNetwork
 
@@ -125,11 +130,17 @@ class Fec1Sender:
         config = self.config
         if index < config.k:
             payload = self.encoder.data_packet(tg, index)
-            self.network.multicast(DataPacket(tg, index, payload), kind="data")
+            self.network.multicast(
+                DataPacket(tg, index, payload, 0, checksum_of(payload)),
+                kind="data",
+            )
             self.stats.data_sent += 1
         elif index < config.k + config.h:
             payload = self.encoder.parity_packet(tg, index - config.k)
-            self.network.multicast(ParityPacket(tg, index, payload), kind="parity")
+            self.network.multicast(
+                ParityPacket(tg, index, payload, checksum_of(payload)),
+                kind="parity",
+            )
             self.stats.parity_sent += 1
         else:
             # parity tail exhausted: cycle originals as a new generation
@@ -138,7 +149,10 @@ class Fec1Sender:
             data_index = (index - config.k - config.h) % config.k
             payload = self.encoder.data_packet(tg, data_index)
             self.network.multicast(
-                DataPacket(tg, data_index, payload, self._generation),
+                DataPacket(
+                    tg, data_index, payload, self._generation,
+                    checksum_of(payload),
+                ),
                 kind="retransmission",
             )
             self.stats.retransmissions_sent += 1
@@ -193,6 +207,9 @@ class Fec1Receiver:
         if not isinstance(packet, (DataPacket, ParityPacket)):
             return
         self.stats.packets_received += 1
+        if not payload_intact(packet):
+            self.stats.corrupt_discarded += 1
+            return
         tg = packet.tg
         if tg in self._delivered:
             self.stats.duplicates += 1  # packets that beat our prune
@@ -205,6 +222,7 @@ class Fec1Receiver:
         if len(decoder.received) == before:
             self.stats.duplicates += 1
             return
+        self.stats.last_progress_time = self.sim.now
         if decoder.decodable:
             self.stats.packets_reconstructed += decoder.decoding_work()
             self._delivered[tg] = decoder.reconstruct()

@@ -140,6 +140,11 @@ class NakSlotter:
         for key in [key for key in self._pending if key[0] == tg]:
             self.cancel(*key)
 
+    def cancel_all(self) -> None:
+        """Withdraw every pending NAK (the receiver crashed or was ejected)."""
+        for key in list(self._pending):
+            self.cancel(*key)
+
     @property
     def pending_count(self) -> int:
         return len(self._pending)

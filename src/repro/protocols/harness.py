@@ -5,6 +5,15 @@ chosen loss model, runs the event loop to completion, verifies that every
 receiver reassembled the exact payload, and reports the metrics the paper
 cares about — transmissions per data packet (E[M]), feedback volume,
 suppression effectiveness, duplicates and completion time.
+
+Failure contract (see DESIGN.md's fault-model section): a transfer either
+completes with verified bytes, completes *degraded* (receivers ejected
+under the sender's round cap, reported in ``TransferReport.resilience``),
+or raises a typed error from :mod:`repro.resilience.errors` — every one
+carrying a :class:`~repro.resilience.report.StallReport` naming the
+per-receiver missing groups, last-progress times, retry counters and
+injected-fault counts, plus the ``(seed, fault_plan)`` pair that replays
+the run.  Chaos faults are opt-in via the ``fault_plan`` argument.
 """
 
 from __future__ import annotations
@@ -19,8 +28,20 @@ from repro.protocols.adaptive import AdaptiveNPSender
 from repro.protocols.fec1 import Fec1Receiver, Fec1Sender
 from repro.protocols.layered import LayeredReceiver, LayeredSender
 from repro.protocols.n2 import N2Receiver, N2Sender
-from repro.protocols.np_protocol import NPConfig, NPReceiver, NPSender
-from repro.sim.engine import Simulator
+from repro.protocols.np_protocol import (
+    NPConfig,
+    NPReceiver,
+    NPSender,
+    RoundLimitExceeded,
+)
+from repro.resilience.errors import (
+    DeliveryCorrupt,
+    TransferStalled,
+    TransferTimeout,
+)
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.report import ReceiverStall, ResilienceSummary, StallReport
+from repro.sim.engine import SimulationError, Simulator
 from repro.sim.loss import LossModel
 from repro.sim.network import MulticastNetwork
 
@@ -67,6 +88,9 @@ class TransferReport:
     #: decode-plan lookups served from / missed by the codec's InverseCache
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+    #: fault-injection and recovery accounting (defaults are all-zero for a
+    #: fault-free run, so pre-existing constructions stay valid)
+    resilience: ResilienceSummary = field(default_factory=ResilienceSummary)
 
     @property
     def feedback_per_group(self) -> float:
@@ -91,6 +115,48 @@ class TransferReport:
         )
 
 
+def _missing_of(receiver) -> tuple[int, ...]:
+    """Best-effort missing-group snapshot (protocols without the hook: ())."""
+    probe = getattr(receiver, "missing_groups", None)
+    return tuple(probe()) if callable(probe) else ()
+
+
+def _stall_report(
+    protocol: str,
+    sim: Simulator,
+    receivers: list,
+    pending: set[int],
+    sender,
+    stats_injected: dict[str, int],
+    seed: int | None,
+    fault_plan: FaultPlan | None,
+) -> StallReport:
+    """Snapshot everything a liveness-failure post-mortem needs."""
+    stalls = tuple(
+        ReceiverStall(
+            receiver_id=receiver.receiver_id,
+            missing_groups=_missing_of(receiver),
+            last_progress_time=getattr(receiver.stats, "last_progress_time", 0.0),
+            watchdog_retries=getattr(receiver.stats, "watchdog_retries", 0),
+            watchdog_exhaustions=getattr(receiver.stats, "watchdog_exhaustions", 0),
+            crashes=getattr(receiver.stats, "crashes", 0),
+        )
+        for receiver in receivers
+        if receiver.receiver_id in pending
+    )
+    return StallReport(
+        protocol=protocol,
+        sim_time=sim.now,
+        events_dispatched=sim.events_dispatched,
+        pending_events=sim.pending,
+        receivers=stalls,
+        abandoned_groups=tuple(sorted(getattr(sender, "abandoned_groups", ()))),
+        injected_faults=dict(stats_injected),
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+
+
 def run_transfer(
     protocol: str,
     data: bytes,
@@ -101,6 +167,7 @@ def run_transfer(
     feedback_loss: float = 0.0,
     control_loss: float = 0.0,
     max_sim_time: float = 1_000_000.0,
+    fault_plan: FaultPlan | None = None,
 ) -> TransferReport:
     """Simulate one complete transfer of ``data`` to all receivers.
 
@@ -116,22 +183,51 @@ def run_transfer(
         Joint downstream loss process; its ``n_receivers`` sets R.
     rng:
         Generator or seed; drives loss, NAK jitter, everything.
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan`.  When given, a
+        :class:`~repro.resilience.faults.FaultInjector` is interposed
+        between the protocol machines and the network; the injector draws
+        from its own seeded generator, so a plan that injects nothing
+        leaves the transfer bit-identical to a plan-free run.
 
     Raises
     ------
-    RuntimeError
-        If the event queue drains before every receiver completed (a
-        protocol liveness bug) or a receiver reassembled different bytes
-        (a correctness bug).
+    ValueError
+        For out-of-range arguments (loss probabilities, latency, time
+        budget) or an unknown protocol name.
+    TransferTimeout
+        The simulated clock crossed ``max_sim_time`` with receivers still
+        incomplete.
+    TransferStalled
+        The event queue drained, the event budget was exhausted, or the
+        sender tripped its round cap under ``degradation_policy="error"``,
+        with receivers still incomplete.
+    DeliveryCorrupt
+        A receiver reassembled different bytes than were sent.
+
+    All three transfer errors subclass ``RuntimeError`` and carry a
+    :class:`~repro.resilience.report.StallReport` as ``.report``.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(
             f"unknown protocol {protocol!r}; expected one of {sorted(PROTOCOLS)}"
         )
+    if not 0.0 <= feedback_loss < 1.0:
+        raise ValueError(
+            f"feedback_loss must be in [0, 1), got {feedback_loss}"
+        )
+    if not 0.0 <= control_loss < 1.0:
+        raise ValueError(f"control_loss must be in [0, 1), got {control_loss}")
+    if latency < 0:
+        raise ValueError(f"latency must be >= 0, got {latency}")
+    if max_sim_time <= 0:
+        raise ValueError(f"max_sim_time must be positive, got {max_sim_time}")
     if (feedback_loss > 0.0 or control_loss > 0.0) and config.nak_watchdog <= 0.0:
         raise ValueError(
             "lossy feedback/control requires a nak_watchdog for liveness"
         )
+    # keep the integer seed (if one was passed) so stall reports can name it
+    seed = int(rng) if isinstance(rng, (int, np.integer)) else None
     rng = resolve_rng(rng)
     sender_cls, receiver_cls = PROTOCOLS[protocol]
 
@@ -140,6 +236,8 @@ def run_transfer(
         sim, loss_model, rng, latency=latency,
         feedback_loss=feedback_loss, control_loss=control_loss,
     )
+    if fault_plan is not None:
+        network = FaultInjector(sim, network, fault_plan)
     # One shared codec instance: the generator matrix is cached anyway, and
     # sharing mirrors a real deployment where all parties agree on the code.
     # The inverse cache is private to the transfer so the reported hit/miss
@@ -177,21 +275,68 @@ def run_transfer(
         )
         receivers.append(receiver)
 
-    sender.start()
-    while pending and sim.now < max_sim_time:
-        if not sim.step():
-            break
-    if pending:
-        raise RuntimeError(
-            f"{protocol}: {len(pending)} receivers incomplete at t={sim.now:.1f}s "
-            f"(queue empty={sim.pending == 0})"
+    if isinstance(network, FaultInjector):
+        network.bind_receivers(receivers)
+
+    def diagnose() -> StallReport:
+        return _stall_report(
+            protocol, sim, receivers, pending, sender,
+            network.stats.injected, seed, fault_plan,
         )
 
+    sender.start()
+    queue_drained = False
+    try:
+        while pending and sim.now < max_sim_time:
+            if not sim.step():
+                queue_drained = True
+                break
+    except SimulationError as exc:
+        raise TransferStalled(
+            f"{protocol}: {len(pending)} receivers incomplete — {exc}",
+            diagnose(),
+        ) from exc
+    except RoundLimitExceeded as exc:
+        raise TransferStalled(
+            f"{protocol}: {len(pending)} receivers incomplete — {exc}",
+            diagnose(),
+        ) from exc
+
+    ejected: tuple[int, ...] = ()
+    abandoned = frozenset(getattr(sender, "abandoned_groups", ()))
+    if pending:
+        # graceful degradation: if the sender abandoned groups under its
+        # round cap and those abandonments explain every straggler, the
+        # transfer completes *degraded* — partial delivery, ejected
+        # receivers named on the report — instead of raising.
+        explained = bool(abandoned) and all(
+            set(_missing_of(receiver)) <= abandoned
+            for receiver in receivers
+            if receiver.receiver_id in pending
+        )
+        if explained:
+            ejected = tuple(sorted(pending))
+        elif queue_drained:
+            raise TransferStalled(
+                f"{protocol}: {len(pending)} receivers incomplete with the "
+                f"event queue drained at t={sim.now:.1f}s — liveness failure",
+                diagnose(),
+            )
+        else:
+            raise TransferTimeout(
+                f"{protocol}: {len(pending)} receivers incomplete at "
+                f"t={sim.now:.1f}s (max_sim_time={max_sim_time:g} reached)",
+                diagnose(),
+            )
+
+    completed = [r for r in receivers if r.receiver_id not in pending]
     verified = all(
-        receiver.delivered_data(len(data)) == data for receiver in receivers
+        receiver.delivered_data(len(data)) == data for receiver in completed
     )
     if not verified:
-        raise RuntimeError(f"{protocol}: reassembled payload mismatch")
+        raise DeliveryCorrupt(
+            f"{protocol}: reassembled payload mismatch", diagnose()
+        )
 
     total_payload_tx = (
         sender.stats.data_sent
@@ -199,9 +344,30 @@ def run_transfer(
         + sender.stats.retransmissions_sent
     )
     completion = max(
-        receiver.stats.completion_time
-        for receiver in receivers
-        if receiver.stats.completion_time is not None
+        (
+            receiver.stats.completion_time
+            for receiver in completed
+            if receiver.stats.completion_time is not None
+        ),
+        default=sim.now,
+    )
+    resilience = ResilienceSummary(
+        fault_plan=fault_plan,
+        injected=dict(network.stats.injected),
+        corrupt_discarded=sum(
+            getattr(r.stats, "corrupt_discarded", 0) for r in receivers
+        ),
+        watchdog_retries=sum(
+            getattr(r.stats, "watchdog_retries", 0) for r in receivers
+        ),
+        watchdog_backoff_peak=max(
+            (getattr(r.stats, "watchdog_backoff_peak", 0.0) for r in receivers),
+            default=0.0,
+        ),
+        crashes=sum(getattr(r.stats, "crashes", 0) for r in receivers),
+        degraded=bool(ejected),
+        abandoned_groups=tuple(sorted(abandoned)),
+        ejected_receivers=ejected,
     )
     return TransferReport(
         protocol=protocol,
@@ -250,4 +416,5 @@ def run_transfer(
         decode_cache_misses=(
             codec.stats.decode_cache_misses if codec is not None else 0
         ),
+        resilience=resilience,
     )

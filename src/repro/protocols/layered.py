@@ -26,7 +26,7 @@ from repro.fec.block import slice_stream
 from repro.fec.rse import RSECodec
 from repro.protocols.feedback import NakSlotter
 from repro.protocols.np_protocol import NPConfig, ReceiverStats, SenderStats
-from repro.protocols.packets import Poll
+from repro.protocols.packets import Poll, checksum_of, payload_intact
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import MulticastNetwork
 
@@ -44,6 +44,7 @@ class BlockData:
     slot: int
     orig: OrigId | None
     payload: bytes = b""
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,7 @@ class BlockParity:
     slot: int
     composition: tuple[OrigId | None, ...]
     payload: bytes = b""
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
@@ -168,11 +170,17 @@ class LayeredSender:
         parities = self.codec.encode([payload for _, payload in slots])
         self.stats.parities_encoded += config.h
         items: list[tuple] = [
-            ("data", BlockData(block_id, slot, orig, payload))
+            ("data", BlockData(block_id, slot, orig, payload, checksum_of(payload)))
             for slot, (orig, payload) in enumerate(slots)
         ]
         items.extend(
-            ("parity", BlockParity(block_id, config.k + j, composition, payload))
+            (
+                "parity",
+                BlockParity(
+                    block_id, config.k + j, composition, payload,
+                    checksum_of(payload),
+                ),
+            )
             for j, payload in enumerate(parities)
         )
         poll = ("poll", block_id, config.k + config.h, 1)
@@ -310,11 +318,21 @@ class LayeredReceiver:
     # ------------------------------------------------------------------
     def on_packet(self, packet) -> None:
         if isinstance(packet, BlockData):
+            if not self._intact(packet):
+                # headers survive (payload-only corruption model): keep the
+                # composition knowledge, drop the damaged payload
+                self._learn(packet.block, packet.slot, packet.orig)
+                return
             self._on_block_packet(packet.block, packet.slot, packet.payload)
             self._learn(packet.block, packet.slot, packet.orig)
             if packet.orig is not None:
                 self._deliver(packet.orig, packet.payload)
         elif isinstance(packet, BlockParity):
+            if not self._intact(packet):
+                for slot, orig in enumerate(packet.composition):
+                    self._learn(packet.block, slot, orig)
+                self._try_decode(packet.block)
+                return
             self._on_block_packet(packet.block, packet.slot, packet.payload)
             for slot, orig in enumerate(packet.composition):
                 self._learn(packet.block, slot, orig)
@@ -326,6 +344,13 @@ class LayeredReceiver:
             if own and own.issubset(packet.slots):
                 self.slotter.suppress(packet.block, packet.round)
 
+    def _intact(self, packet) -> bool:
+        if payload_intact(packet):
+            return True
+        self.stats.packets_received += 1
+        self.stats.corrupt_discarded += 1
+        return False
+
     def _on_block_packet(self, block: int, slot: int, payload: bytes) -> None:
         self.stats.packets_received += 1
         if block in self._decoded_blocks:
@@ -336,6 +361,7 @@ class LayeredReceiver:
             self.stats.duplicates += 1
             return
         received[slot] = payload
+        self.stats.last_progress_time = self.sim.now
         self._try_decode(block)
 
     def _learn(self, block: int, slot: int, orig: OrigId | None) -> None:
@@ -372,6 +398,37 @@ class LayeredReceiver:
                 self._deliver(orig, decoded[slot])
         self._block_rx.pop(block, None)
         self.slotter.cancel_group(block)
+
+    def missing_groups(self) -> tuple[int, ...]:
+        """Groups with at least one undelivered original (diagnostics)."""
+        return tuple(
+            sorted(
+                {
+                    tg
+                    for tg in range(self.n_groups)
+                    for i in range(self.config.k)
+                    if (tg, i) not in self._store
+                }
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault-injection hooks)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose undecoded block buffers and composition knowledge.
+
+        Delivered originals persist; recovery of anything else depends on
+        polls and blocks still in flight (the layered RM layer has no
+        spontaneous re-solicitation).
+        """
+        self.stats.crashes += 1
+        self._block_rx.clear()
+        self._block_comp.clear()
+        self.slotter.cancel_all()
+
+    def rejoin(self) -> None:
+        """Layered RM has no watchdog: a rejoining receiver waits for polls."""
 
     # ------------------------------------------------------------------
     def _nak_slots(self, block: int) -> tuple[int, ...]:

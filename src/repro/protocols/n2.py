@@ -22,7 +22,14 @@ import numpy as np
 from repro.fec.block import slice_stream
 from repro.protocols.feedback import NakSlotter
 from repro.protocols.np_protocol import NPConfig, ReceiverStats, SenderStats
-from repro.protocols.packets import DataPacket, Poll, Retransmission, SelectiveNak
+from repro.protocols.packets import (
+    DataPacket,
+    Poll,
+    Retransmission,
+    SelectiveNak,
+    checksum_of,
+    payload_intact,
+)
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import MulticastNetwork
 
@@ -107,14 +114,17 @@ class N2Sender:
                 continue
             if kind == "data":
                 _, tg, index = item
+                payload = self.groups[tg][index]
                 self.network.multicast(
-                    DataPacket(tg, index, self.groups[tg][index]), kind="data"
+                    DataPacket(tg, index, payload, 0, checksum_of(payload)),
+                    kind="data",
                 )
                 self.stats.data_sent += 1
             else:  # retransmission
                 _, tg, index = item
+                payload = self.groups[tg][index]
                 self.network.multicast(
-                    Retransmission(tg, index, self.groups[tg][index]),
+                    Retransmission(tg, index, payload, checksum_of(payload)),
                     kind="retransmission",
                 )
                 self.stats.retransmissions_sent += 1
@@ -199,6 +209,11 @@ class N2Receiver:
     # ------------------------------------------------------------------
     def on_packet(self, packet) -> None:
         if isinstance(packet, (DataPacket, Retransmission)):
+            if not payload_intact(packet):
+                # corruption detected via checksum: demote to an erasure
+                self.stats.packets_received += 1
+                self.stats.corrupt_discarded += 1
+                return
             self._on_payload(packet.tg, packet.index, packet.payload)
         elif isinstance(packet, Poll):
             self._on_poll(packet)
@@ -216,6 +231,7 @@ class N2Receiver:
             self.stats.duplicates += 1
             return
         group[index] = payload
+        self.stats.last_progress_time = self.sim.now
         if len(group) == self.config.k and tg not in self._complete_groups:
             self._complete_groups.add(tg)
             self.stats.groups_decoded += 1
@@ -228,6 +244,31 @@ class N2Receiver:
     def _missing_indices(self, tg: int) -> tuple[int, ...]:
         group = self._group(tg)
         return tuple(i for i in range(self.config.k) if i not in group)
+
+    def missing_groups(self) -> tuple[int, ...]:
+        """Groups not yet completely received (stall diagnostics)."""
+        return tuple(
+            sorted(set(range(self.n_groups)) - self._complete_groups)
+        )
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault-injection hooks)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose partial group buffers and pending timers (process death).
+
+        Completed groups persist (handed to the application); partially
+        received ones are wiped — N2 has no spontaneous re-solicitation,
+        so recovery depends on polls still in flight.
+        """
+        self.stats.crashes += 1
+        for tg in list(self._received):
+            if tg not in self._complete_groups:
+                del self._received[tg]
+        self.slotter.cancel_all()
+
+    def rejoin(self) -> None:
+        """N2 has no watchdog: a rejoining receiver waits for polls."""
 
     def _on_poll(self, poll: Poll) -> None:
         self.stats.polls_received += 1

@@ -36,15 +36,33 @@ import numpy as np
 from repro.fec.block import BlockDecoder, BlockEncoder
 from repro.fec.rse import RSECodec
 from repro.protocols.feedback import NakSlotter
-from repro.protocols.packets import DataPacket, Nak, ParityPacket, Poll
+from repro.protocols.packets import (
+    DataPacket,
+    GroupAbort,
+    Nak,
+    ParityPacket,
+    Poll,
+    checksum_of,
+    payload_intact,
+)
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import MulticastNetwork
 
-__all__ = ["NPConfig", "NPSender", "NPReceiver", "ParityExhaustedError"]
+__all__ = [
+    "NPConfig",
+    "NPSender",
+    "NPReceiver",
+    "ParityExhaustedError",
+    "RoundLimitExceeded",
+]
 
 
 class ParityExhaustedError(RuntimeError):
     """Raised when parities run out under the ``error`` exhaustion policy."""
+
+
+class RoundLimitExceeded(RuntimeError):
+    """A group hit ``max_rounds`` under the ``error`` degradation policy."""
 
 
 @dataclass(frozen=True)
@@ -56,8 +74,26 @@ class NPConfig:
     ``exhaustion_policy`` picks the fallback otherwise: ``"arq"`` cycles
     original data packets (a new "generation" of the group), ``"error"``
     raises.  ``packet_interval`` is the paper's ``Delta``, ``slot_time`` the
-    NAK slot ``Ts``.  ``nak_watchdog`` (seconds, 0 disables) re-sends an
-    unanswered NAK — only needed when the feedback channel is lossy.
+    NAK slot ``Ts``.
+
+    Robustness knobs (the paper assumes lossless feedback and unlimited
+    patience; these bound what happens without either):
+
+    ``nak_watchdog`` (seconds, 0 disables) re-sends an unanswered NAK.
+    Each consecutive retry for a group backs off exponentially by
+    ``watchdog_backoff`` with ``watchdog_jitter`` randomisation (a fraction
+    of the interval, desynchronising receivers), capped at
+    ``watchdog_max_interval`` (0 means ``16 * nak_watchdog``); any sign of
+    life for the group resets the schedule.  After
+    ``watchdog_retry_limit`` consecutive unanswered retries (0 = unlimited)
+    the receiver goes quiet and the stall is diagnosed by the harness.
+
+    ``max_rounds`` (0 = unlimited) caps the repair rounds the sender grants
+    any one group.  On exceedance, ``degradation_policy`` decides:
+    ``"eject"`` abandons the group — the sender multicasts
+    :class:`~repro.protocols.packets.GroupAbort` and the harness ejects the
+    receivers that still needed it (the paper's own fallback), reporting
+    partial delivery — while ``"error"`` raises :class:`RoundLimitExceeded`.
     """
 
     k: int = 7
@@ -69,6 +105,12 @@ class NPConfig:
     exhaustion_policy: str = "arq"
     pre_encode: bool = False
     interleave_depth: int = 1
+    watchdog_backoff: float = 2.0
+    watchdog_jitter: float = 0.1
+    watchdog_max_interval: float = 0.0
+    watchdog_retry_limit: int = 30
+    max_rounds: int = 0
+    degradation_policy: str = "eject"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -84,6 +126,25 @@ class NPConfig:
             )
         if self.interleave_depth < 1:
             raise ValueError("interleave_depth must be >= 1")
+        if self.watchdog_backoff < 1.0:
+            raise ValueError(
+                f"watchdog_backoff must be >= 1, got {self.watchdog_backoff}"
+            )
+        if self.watchdog_jitter < 0:
+            raise ValueError(
+                f"watchdog_jitter must be >= 0, got {self.watchdog_jitter}"
+            )
+        if self.watchdog_max_interval < 0:
+            raise ValueError("watchdog_max_interval must be >= 0")
+        if self.watchdog_retry_limit < 0:
+            raise ValueError("watchdog_retry_limit must be >= 0")
+        if self.max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
+        if self.degradation_policy not in ("eject", "error"):
+            raise ValueError(
+                f"unknown degradation policy {self.degradation_policy!r}; "
+                f"expected 'eject' or 'error'"
+            )
 
 
 @dataclass
@@ -98,6 +159,7 @@ class SenderStats:
     naks_stale: int = 0
     rounds_served: int = 0
     parities_encoded: int = 0
+    groups_abandoned: int = 0
 
     @property
     def total_payload_sent(self) -> int:
@@ -137,6 +199,8 @@ class NPSender:
         self._current_round: dict[int, int] = {}
         self._pump_handle: EventHandle | None = None
         self._next_tx_time = 0.0
+        #: groups given up under the ``max_rounds`` cap ("eject" policy)
+        self.abandoned_groups: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -191,7 +255,8 @@ class NPSender:
                 payload = self.encoder.data_packet(tg, index)
                 wire_kind = "data" if generation == 0 else "retransmission"
                 self.network.multicast(
-                    DataPacket(tg, index, payload, generation), kind=wire_kind
+                    DataPacket(tg, index, payload, generation, checksum_of(payload)),
+                    kind=wire_kind,
                 )
                 if generation == 0:
                     self.stats.data_sent += 1
@@ -200,7 +265,10 @@ class NPSender:
             elif kind == "parity":
                 _, tg, index = item
                 payload = self.encoder.parity_packet(tg, index - self.config.k)
-                self.network.multicast(ParityPacket(tg, index, payload), kind="parity")
+                self.network.multicast(
+                    ParityPacket(tg, index, payload, checksum_of(payload)),
+                    kind="parity",
+                )
                 self.stats.parity_sent += 1
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown queue item {item!r}")
@@ -227,6 +295,8 @@ class NPSender:
         tg, needed, round_index = packet.tg, packet.needed, packet.round
         if tg < 0 or tg >= self.n_groups or needed < 1:
             return
+        if tg in self.abandoned_groups:
+            return  # the group was ejected; its stragglers are on their own
         current = self._current_round.get(tg, 1)
         if round_index != current:
             # Stale feedback (a suppression miss served moments ago, or a
@@ -245,6 +315,9 @@ class NPSender:
     def _serve(self, tg: int, needed: int) -> None:
         """Queue ``needed`` repair packets for ``tg`` plus the next poll."""
         config = self.config
+        if config.max_rounds and self._current_round.get(tg, 1) >= config.max_rounds:
+            self._abandon(tg)
+            return
         items: list[tuple] = []
         cursor = self._next_parity[tg]
         take = min(needed, config.h - cursor)
@@ -273,6 +346,26 @@ class NPSender:
         self.stats.rounds_served += 1
         self._arm_pump()
 
+    def _abandon(self, tg: int) -> None:
+        """Give up on ``tg`` after ``max_rounds`` repair rounds.
+
+        Under the ``"error"`` policy this is a hard failure; under
+        ``"eject"`` the sender declares the group dead on the wire so
+        receivers stop soliciting it and the harness can eject whoever is
+        still short (reported as partial delivery).
+        """
+        if tg in self.abandoned_groups:
+            return
+        if self.config.degradation_policy == "error":
+            raise RoundLimitExceeded(
+                f"group {tg} exceeded the {self.config.max_rounds}-round cap"
+            )
+        self.abandoned_groups.add(tg)
+        self.stats.groups_abandoned += 1
+        self.network.multicast_control(
+            GroupAbort(tg, self._current_round.get(tg, 1)), kind="abort"
+        )
+
 
 @dataclass
 class ReceiverStats:
@@ -292,6 +385,21 @@ class ReceiverStats:
     completion_time: float | None = None
     peak_buffered_groups: int = 0
     peak_buffered_packets: int = 0
+    #: corrupted packets detected by checksum and demoted to erasures
+    corrupt_discarded: int = 0
+    #: NAK-watchdog retries fired (all groups; the backoff schedule is
+    #: observable via ``watchdog_backoff_peak``)
+    watchdog_retries: int = 0
+    #: groups whose watchdog retry budget ran dry (receiver went quiet)
+    watchdog_exhaustions: int = 0
+    #: largest backoff interval any watchdog reached (seconds)
+    watchdog_backoff_peak: float = 0.0
+    #: crash/restart cycles this receiver went through
+    crashes: int = 0
+    #: groups the sender abandoned under its round cap
+    groups_failed: int = 0
+    #: simulated time of the last accepted (new, intact) payload packet
+    last_progress_time: float = 0.0
 
 
 class NPReceiver:
@@ -321,12 +429,28 @@ class NPReceiver:
         self._decoders: dict[int, BlockDecoder] = {}
         self._delivered: dict[int, list[bytes]] = {}
         self._watchdogs: dict[int, EventHandle] = {}
+        self._watchdog_retries: dict[int, int] = {}
         self._last_round: dict[int, int] = {}
+        #: groups the sender declared dead (GroupAbort); never delivered
+        self._failed: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
     def complete(self) -> bool:
         return len(self._delivered) == self.n_groups
+
+    @property
+    def finished(self) -> bool:
+        """Every group is either delivered or sender-abandoned."""
+        return len(self._delivered) + len(self._failed) >= self.n_groups
+
+    def missing_groups(self) -> tuple[int, ...]:
+        """Groups not delivered (including sender-abandoned ones)."""
+        return tuple(sorted(set(range(self.n_groups)) - set(self._delivered)))
+
+    def failed_groups(self) -> tuple[int, ...]:
+        """Groups the sender abandoned under its round cap."""
+        return tuple(sorted(self._failed))
 
     def delivered_data(self, total_length: int | None = None) -> bytes:
         """Reassembled byte stream (requires :attr:`complete`)."""
@@ -357,11 +481,27 @@ class NPReceiver:
             self._on_poll(packet)
         elif isinstance(packet, Nak):
             self.slotter.overheard(packet.tg, packet.round, packet.needed)
+        elif isinstance(packet, GroupAbort):
+            self._on_abort(packet)
 
     def _on_payload(self, packet) -> None:
         self.stats.packets_received += 1
         tg = packet.tg
+        if not payload_intact(packet):
+            # detected corruption is demoted to an erasure: drop the packet
+            # but keep the group's solicitation alive (the sender clearly
+            # is; the missing count is unchanged)
+            self.stats.corrupt_discarded += 1
+            if tg not in self._delivered and tg not in self._failed:
+                self._arm_watchdog(
+                    tg,
+                    self._decoder_for(tg).missing,
+                    self._last_round.get(tg, 1),
+                )
+            return
         self._feed_watchdog(tg)
+        if tg in self._failed:
+            return  # group was ejected; late repairs are void
         if tg in self._delivered:
             self.stats.duplicates += 1
             return
@@ -370,6 +510,8 @@ class NPReceiver:
         decoder.add(packet.index, packet.payload)
         if len(decoder.received) == before:
             self.stats.duplicates += 1
+        else:
+            self.stats.last_progress_time = self.sim.now
         if not decoder.decodable:
             # the group is known-incomplete: if the coming poll gets lost
             # (lossy control plane) this timer keeps us live by NAKing
@@ -399,7 +541,7 @@ class NPReceiver:
         tg = poll.tg
         self._last_round[tg] = max(self._last_round.get(tg, 1), poll.round)
         self._feed_watchdog(tg)
-        if tg in self._delivered:
+        if tg in self._delivered or tg in self._failed:
             return
         needed = self._decoder_for(tg).missing
         if needed <= 0:
@@ -421,31 +563,96 @@ class NPReceiver:
         )
         self._arm_watchdog(tg, needed, round_index)
 
+    def _on_abort(self, packet: GroupAbort) -> None:
+        """Sender abandoned the group: stop soliciting, mark it failed."""
+        tg = packet.tg
+        if tg in self._delivered or tg in self._failed:
+            return
+        self._failed.add(tg)
+        self.stats.groups_failed += 1
+        self.slotter.cancel_group(tg)
+        self._cancel_watchdog(tg)
+        self._watchdog_retries.pop(tg, None)
+        self._decoders.pop(tg, None)
+
     # ------------------------------------------------------------------
     # watchdog (feedback-loss robustness; disabled by default)
     # ------------------------------------------------------------------
     def _arm_watchdog(self, tg: int, needed: int, round_index: int) -> None:
-        if self.config.nak_watchdog <= 0:
+        config = self.config
+        if config.nak_watchdog <= 0 or tg in self._failed:
             return
         self._cancel_watchdog(tg)
+        retries = self._watchdog_retries.get(tg, 0)
+        if config.watchdog_retry_limit and retries >= config.watchdog_retry_limit:
+            # retry budget dry: go quiet instead of spinning forever; the
+            # harness diagnoses the stall (or the round cap ejects us)
+            self.stats.watchdog_exhaustions += 1
+            return
+        interval = config.nak_watchdog * config.watchdog_backoff**retries
+        cap = config.watchdog_max_interval or 16.0 * config.nak_watchdog
+        interval = min(interval, cap)
+        if config.watchdog_jitter > 0:
+            interval *= 1.0 + config.watchdog_jitter * float(self.rng.random())
+        self.stats.watchdog_backoff_peak = max(
+            self.stats.watchdog_backoff_peak, interval
+        )
         self._watchdogs[tg] = self.sim.schedule(
-            self.config.nak_watchdog,
+            interval,
             lambda: self._watchdog_fired(tg, round_index),
         )
 
     def _watchdog_fired(self, tg: int, round_index: int) -> None:
         self._watchdogs.pop(tg, None)
-        if tg in self._delivered:
+        if tg in self._delivered or tg in self._failed:
             return
         needed = self._decoder_for(tg).missing
         if needed > 0:
+            self._watchdog_retries[tg] = self._watchdog_retries.get(tg, 0) + 1
+            self.stats.watchdog_retries += 1
             self._send_nak(tg, needed, round_index)
 
     def _feed_watchdog(self, tg: int) -> None:
-        # any sign of life for the group means the sender heard us
+        # any sign of life for the group means the sender heard us: cancel
+        # the timer and restart the backoff schedule from the base interval
         self._cancel_watchdog(tg)
+        self._watchdog_retries.pop(tg, None)
 
     def _cancel_watchdog(self, tg: int) -> None:
         handle = self._watchdogs.pop(tg, None)
         if handle is not None:
             handle.cancel()
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault-injection hooks)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile state: undecoded buffers, timers, round memory.
+
+        Models a receiver process dying mid-transfer.  Delivered groups
+        survive (they were handed to the application / stable storage);
+        everything in flight is gone.
+        """
+        self.stats.crashes += 1
+        self._decoders.clear()
+        self._last_round.clear()
+        self._watchdog_retries.clear()
+        for handle in self._watchdogs.values():
+            handle.cancel()
+        self._watchdogs.clear()
+        self.slotter.cancel_all()
+
+    def rejoin(self) -> None:
+        """Come back after a crash: re-solicit every unfinished group.
+
+        Requires ``nak_watchdog > 0`` — a rejoining receiver has no pending
+        polls, so only a spontaneous NAK can restart its repair stream.
+        Without a watchdog it waits for whatever polls are still coming
+        (and may stall, which the harness will diagnose).
+        """
+        if self.config.nak_watchdog <= 0:
+            return
+        for tg in range(self.n_groups):
+            if tg in self._delivered or tg in self._failed:
+                continue
+            self._arm_watchdog(tg, self.config.k, self._last_round.get(tg, 1))

@@ -3,10 +3,19 @@
 All packets are small frozen dataclasses; payloads are ``bytes``.  The
 block index convention follows the FEC block layout of Section 2.1: indices
 ``0..k-1`` are data packets, ``k..n-1`` parities.
+
+Payload-bearing packets carry an optional CRC-32 ``checksum`` so bit-level
+corruption (injectable via :mod:`repro.resilience.faults`) is *detected*
+rather than silently decoded into garbage: a receiver that sees a checksum
+mismatch discards the packet, demoting corruption to an erasure the FEC
+machinery already knows how to repair.  ``checksum=None`` (the default)
+means "unverifiable" and is accepted, keeping hand-built packets in tests
+and third-party senders working.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 __all__ = [
@@ -16,7 +25,23 @@ __all__ = [
     "Nak",
     "SelectiveNak",
     "Retransmission",
+    "GroupAbort",
+    "checksum_of",
+    "payload_intact",
 ]
+
+
+def checksum_of(payload: bytes) -> int:
+    """CRC-32 of a packet payload (what senders stamp on the wire)."""
+    return zlib.crc32(payload)
+
+
+def payload_intact(packet) -> bool:
+    """True unless ``packet`` carries a checksum that fails to verify."""
+    checksum = getattr(packet, "checksum", None)
+    if checksum is None:
+        return True
+    return zlib.crc32(packet.payload) == checksum
 
 
 @dataclass(frozen=True)
@@ -31,6 +56,7 @@ class DataPacket:
     index: int
     payload: bytes = b""
     generation: int = 0
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
@@ -40,6 +66,7 @@ class ParityPacket:
     tg: int
     index: int
     payload: bytes = b""
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
@@ -93,3 +120,19 @@ class Retransmission:
     tg: int
     index: int
     payload: bytes = b""
+    checksum: int | None = None
+
+
+@dataclass(frozen=True)
+class GroupAbort:
+    """Sender control packet: group ``tg`` was abandoned under the round cap.
+
+    The graceful-degradation fallback (the paper's own: eject receivers
+    that cannot be served): receivers cancel their timers for the group and
+    mark it failed, so the transfer terminates with a diagnosable partial
+    delivery instead of spinning.  ``round`` is the round at which the cap
+    tripped, for the record.
+    """
+
+    tg: int
+    round: int

@@ -1,0 +1,51 @@
+"""Typed transfer failures — every liveness or integrity failure is one of
+these, and every one carries a :class:`~repro.resilience.report.StallReport`.
+
+The taxonomy the harness raises:
+
+* :class:`TransferTimeout` — the simulated clock crossed ``max_sim_time``
+  with receivers still incomplete (the transfer was *making* progress, or
+  at least still had events queued, but ran out of time budget).
+* :class:`TransferStalled` — the event queue drained, the event budget was
+  exhausted, or the sender tripped its round cap under the ``"error"``
+  degradation policy, with receivers still incomplete: a liveness failure.
+* :class:`DeliveryCorrupt` — a receiver reassembled different bytes than
+  were sent: an integrity failure (should be unreachable while per-packet
+  checksums demote corruption to erasure).
+
+All subclass :class:`TransferError`, itself a ``RuntimeError`` so existing
+``except RuntimeError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.report import StallReport
+
+__all__ = [
+    "TransferError",
+    "TransferTimeout",
+    "TransferStalled",
+    "DeliveryCorrupt",
+]
+
+
+class TransferError(RuntimeError):
+    """Base class for typed transfer failures; carries a diagnosis."""
+
+    def __init__(self, message: str, report: StallReport | None = None):
+        if report is not None:
+            message = f"{message}\n{report.summary()}"
+        super().__init__(message)
+        self.report = report
+
+
+class TransferTimeout(TransferError):
+    """``max_sim_time`` elapsed with receivers still incomplete."""
+
+
+class TransferStalled(TransferError):
+    """The transfer can make no further progress (liveness failure)."""
+
+
+class DeliveryCorrupt(TransferError):
+    """A receiver reassembled bytes that differ from the payload sent."""

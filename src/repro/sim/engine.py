@@ -103,7 +103,10 @@ class Simulator:
             if self.events_dispatched > self.max_events:
                 raise SimulationError(
                     f"event budget exhausted after {self.max_events} events — "
-                    f"likely a protocol livelock"
+                    f"likely a protocol livelock "
+                    f"(sim clock t={self.now:.3f}, "
+                    f"{len(self._queue)} events pending, "
+                    f"{self.events_dispatched} dispatched)"
                 )
             entry.handle.callback()
             return True

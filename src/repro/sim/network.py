@@ -47,9 +47,15 @@ class NetworkStats:
     feedback_sent: int = 0
     feedback_delivered: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    #: faults injected by a wrapping :class:`repro.resilience.FaultInjector`
+    #: (empty unless a fault plan is in force)
+    injected: dict[str, int] = field(default_factory=dict)
 
     def count_kind(self, kind: str) -> None:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def count_injected(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
 
 
 class MulticastNetwork:

@@ -166,6 +166,38 @@ class TestRobustness:
         )
         assert report.verified
 
+    @pytest.mark.parametrize("seed", [22, 23, 24, 25, 26])
+    def test_combined_loss_completes_across_seeds(self, seed):
+        # the watchdog's exponential backoff must stay live under a
+        # simultaneously lossy feedback and control plane, for any seed
+        config = fast_config(nak_watchdog=0.4)
+        report = run_transfer(
+            "np", PAYLOAD[:10_000], BernoulliLoss(6, 0.1), config,
+            rng=seed, feedback_loss=0.4, control_loss=0.4,
+        )
+        assert report.verified
+
+    def test_combined_loss_counters_are_sane(self):
+        config = fast_config(nak_watchdog=0.4)
+        report = run_transfer(
+            "np", PAYLOAD[:10_000], BernoulliLoss(6, 0.1), config,
+            rng=27, feedback_loss=0.4, control_loss=0.4,
+        )
+        assert report.verified
+        # dropped polls/NAKs force spontaneous (watchdog) NAK rounds, and
+        # every retry must be visible on the report
+        assert report.resilience.watchdog_retries >= 0
+        assert report.resilience.watchdog_backoff_peak >= 0.0
+        if report.resilience.watchdog_retries:
+            # backoff grew beyond the base interval and stayed bounded
+            assert report.resilience.watchdog_backoff_peak >= 0.4
+            assert report.resilience.watchdog_backoff_peak <= 16 * 0.4 * 1.1
+        # NAK accounting stays consistent: the sender cannot have heard
+        # more NAKs than were transmitted (feedback is lossy, never noisy)
+        assert report.naks_received <= report.naks_sent_total
+        assert report.resilience.crashes == 0
+        assert not report.resilience.degraded
+
     def test_lossy_control_without_watchdog_rejected(self):
         with pytest.raises(ValueError, match="watchdog"):
             run_transfer(

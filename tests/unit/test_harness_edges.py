@@ -7,6 +7,7 @@ import pytest
 
 from repro.protocols.harness import TransferReport, run_transfer
 from repro.protocols.np_protocol import NPConfig
+from repro.resilience import TransferError, TransferTimeout
 from repro.sim.loss import BernoulliLoss, ScriptedLoss
 
 
@@ -27,12 +28,56 @@ class TestHarnessFailureModes:
                 fast_config(), rng=1, max_sim_time=0.05,
             )
 
+    def test_timeout_is_typed_and_carries_report(self):
+        with pytest.raises(TransferTimeout) as excinfo:
+            run_transfer(
+                "np", os.urandom(5000), BernoulliLoss(5, 0.9),
+                fast_config(), rng=1, max_sim_time=0.05,
+            )
+        # typed errors still subclass RuntimeError for legacy callers
+        assert isinstance(excinfo.value, RuntimeError)
+        assert isinstance(excinfo.value, TransferError)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.protocol == "np"
+        assert report.seed == 1
+        assert len(report.receivers) == 5
+        for stall in report.receivers:
+            assert stall.missing_groups
+
     def test_unknown_protocol_lists_options(self):
         with pytest.raises(ValueError) as excinfo:
             run_transfer("rmtp", b"x", BernoulliLoss(1, 0.0), fast_config())
         message = str(excinfo.value)
         for name in ("np", "n2", "layered", "fec1"):
             assert name in message
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"feedback_loss": -0.1}, "feedback_loss"),
+            ({"feedback_loss": 1.0}, "feedback_loss"),
+            ({"control_loss": -0.5}, "control_loss"),
+            ({"control_loss": 1.5}, "control_loss"),
+            ({"latency": -0.001}, "latency"),
+            ({"max_sim_time": 0.0}, "max_sim_time"),
+            ({"max_sim_time": -5.0}, "max_sim_time"),
+        ],
+    )
+    def test_bad_arguments_rejected_up_front(self, kwargs, match):
+        config = fast_config(nak_watchdog=1.0)
+        with pytest.raises(ValueError, match=match):
+            run_transfer(
+                "np", b"x" * 100, BernoulliLoss(2, 0.0), config,
+                rng=0, **kwargs,
+            )
+
+    def test_lossy_feedback_without_watchdog_rejected(self):
+        with pytest.raises(ValueError, match="nak_watchdog"):
+            run_transfer(
+                "np", b"x" * 100, BernoulliLoss(2, 0.0), fast_config(),
+                rng=0, feedback_loss=0.2,
+            )
 
     def test_rng_accepts_seed_and_generator(self):
         payload = os.urandom(2000)

@@ -124,6 +124,24 @@ class TestRunControl:
         with pytest.raises(SimulationError, match="budget exhausted"):
             sim.run()
 
+    def test_event_budget_message_names_clock_and_queue_state(self):
+        # the exhaustion message must carry enough context to triage a
+        # livelock without a debugger: sim clock, pending and dispatched
+        sim = Simulator(max_events=50)
+
+        def reschedule():
+            sim.schedule(0.5, reschedule)
+            sim.schedule(0.5, lambda: None)  # keep the queue visibly deep
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "sim clock t=" in message
+        assert f"t={sim.now:.3f}" in message
+        assert f"{sim.pending} events pending" in message
+        assert f"{sim.events_dispatched} dispatched" in message
+
     def test_events_dispatched_counter(self):
         sim = Simulator()
         for _ in range(5):
