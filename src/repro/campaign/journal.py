@@ -1,0 +1,251 @@
+"""Append-only JSONL journal: the campaign's crash-safe source of truth.
+
+Every supervision event — campaign start/resume/end, task start, success,
+failure, retry scheduling, quarantine — is one JSON object on one line,
+written with a single ``write`` + ``flush`` + ``fsync`` so a record is
+either fully on disk or absent.  The only partial state a crash can leave
+is a *torn final line* (the runner died mid-append); the reader tolerates
+exactly that case and surfaces it as :attr:`JournalState.torn_tail`.
+Garbage anywhere *before* the final line means the file is not one of our
+journals (or was edited), and raises :class:`JournalError` instead of
+guessing.
+
+Record schema (``v`` = :data:`JOURNAL_VERSION` on every record):
+
+``campaign_start``
+    ``campaign_id``, ``seed``, ``jobs``, ``timeout``, ``retry`` (policy
+    JSON), ``tasks`` (full task JSON list) — the journal is
+    self-contained: ``--resume`` needs no other input.
+``campaign_resume``
+    ``campaign_id`` — appended each time a runner picks the journal back up.
+``task_start``
+    ``task``, ``attempt`` (1-based), ``seed``.
+``task_success``
+    ``task``, ``attempt``, ``duration``, ``result`` (payload JSON, e.g. a
+    serialized :class:`~repro.experiments.series.FigureResult`),
+    ``digest`` (sha256 of the canonical payload encoding).
+``task_failure``
+    ``task``, ``attempt``, ``duration``, ``failure`` (``kind`` in
+    ``{"error", "timeout", "crash"}``, serialized typed error with its
+    ``StallReport`` when one was raised, ``exitcode``), ``will_retry``,
+    ``retry_delay``.
+``task_quarantined``
+    ``task``, ``attempts`` — the retry budget is spent; the campaign
+    completes *degraded* with this task listed.
+``campaign_end``
+    ``status`` (``"ok"`` | ``"degraded"``), ``quarantined`` id list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.campaign.tasks import CampaignTask
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalWriter",
+    "JournalState",
+    "TaskLedger",
+    "read_journal",
+    "replay_journal",
+    "load_journal",
+    "payload_digest",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is not readable as a campaign journal."""
+
+
+def _encode(record: dict) -> bytes:
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        + b"\n"
+    )
+
+
+def payload_digest(payload: Any) -> str:
+    """sha256 over the canonical JSON encoding of a result payload.
+
+    The digest is the deterministic fingerprint of *what a task computed*;
+    resumed and uninterrupted campaigns with the same seeds must agree on
+    it bit-for-bit (that is what the crash-consistency tests assert).
+    """
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+class JournalWriter:
+    """Appends records durably; safe to reopen an existing journal."""
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+
+    def append(self, record: dict) -> None:
+        record = {"v": JOURNAL_VERSION, **record}
+        self._file.write(_encode(record))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: str | pathlib.Path) -> tuple[list[dict], bool]:
+    """All complete records, plus whether a torn final line was dropped.
+
+    A torn final line is the expected signature of a runner killed
+    mid-append and is silently tolerated; an unparsable line anywhere else
+    raises :class:`JournalError`.
+    """
+    raw = pathlib.Path(path).read_bytes()
+    records: list[dict] = []
+    torn = False
+    lines = raw.split(b"\n")
+    # find the last line holding any content; everything after is empty
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except ValueError as exc:
+            if i == last_content:
+                torn = True
+                break
+            raise JournalError(
+                f"{path}: unparsable journal record on line {i + 1} "
+                f"(only the final line may be torn): {exc}"
+            ) from exc
+        records.append(record)
+    return records, torn
+
+
+@dataclass
+class TaskLedger:
+    """Everything the journal knows about one task."""
+
+    task: CampaignTask
+    #: attempts with a recorded terminal outcome (success or failure)
+    failed_attempts: int = 0
+    started_attempts: int = 0
+    success: dict | None = None  # the task_success record
+    quarantined: bool = False
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.success is not None or self.quarantined
+
+    @property
+    def torn_attempt(self) -> bool:
+        """A ``task_start`` with no matching terminal record: the worker
+        (or the runner) died mid-attempt.  Resume re-runs this attempt."""
+        terminal = self.failed_attempts + (1 if self.success else 0)
+        return not self.complete and self.started_attempts > terminal
+
+
+@dataclass
+class JournalState:
+    """The replayed journal: campaign metadata + per-task ledgers."""
+
+    meta: dict
+    ledgers: dict[str, TaskLedger]
+    torn_tail: bool = False
+    finished: bool = False
+
+    @property
+    def tasks(self) -> list[CampaignTask]:
+        return [ledger.task for ledger in self.ledgers.values()]
+
+    @property
+    def completed_ids(self) -> list[str]:
+        return [
+            task_id
+            for task_id, ledger in self.ledgers.items()
+            if ledger.success is not None
+        ]
+
+
+def replay_journal(
+    records: Iterable[dict], torn_tail: bool = False
+) -> JournalState:
+    """Fold journal records into the resumable per-task state."""
+    records = list(records)
+    meta: dict | None = None
+    ledgers: dict[str, TaskLedger] = {}
+    finished = False
+    for record in records:
+        kind = record.get("type")
+        if kind == "campaign_start":
+            if meta is not None:
+                raise JournalError("journal holds two campaign_start records")
+            meta = record
+            for task_json in record.get("tasks", ()):
+                task = CampaignTask.from_json(task_json)
+                if task.task_id in ledgers:
+                    raise JournalError(
+                        f"duplicate task id {task.task_id!r} in campaign_start"
+                    )
+                ledgers[task.task_id] = TaskLedger(task)
+            continue
+        if kind in ("campaign_resume", "campaign_end"):
+            finished = kind == "campaign_end"
+            continue
+        task_id = record.get("task")
+        if meta is None or task_id not in ledgers:
+            raise JournalError(
+                f"journal record for unknown task {task_id!r} "
+                f"(missing or incomplete campaign_start?)"
+            )
+        ledger = ledgers[task_id]
+        if kind == "task_start":
+            ledger.started_attempts += 1
+            finished = False
+        elif kind == "task_success":
+            ledger.success = record
+            finished = False
+        elif kind == "task_failure":
+            ledger.failed_attempts += 1
+            ledger.failures.append(record)
+            finished = False
+        elif kind == "task_quarantined":
+            ledger.quarantined = True
+            finished = False
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+    if meta is None:
+        raise JournalError("journal has no campaign_start record")
+    return JournalState(
+        meta=meta, ledgers=ledgers, torn_tail=torn_tail, finished=finished
+    )
+
+
+def load_journal(path: str | pathlib.Path) -> JournalState:
+    """Read + replay in one step (the ``--resume`` entry point)."""
+    records, torn = read_journal(path)
+    return replay_journal(records, torn_tail=torn)

@@ -1,0 +1,556 @@
+"""The campaign supervisor: isolation, deadlines, retries, quarantine.
+
+:class:`CampaignRunner` drives a set of :class:`CampaignTask` objects to
+completion under four guarantees:
+
+* **Isolation** — every attempt runs in a freshly *spawned* process
+  (:mod:`repro.campaign.worker`); a segfault, OOM kill or hang costs one
+  attempt, never the campaign.  At most ``jobs`` workers run at once.
+* **Deadlines** — an attempt exceeding its wall-clock budget is sent
+  SIGTERM; a worker that ignores it (or is wedged in C code) is SIGKILLed
+  after ``term_grace`` seconds.  Both classify the attempt as ``timeout``.
+* **Bounded retry** — failed attempts are re-run under a
+  :class:`~repro.campaign.retry.RetryPolicy` (exponential backoff +
+  seeded jitter, the NAK-watchdog shape).  A task that exhausts its
+  budget is *quarantined*: the campaign completes **degraded** with the
+  quarantine list on the report, mirroring the transfer layer's
+  eject-and-continue GroupAbort semantics rather than failing the world.
+* **Durability** — with a journal attached, every supervision event is
+  fsync'd to JSONL *before* the supervisor acts on it, so killing the
+  runner at any instant loses at most the in-flight attempts.
+  :meth:`CampaignRunner.resume` replays the journal, keeps completed
+  results (their payloads live in the journal), re-runs pending or torn
+  tasks, and produces a report whose :meth:`~CampaignReport.canonical`
+  form is bit-identical to an uninterrupted run with the same seeds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+import time
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.campaign.journal import (
+    JournalState,
+    JournalWriter,
+    load_journal,
+    payload_digest,
+)
+from repro.campaign.report import CampaignReport, TaskOutcome
+from repro.campaign.retry import RetryPolicy
+from repro.campaign.tasks import CampaignTask
+from repro.campaign.worker import worker_main
+from repro.resilience.errors import TransferError
+
+__all__ = ["CampaignRunner", "run_campaign"]
+
+
+@dataclass
+class _TaskState:
+    """Supervisor-side ledger for one task."""
+
+    task: CampaignTask
+    failed_attempts: int = 0
+    failure_kinds: list[str] = field(default_factory=list)
+    #: (error_type, message) of the most recent failure
+    last_error: tuple[str, str] | None = None
+    durations: list[float] = field(default_factory=list)
+    success_payload: dict | None = None
+    success_digest: str | None = None
+    success_attempt: int = 0
+    quarantined: bool = False
+    resumed: bool = False
+    eligible_at: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.success_payload is not None or self.quarantined
+
+
+@dataclass
+class _Running:
+    """One live worker process."""
+
+    state: _TaskState
+    attempt: int
+    proc: Any
+    conn: Any
+    started: float
+    deadline: float
+    term_sent_at: float | None = None
+    timed_out: bool = False
+    killed: bool = False
+
+
+class CampaignRunner:
+    """Supervised, resumable, parallel execution of campaign tasks."""
+
+    def __init__(
+        self,
+        tasks: Sequence[CampaignTask],
+        *,
+        jobs: int = 1,
+        timeout: float = 600.0,
+        retry: RetryPolicy | None = None,
+        journal_path: str | pathlib.Path | None = None,
+        seed: int = 0,
+        campaign_id: str = "campaign",
+        term_grace: float = 2.0,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if term_grace < 0:
+            raise ValueError(f"term_grace must be >= 0, got {term_grace}")
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("a campaign needs at least one task")
+        seen: set[str] = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+        self.tasks = tasks
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal_path = (
+            None if journal_path is None else pathlib.Path(journal_path)
+        )
+        self.seed = seed
+        self.campaign_id = campaign_id
+        self.term_grace = term_grace
+        self._states = {
+            task.task_id: _TaskState(task=task) for task in tasks
+        }
+        self._writer: JournalWriter | None = None
+        self._resuming = False
+        #: task_id -> deserializable result payload (ok tasks only)
+        self.results: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # resume
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        journal_path: str | pathlib.Path,
+        *,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        term_grace: float = 2.0,
+    ) -> "CampaignRunner":
+        """Rebuild a runner from its journal; completed work is kept.
+
+        The journal is self-contained (tasks, seeds, policy all travel in
+        ``campaign_start``), so this is the only input a resume needs.
+        Overrides (``jobs`` etc.) apply to the remaining work only.
+        """
+        state = load_journal(journal_path)
+        meta = state.meta
+        runner = cls(
+            state.tasks,
+            jobs=jobs if jobs is not None else int(meta.get("jobs", 1)),
+            timeout=(
+                timeout
+                if timeout is not None
+                else float(meta.get("timeout", 600.0))
+            ),
+            retry=(
+                retry
+                if retry is not None
+                else RetryPolicy.from_json(meta.get("retry", {}))
+            ),
+            journal_path=journal_path,
+            seed=int(meta.get("seed", 0)),
+            campaign_id=meta.get("campaign_id", "campaign"),
+            term_grace=term_grace,
+        )
+        runner._preload(state)
+        return runner
+
+    def _preload(self, state: JournalState) -> None:
+        """Fold replayed journal ledgers into supervisor task state."""
+        self._resuming = True
+        for task_id, ledger in state.ledgers.items():
+            task_state = self._states[task_id]
+            task_state.failed_attempts = ledger.failed_attempts
+            for failure in ledger.failures:
+                info = failure.get("failure", {})
+                task_state.failure_kinds.append(info.get("kind", "error"))
+                error = info.get("error") or {}
+                task_state.last_error = (
+                    error.get("error_type", info.get("kind", "error")),
+                    error.get("message", ""),
+                )
+                task_state.durations.append(float(failure.get("duration", 0.0)))
+            if ledger.success is not None:
+                record = ledger.success
+                task_state.success_payload = record.get("result")
+                task_state.success_digest = record.get("digest")
+                task_state.success_attempt = int(record.get("attempt", 1))
+                task_state.durations.append(float(record.get("duration", 0.0)))
+                task_state.resumed = True
+                self.results[task_id] = task_state.success_payload
+            elif ledger.quarantined:
+                task_state.quarantined = True
+                task_state.resumed = True
+            # torn attempts (task_start without a terminal record) are
+            # simply re-run: the attempt number restarts where it tore
+
+    # ------------------------------------------------------------------
+    # journal plumbing
+    # ------------------------------------------------------------------
+    def _journal(self, record: dict) -> None:
+        if self._writer is not None:
+            self._writer.append(record)
+
+    def _open_journal(self) -> None:
+        if self.journal_path is None:
+            return
+        fresh = (
+            not self.journal_path.exists()
+            or self.journal_path.stat().st_size == 0
+        )
+        if fresh and self._resuming:
+            raise ValueError(
+                f"resume requested but journal {self.journal_path} is empty"
+            )
+        if not fresh and not self._resuming:
+            raise ValueError(
+                f"journal {self.journal_path} already has records; "
+                f"resume from it or pick a new path"
+            )
+        self._writer = JournalWriter(self.journal_path)
+        if fresh:
+            self._journal(
+                {
+                    "type": "campaign_start",
+                    "campaign_id": self.campaign_id,
+                    "seed": self.seed,
+                    "jobs": self.jobs,
+                    "timeout": self.timeout,
+                    "retry": self.retry.to_json(),
+                    "tasks": [task.to_json() for task in self.tasks],
+                }
+            )
+        else:
+            self._journal(
+                {"type": "campaign_resume", "campaign_id": self.campaign_id}
+            )
+
+    # ------------------------------------------------------------------
+    # the supervision loop
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignReport:
+        started_wall = time.monotonic()
+        self._open_journal()
+        ctx = multiprocessing.get_context("spawn")
+        running: list[_Running] = []
+        pending = [
+            state for state in self._states.values() if not state.complete
+        ]
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # launch everything eligible while worker slots are free
+                for state in sorted(pending, key=lambda s: s.eligible_at):
+                    if len(running) >= self.jobs:
+                        break
+                    if state.eligible_at > now:
+                        continue
+                    pending.remove(state)
+                    running.append(self._launch(ctx, state, now))
+                self._wait(running, pending, now)
+                now = time.monotonic()
+                self._escalate(running, now)
+                for done in self._reap(running):
+                    running.remove(done)
+                    self._settle(done, pending)
+        finally:
+            for leftover in running:
+                leftover.proc.kill()
+                leftover.proc.join()
+                leftover.conn.close()
+            self._close_journal()
+        return self._build_report(time.monotonic() - started_wall)
+
+    def _close_journal(self) -> None:
+        if self._writer is None:
+            return
+        if all(state.complete for state in self._states.values()):
+            quarantined = sorted(
+                task_id
+                for task_id, state in self._states.items()
+                if state.quarantined
+            )
+            self._journal(
+                {
+                    "type": "campaign_end",
+                    "status": "degraded" if quarantined else "ok",
+                    "quarantined": quarantined,
+                }
+            )
+        self._writer.close()
+        self._writer = None
+
+    def _launch(
+        self, ctx, state: _TaskState, now: float
+    ) -> _Running:
+        attempt = state.failed_attempts + 1
+        self._journal(
+            {
+                "type": "task_start",
+                "task": state.task.task_id,
+                "attempt": attempt,
+                "seed": state.task.seed,
+            }
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, state.task.to_json()),
+            name=f"campaign-{state.task.task_id}-a{attempt}",
+        )
+        proc.start()
+        child_conn.close()
+        budget = state.task.timeout or self.timeout
+        return _Running(
+            state=state,
+            attempt=attempt,
+            proc=proc,
+            conn=parent_conn,
+            started=now,
+            deadline=now + budget,
+        )
+
+    def _wait(
+        self,
+        running: list[_Running],
+        pending: list[_TaskState],
+        now: float,
+    ) -> None:
+        """Block until a worker speaks/dies, a deadline passes, or a
+        backoff delay expires — whichever is soonest."""
+        horizons = [run.deadline for run in running]
+        horizons.extend(
+            run.term_sent_at + self.term_grace
+            for run in running
+            if run.term_sent_at is not None
+        )
+        if len(running) < self.jobs:
+            horizons.extend(state.eligible_at for state in pending)
+        wait = max(0.0, min(horizons, default=now + 0.1) - now)
+        if not running:
+            if wait:
+                time.sleep(min(wait, 0.5))
+            return
+        # wait on result pipes AND process sentinels: a worker whose
+        # result exceeds the pipe buffer blocks in send() until we recv,
+        # so the pipe must be able to wake us while the process lives
+        handles = [run.conn for run in running]
+        handles.extend(run.proc.sentinel for run in running)
+        mp_connection.wait(handles, timeout=min(wait, 0.5) if wait else 0.05)
+
+    def _escalate(self, running: list[_Running], now: float) -> None:
+        """SIGTERM at the deadline, SIGKILL ``term_grace`` later."""
+        for run in running:
+            if not run.proc.is_alive():
+                continue
+            if run.term_sent_at is None:
+                if now >= run.deadline:
+                    run.timed_out = True
+                    run.term_sent_at = now
+                    run.proc.terminate()
+            elif now >= run.term_sent_at + self.term_grace:
+                run.killed = True
+                run.proc.kill()
+
+    def _reap(self, running: list[_Running]) -> list[_Running]:
+        """Workers that finished: sent their message or died trying."""
+        done = []
+        for run in running:
+            if run.conn.poll() or not run.proc.is_alive():
+                done.append(run)
+        return done
+
+    def _settle(self, run: _Running, pending: list[_TaskState]) -> None:
+        """Classify one finished attempt and journal the outcome."""
+        message = None
+        try:
+            if run.conn.poll():
+                message = run.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        except Exception as exc:  # unpicklable/foreign exception payload
+            message = ("error", RuntimeError(f"undecodable worker error: {exc}"))
+        run.proc.join(timeout=5.0)
+        if run.proc.is_alive():  # pragma: no cover - send/exit race backstop
+            run.proc.kill()
+            run.proc.join()
+        run.conn.close()
+        duration = time.monotonic() - run.started
+        state = run.state
+        state.durations.append(duration)
+
+        if message is not None and message[0] == "ok":
+            # a result that squeaked in just as the deadline hit still
+            # counts: the work is done and journaled
+            payload = message[1]
+            digest = payload_digest(payload)
+            self._journal(
+                {
+                    "type": "task_success",
+                    "task": state.task.task_id,
+                    "attempt": run.attempt,
+                    "duration": duration,
+                    "result": payload,
+                    "digest": digest,
+                }
+            )
+            state.success_payload = payload
+            state.success_digest = digest
+            state.success_attempt = run.attempt
+            self.results[state.task.task_id] = payload
+            return
+
+        # ---- failure paths ------------------------------------------
+        if message is not None and message[0] == "error":
+            exc = message[1]
+            kind = "error"
+            error_json = (
+                exc.to_json()
+                if isinstance(exc, TransferError)
+                else {
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "report": None,
+                }
+            )
+        elif run.timed_out:
+            kind = "timeout"
+            budget = state.task.timeout or self.timeout
+            error_json = {
+                "error_type": "TaskTimeout",
+                "message": (
+                    f"attempt exceeded {budget:g}s wall clock "
+                    f"(SIGTERM{' -> SIGKILL' if run.killed else ''})"
+                ),
+                "report": None,
+            }
+        else:
+            kind = "crash"
+            error_json = {
+                "error_type": "WorkerCrashed",
+                "message": (
+                    f"worker exited with code {run.proc.exitcode} "
+                    f"before reporting a result"
+                ),
+                "report": None,
+            }
+        state.failed_attempts += 1
+        state.failure_kinds.append(kind)
+        state.last_error = (
+            error_json["error_type"],
+            error_json["message"],
+        )
+        will_retry = state.failed_attempts < self.retry.max_attempts
+        delay = 0.0
+        if will_retry:
+            delay = self.retry.delay(
+                state.failed_attempts, self._retry_rng(state)
+            )
+        self._journal(
+            {
+                "type": "task_failure",
+                "task": state.task.task_id,
+                "attempt": run.attempt,
+                "duration": duration,
+                "failure": {
+                    "kind": kind,
+                    "error": error_json,
+                    "exitcode": run.proc.exitcode,
+                },
+                "will_retry": will_retry,
+                "retry_delay": delay,
+            }
+        )
+        if will_retry:
+            state.eligible_at = time.monotonic() + delay
+            pending.append(state)
+        else:
+            self._journal(
+                {
+                    "type": "task_quarantined",
+                    "task": state.task.task_id,
+                    "attempts": state.failed_attempts,
+                }
+            )
+            state.quarantined = True
+
+    def _retry_rng(self, state: _TaskState) -> np.random.Generator:
+        """Jitter rng seeded by (campaign, task, attempt): replayable."""
+        return np.random.default_rng(
+            [
+                self.seed & 0xFFFFFFFF,
+                zlib.crc32(state.task.task_id.encode()),
+                state.failed_attempts,
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # report
+    # ------------------------------------------------------------------
+    def _build_report(self, wall_clock: float) -> CampaignReport:
+        outcomes = []
+        for task in self.tasks:
+            state = self._states[task.task_id]
+            if state.success_payload is not None:
+                outcomes.append(
+                    TaskOutcome(
+                        task_id=task.task_id,
+                        status="ok",
+                        attempts=state.success_attempt,
+                        duration=sum(state.durations),
+                        seed=task.seed,
+                        result_digest=state.success_digest,
+                        failure_kinds=tuple(state.failure_kinds),
+                    )
+                )
+            else:
+                error_type, error_message = state.last_error or (None, None)
+                outcomes.append(
+                    TaskOutcome(
+                        task_id=task.task_id,
+                        status="quarantined",
+                        attempts=state.failed_attempts,
+                        duration=sum(state.durations),
+                        seed=task.seed,
+                        failure_kinds=tuple(state.failure_kinds),
+                        error_type=error_type,
+                        error_message=error_message,
+                    )
+                )
+        return CampaignReport(
+            campaign_id=self.campaign_id,
+            outcomes=outcomes,
+            wall_clock=wall_clock,
+            resumed_tasks=sum(
+                1 for state in self._states.values() if state.resumed
+            ),
+        )
+
+
+def run_campaign(
+    tasks: Sequence[CampaignTask], **kwargs: Any
+) -> CampaignReport:
+    """One-call convenience wrapper: build a runner and run it."""
+    return CampaignRunner(tasks, **kwargs).run()

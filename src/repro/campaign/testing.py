@@ -1,0 +1,163 @@
+"""Spawn-safe fixture tasks for exercising the campaign supervisor.
+
+The crash-consistency suite (and the CI smoke job) need tasks with
+*controllable* pathologies — hang, crash, typed failure, crash-once —
+that are importable by dotted path inside a freshly spawned worker.
+Keeping them in the package (rather than in ``tests/``) guarantees they
+resolve no matter where the worker process starts, and gives examples a
+ready-made vocabulary for demos.  Nothing here is imported by production
+code paths.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+from repro.experiments.series import FigureResult, Series
+from repro.resilience.errors import (
+    DeliveryCorrupt,
+    TransferStalled,
+    TransferTimeout,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.report import ReceiverStall, StallReport
+
+__all__ = [
+    "tiny_figure",
+    "slow_figure",
+    "hang",
+    "fail_typed",
+    "crash_sigkill_once",
+    "sample_stall_report",
+    "fixture_tasks",
+    "run_fixture_campaign",
+]
+
+
+def tiny_figure(label: str = "cell", seed: int = 0, points: int = 4) -> FigureResult:
+    """A deterministic, instantly-computed figure keyed by (label, seed)."""
+    xs = [float(i) for i in range(points)]
+    ys = [float((seed + 1) * (i + 1)) for i in range(points)]
+    return FigureResult(
+        figure_id=f"tiny_{label}",
+        title=f"deterministic fixture {label}",
+        x_label="x",
+        y_label="y",
+        series=[Series(label, xs, ys)],
+    )
+
+
+def slow_figure(
+    label: str = "slow", seed: int = 0, duration: float = 0.3
+) -> FigureResult:
+    """``tiny_figure`` after sleeping ``duration`` seconds (interruptible)."""
+    time.sleep(duration)
+    return tiny_figure(label=label, seed=seed)
+
+
+def hang(ignore_sigterm: bool = False) -> None:
+    """Never return.  With ``ignore_sigterm`` the worker shrugs off the
+    supervisor's SIGTERM, forcing the SIGKILL escalation path."""
+    if ignore_sigterm:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(3600)
+
+
+def sample_stall_report(seed: int = 0) -> StallReport:
+    """A small but fully-populated stall report for failure fixtures."""
+    return StallReport(
+        protocol="np",
+        sim_time=12.5,
+        events_dispatched=4096,
+        pending_events=3,
+        receivers=(
+            ReceiverStall(
+                receiver_id=1,
+                missing_groups=(2, 5),
+                last_progress_time=11.0,
+                watchdog_retries=4,
+                watchdog_exhaustions=1,
+                crashes=0,
+            ),
+        ),
+        abandoned_groups=(5,),
+        injected_faults={"corrupted": 3, "outage_dropped": 7},
+        seed=seed,
+        fault_plan=FaultPlan(seed=seed, corrupt_prob=0.01),
+    )
+
+
+_TYPED = {
+    "timeout": TransferTimeout,
+    "stalled": TransferStalled,
+    "corrupt": DeliveryCorrupt,
+}
+
+
+def fail_typed(kind: str = "stalled", seed: int = 0) -> None:
+    """Raise one of the typed transfer errors, stall report attached."""
+    error_cls = _TYPED[kind]
+    raise error_cls(
+        f"fixture {kind} failure (seed={seed})", sample_stall_report(seed)
+    )
+
+
+def fixture_tasks(n: int = 4, duration: float = 0.2, seed: int = 0) -> list:
+    """``n`` deterministic slow-figure tasks (distinct ids and seeds)."""
+    from repro.campaign.tasks import callable_task
+
+    return [
+        callable_task(
+            f"cell{i:02d}",
+            "repro.campaign.testing:slow_figure",
+            seed=seed + i,
+            label=f"cell{i:02d}",
+            duration=duration,
+        )
+        for i in range(n)
+    ]
+
+
+def run_fixture_campaign(
+    journal: str | None = None,
+    n: int = 4,
+    duration: float = 0.2,
+    seed: int = 0,
+    jobs: int = 1,
+    timeout: float = 60.0,
+):
+    """Run a deterministic fixture campaign; spawn-importable by dotted
+    path so crash tests can SIGKILL the *supervisor* mid-campaign."""
+    from repro.campaign.supervisor import CampaignRunner
+
+    runner = CampaignRunner(
+        fixture_tasks(n=n, duration=duration, seed=seed),
+        jobs=jobs,
+        timeout=timeout,
+        journal_path=journal,
+        seed=seed,
+        campaign_id="fixture",
+    )
+    return runner.run()
+
+
+def crash_sigkill_once(
+    sentinel: str, label: str = "flaky", seed: int = 0
+) -> FigureResult:
+    """SIGKILL the worker mid-task on the first run; succeed afterwards.
+
+    ``sentinel`` is a filesystem path recording that the first (fatal)
+    attempt already happened — the supervisor's retry then sees a clean
+    deterministic success, so the canonical report matches a run where
+    the kill never happened.
+    """
+    path = pathlib.Path(sentinel)
+    if not path.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("first attempt died here\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return tiny_figure(label=label, seed=seed)

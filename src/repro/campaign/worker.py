@@ -1,0 +1,53 @@
+"""The spawned worker: runs exactly one task attempt in its own process.
+
+Isolation is the point — a segfault, OOM kill or runaway loop in a figure
+runner costs one attempt, never the campaign.  The contract with the
+supervisor is a single message on a one-shot pipe:
+
+* ``("ok", payload)`` — the task returned; ``payload`` is the
+  journal-ready dict from :func:`repro.campaign.tasks.serialize_result`.
+* ``("error", exc)`` — the task raised; typed errors from
+  :mod:`repro.resilience.errors` pickle with their ``StallReport``
+  attached (their ``__reduce__`` guarantees it), so diagnostics cross the
+  process boundary intact.  Unpicklable exceptions degrade to a
+  ``RuntimeError`` carrying the original type name and message.
+
+No message at all means the process died before finishing — the
+supervisor reads the exit code and classifies the attempt as a crash (or
+a timeout, if it was the one doing the killing).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.campaign.tasks import CampaignTask, execute_task, serialize_result
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn: Any, task_json: dict) -> None:
+    """Process entry point: execute the task, send one message, exit.
+
+    ``task_json`` (not a live :class:`CampaignTask`) keeps the spawn
+    pickle surface to plain data; the task is rebuilt here, inside the
+    worker, where its imports are resolved.
+    """
+    try:
+        task = CampaignTask.from_json(task_json)
+        result = execute_task(task)
+        message = ("ok", serialize_result(result))
+    except BaseException as exc:  # noqa: BLE001 - the pipe IS the error path
+        try:
+            pickle.dumps(exc)
+            message = ("error", exc)
+        except Exception:
+            message = (
+                "error",
+                RuntimeError(f"{type(exc).__name__}: {exc}"),
+            )
+    try:
+        conn.send(message)
+    finally:
+        conn.close()

@@ -5,6 +5,19 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig05 fig18
     python -m repro.experiments --all --csv results/
+
+Campaign mode (supervised, parallel, crash-safe; see
+:mod:`repro.campaign`) engages whenever any of ``--jobs``, ``--timeout``,
+``--retries``, ``--journal`` or ``--resume`` is given::
+
+    python -m repro.experiments --all --jobs 4 --journal campaign.jsonl
+    python -m repro.experiments --resume campaign.jsonl
+
+Each task then runs in its own spawned process with a wall-clock budget
+and a retry allowance; completed work is journaled so a killed campaign
+resumes where it stopped.  The exit status is 0 only when every requested
+figure produced a result — failed or quarantined figure ids are printed
+and reflected in a nonzero exit code.
 """
 
 from __future__ import annotations
@@ -15,9 +28,10 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.series import FigureResult
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce figures from 'Parity-Based Loss Recovery for "
@@ -31,6 +45,165 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write <DIR>/<figure>.csv for each figure run",
     )
+    campaign = parser.add_argument_group(
+        "campaign mode (supervised subprocess execution)"
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="run figures as a campaign with N parallel workers",
+    )
+    campaign.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-task wall-clock budget (campaign mode; default 600)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="re-runs allowed per failed task before quarantine (default 1)",
+    )
+    campaign.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append-only JSONL journal for crash-safe resume",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a campaign from its journal (skips completed tasks)",
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="base seed forwarded to simulation figure runners (default 0)",
+    )
+    return parser
+
+
+def _campaign_mode(args: argparse.Namespace) -> bool:
+    return any(
+        value is not None
+        for value in (
+            args.jobs,
+            args.timeout,
+            args.retries,
+            args.journal,
+            args.resume,
+        )
+    )
+
+
+def _render_fig13() -> None:
+    # the timing diagram: rendered, not computed
+    from repro.experiments.fig13_timing import render_timing_diagram
+
+    print("fig13: timing of the different approaches")
+    print(render_timing_diagram())
+    print()
+
+
+def _write_csv(csv_dir: pathlib.Path, figure_id: str, result) -> None:
+    path = csv_dir / f"{figure_id}.csv"
+    path.write_text(result.to_csv())
+    print(f"wrote {path}")
+
+
+def _run_sequential(
+    targets: list[str], csv_dir: pathlib.Path | None
+) -> int:
+    """The classic in-process path; now failure-aware (nonzero exit)."""
+    failed: list[str] = []
+    for figure_id in targets:
+        if figure_id == "fig13":
+            _render_fig13()
+            continue
+        start = time.perf_counter()
+        try:
+            result = run_experiment(figure_id)
+        except Exception as exc:  # noqa: BLE001 - collected and reported
+            elapsed = time.perf_counter() - start
+            print(
+                f"[{figure_id} FAILED after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            failed.append(figure_id)
+            continue
+        elapsed = time.perf_counter() - start
+        print(result.render_table())
+        print(f"[{figure_id} completed in {elapsed:.1f}s]")
+        print()
+        if csv_dir is not None:
+            _write_csv(csv_dir, figure_id, result)
+    if failed:
+        print(f"failed figures: {' '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_campaign(
+    args: argparse.Namespace,
+    targets: list[str],
+    csv_dir: pathlib.Path | None,
+) -> int:
+    from repro.campaign import (
+        CampaignRunner,
+        RetryPolicy,
+        deserialize_result,
+        tasks_from_registry,
+    )
+
+    if args.resume:
+        overrides = {}
+        if args.jobs is not None:
+            overrides["jobs"] = args.jobs
+        if args.timeout is not None:
+            overrides["timeout"] = args.timeout
+        if args.retries is not None:
+            overrides["retry"] = RetryPolicy(retries=args.retries)
+        runner = CampaignRunner.resume(args.resume, **overrides)
+    else:
+        if "fig13" in targets:
+            # rendered, not computed: satisfy it inline, supervise the rest
+            _render_fig13()
+            targets = [t for t in targets if t != "fig13"]
+            if not targets:
+                return 0
+        tasks = tasks_from_registry(targets, seed=args.seed)
+        runner = CampaignRunner(
+            tasks,
+            jobs=args.jobs if args.jobs is not None else 1,
+            timeout=args.timeout if args.timeout is not None else 600.0,
+            retry=RetryPolicy(
+                retries=args.retries if args.retries is not None else 1
+            ),
+            journal_path=args.journal,
+            seed=args.seed,
+            campaign_id="experiments",
+        )
+    report = runner.run()
+    print(report.render_table())
+    if csv_dir is not None:
+        for task_id, payload in sorted(runner.results.items()):
+            result = deserialize_result(payload)
+            if isinstance(result, FigureResult):
+                _write_csv(csv_dir, task_id, result)
+    if report.status != "ok":
+        print(
+            f"failed figures: {' '.join(report.quarantined)}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.list:
@@ -39,36 +212,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{figure_id}  [{experiment.method:11s}]  {experiment.paper_caption}")
         return 0
 
-    targets = experiment_ids() if args.all else args.figures
-    if not targets:
-        parser.print_usage()
-        print("error: give figure ids, --all, or --list", file=sys.stderr)
-        return 2
+    if args.resume:
+        if args.figures or args.all:
+            parser.print_usage()
+            print(
+                "error: --resume takes its task list from the journal; "
+                "do not pass figure ids",
+                file=sys.stderr,
+            )
+            return 2
+        targets: list[str] = []
+    else:
+        targets = experiment_ids() if args.all else args.figures
+        if not targets:
+            parser.print_usage()
+            print("error: give figure ids, --all, or --list", file=sys.stderr)
+            return 2
+        for figure_id in targets:
+            if figure_id != "fig13" and figure_id not in EXPERIMENTS:
+                raise KeyError(
+                    f"unknown experiment {figure_id!r}; "
+                    f"known: {experiment_ids()}"
+                )
 
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir is not None:
         csv_dir.mkdir(parents=True, exist_ok=True)
 
-    for figure_id in targets:
-        if figure_id == "fig13":
-            # the timing diagram: rendered, not computed
-            from repro.experiments.fig13_timing import render_timing_diagram
-
-            print("fig13: timing of the different approaches")
-            print(render_timing_diagram())
-            print()
-            continue
-        start = time.perf_counter()
-        result = run_experiment(figure_id)
-        elapsed = time.perf_counter() - start
-        print(result.render_table())
-        print(f"[{figure_id} completed in {elapsed:.1f}s]")
-        print()
-        if csv_dir is not None:
-            path = csv_dir / f"{figure_id}.csv"
-            path.write_text(result.to_csv())
-            print(f"wrote {path}")
-    return 0
+    if _campaign_mode(args):
+        return _run_campaign(args, targets, csv_dir)
+    return _run_sequential(targets, csv_dir)
 
 
 if __name__ == "__main__":

@@ -36,6 +36,24 @@ class Series:
         if self.errors is not None and len(self.errors) != len(self.y):
             raise ValueError(f"series {self.label!r}: errors length mismatch")
 
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "x": list(self.x),
+            "y": list(self.y),
+            "errors": None if self.errors is None else list(self.errors),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Series":
+        errors = data.get("errors")
+        return cls(
+            label=data["label"],
+            x=list(data["x"]),
+            y=list(data["y"]),
+            errors=None if errors is None else list(errors),
+        )
+
     def value_at(self, x: float) -> float:
         """The y value measured at exactly ``x`` (KeyError style lookup)."""
         for xi, yi in zip(self.x, self.y):
@@ -68,6 +86,29 @@ class FigureResult:
     @property
     def labels(self) -> list[str]:
         return [series.label for series in self.series]
+
+    def to_json(self) -> dict:
+        """JSON-serializable dict (campaign journals persist figures this
+        way, so a resumed campaign can rebuild results without re-running)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [series.to_json() for series in self.series],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FigureResult":
+        return cls(
+            figure_id=data["figure_id"],
+            title=data.get("title", ""),
+            x_label=data.get("x_label", ""),
+            y_label=data.get("y_label", ""),
+            series=[Series.from_json(s) for s in data.get("series", ())],
+            notes=data.get("notes", ""),
+        )
 
     # ------------------------------------------------------------------
     # rendering

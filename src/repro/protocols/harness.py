@@ -18,6 +18,7 @@ the run.  Chaos faults are opt-in via the ``fault_plan`` argument.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -104,6 +105,31 @@ class TransferReport:
         """Fraction of scheduled NAKs damped before transmission."""
         scheduled = self.naks_sent_total + self.naks_suppressed_total
         return self.naks_suppressed_total / scheduled if scheduled else 0.0
+
+    def to_json(self) -> dict:
+        """JSON-serializable dict; :meth:`from_json` restores an equal report.
+
+        Used by the campaign journal so transfer-level outcomes are
+        self-contained in the record (including the nested resilience
+        section and its replay ``fault_plan``).
+        """
+        data = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "resilience"
+        }
+        data["by_kind"] = dict(self.by_kind)
+        data["resilience"] = self.resilience.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TransferReport":
+        data = dict(data)
+        data["by_kind"] = dict(data.get("by_kind", {}))
+        data["resilience"] = ResilienceSummary.from_json(
+            data.get("resilience") or {}
+        )
+        return cls(**data)
 
     def summary(self) -> str:
         return (

@@ -19,6 +19,7 @@ from repro.resilience.errors import (
     TransferError,
     TransferStalled,
     TransferTimeout,
+    failure_from_json,
 )
 from repro.resilience.faults import (
     FaultInjector,
@@ -40,4 +41,5 @@ __all__ = [
     "StallReport",
     "ReceiverStall",
     "ResilienceSummary",
+    "failure_from_json",
 ]

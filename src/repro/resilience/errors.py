@@ -15,6 +15,17 @@ The taxonomy the harness raises:
 
 All subclass :class:`TransferError`, itself a ``RuntimeError`` so existing
 ``except RuntimeError`` callers keep working.
+
+Two transport guarantees matter to the campaign runner, which moves these
+errors between processes and persists them in journals:
+
+* **Pickling** preserves the attached :class:`StallReport`: a typed error
+  raised in a spawned worker arrives in the supervisor with its diagnosis
+  intact (``__reduce__`` rebuilds from the pre-summary message + report,
+  so the summary is not appended twice).
+* **JSON** (:meth:`TransferError.to_json` / :func:`failure_from_json`)
+  round-trips the full failure including the replay ``(seed, fault_plan)``
+  pair, so a journaled chaos failure is replayable from the record alone.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ __all__ = [
     "TransferTimeout",
     "TransferStalled",
     "DeliveryCorrupt",
+    "failure_from_json",
 ]
 
 
@@ -33,10 +45,27 @@ class TransferError(RuntimeError):
     """Base class for typed transfer failures; carries a diagnosis."""
 
     def __init__(self, message: str, report: StallReport | None = None):
+        #: the caller's message *before* the report summary is appended —
+        #: what ``__reduce__`` and ``to_json`` persist, so reconstruction
+        #: (which re-appends the summary) stays idempotent
+        self.message = message
         if report is not None:
             message = f"{message}\n{report.summary()}"
         super().__init__(message)
         self.report = report
+
+    def __reduce__(self):
+        # default RuntimeError pickling would rebuild from ``args`` alone,
+        # losing ``report``; rebuild from (pre-summary message, report)
+        return (self.__class__, (self.message, self.report))
+
+    def to_json(self) -> dict:
+        """JSON form carrying the type tag, message and stall diagnosis."""
+        return {
+            "error_type": type(self).__name__,
+            "message": self.message,
+            "report": None if self.report is None else self.report.to_json(),
+        }
 
 
 class TransferTimeout(TransferError):
@@ -49,3 +78,30 @@ class TransferStalled(TransferError):
 
 class DeliveryCorrupt(TransferError):
     """A receiver reassembled bytes that differ from the payload sent."""
+
+
+#: name -> class, for :func:`failure_from_json`
+_TAXONOMY: dict[str, type[TransferError]] = {
+    cls.__name__: cls
+    for cls in (TransferError, TransferTimeout, TransferStalled, DeliveryCorrupt)
+}
+
+
+def failure_from_json(data: dict) -> TransferError:
+    """Rebuild a typed failure from :meth:`TransferError.to_json` output.
+
+    Unknown ``error_type`` tags (e.g. a plain ``ValueError`` serialized by
+    the campaign journal) come back as the base :class:`TransferError` with
+    the original type name folded into the message, so journals written by
+    newer code still load.
+    """
+    error_type = data.get("error_type", "TransferError")
+    error_cls = _TAXONOMY.get(error_type)
+    message = data.get("message", "")
+    if error_cls is None:
+        error_cls = TransferError
+        message = f"[{error_type}] {message}"
+    report = data.get("report")
+    return error_cls(
+        message, None if report is None else StallReport.from_json(report)
+    )

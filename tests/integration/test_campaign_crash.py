@@ -1,0 +1,163 @@
+"""Crash consistency: kill the runner itself, resume, compare reports.
+
+The contract under test: a campaign SIGKILLed at *any* instant — even
+mid-journal-append — resumes from its journal alone and finishes with a
+canonical report bit-identical to a run that was never interrupted.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, load_journal, read_journal
+from repro.campaign.testing import run_fixture_campaign
+
+FIXTURE = dict(n=4, duration=0.4, seed=9)
+
+
+def wait_for_success_record(journal, timeout=90.0):
+    """Poll until the journal holds at least one task_success."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists() and '"task_success"' in journal.read_text():
+            return
+        time.sleep(0.05)
+    raise AssertionError("no task_success appeared in the journal in time")
+
+
+def canonical_of_uninterrupted(tmp_path):
+    """Reference canonical report: same fixture campaign, never killed."""
+    journal = tmp_path / "reference.jsonl"
+    report = run_fixture_campaign(journal=str(journal), **FIXTURE)
+    assert report.status == "ok"
+    return report.canonical_json()
+
+
+class TestRunnerKilledMidCampaign:
+    def test_sigkill_runner_then_resume_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "killed.jsonl"
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=run_fixture_campaign,
+            kwargs={"journal": str(journal), **FIXTURE},
+        )
+        proc.start()
+        try:
+            wait_for_success_record(journal)
+            # the supervisor dies instantly: no cleanup, no flush, no
+            # campaign_end — exactly what a crash or OOM kill looks like
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.join(timeout=30)
+        assert proc.exitcode == -signal.SIGKILL
+
+        state = load_journal(journal)
+        assert not state.finished
+        done_before = len(state.completed_ids)
+        assert done_before >= 1
+
+        resumed = CampaignRunner.resume(journal).run()
+        assert resumed.status == "ok"
+        assert resumed.resumed_tasks == done_before
+        assert load_journal(journal).finished
+        assert resumed.canonical_json() == canonical_of_uninterrupted(
+            tmp_path
+        )
+
+    def test_journal_records_resume_boundary(self, tmp_path):
+        journal = tmp_path / "killed.jsonl"
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=run_fixture_campaign,
+            kwargs={"journal": str(journal), **FIXTURE},
+        )
+        proc.start()
+        try:
+            wait_for_success_record(journal)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.join(timeout=30)
+        CampaignRunner.resume(journal).run()
+        records, _ = read_journal(journal)
+        types = [r["type"] for r in records]
+        assert "campaign_resume" in types
+        assert types[-1] == "campaign_end"
+        # work done before the kill is not re-executed after the resume
+        boundary = types.index("campaign_resume")
+        before = {
+            r["task"] for r in records[:boundary] if r["type"] == "task_success"
+        }
+        after = {
+            r["task"] for r in records[boundary:] if r["type"] == "task_success"
+        }
+        assert before and not (before & after)
+        assert sorted(before | after) == [
+            t["task_id"] for t in records[0]["tasks"]
+        ]
+
+
+class TestTruncatedJournal:
+    def run_and_truncate(self, tmp_path):
+        """A finished journal with its tail chopped mid-record, as if the
+        process died inside the final append."""
+        journal = tmp_path / "torn.jsonl"
+        report = run_fixture_campaign(journal=str(journal), **FIXTURE)
+        assert report.status == "ok"
+        raw = journal.read_bytes()
+        last_line_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        cut = last_line_start + (len(raw) - last_line_start) // 2
+        journal.write_bytes(raw[:cut])
+        return journal
+
+    def test_torn_final_line_resumes_bit_identical(self, tmp_path):
+        journal = self.run_and_truncate(tmp_path)
+        records, torn = read_journal(journal)
+        assert torn
+        resumed = CampaignRunner.resume(journal).run()
+        assert resumed.status == "ok"
+        assert resumed.canonical_json() == canonical_of_uninterrupted(
+            tmp_path
+        )
+
+    def test_torn_success_record_reruns_that_task(self, tmp_path):
+        """Chop the journal back into the middle of the *last success*:
+        the half-written record must not count as completed work."""
+        journal = tmp_path / "torn2.jsonl"
+        report = run_fixture_campaign(journal=str(journal), **FIXTURE)
+        assert report.status == "ok"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        success_idx = [
+            i
+            for i, line in enumerate(lines)
+            if json.loads(line)["type"] == "task_success"
+        ]
+        keep = lines[: success_idx[-1]]
+        torn_record = json.loads(lines[success_idx[-1]])
+        journal.write_bytes(
+            b"".join(keep) + lines[success_idx[-1]][: len(lines[success_idx[-1]]) // 2]
+        )
+        state = load_journal(journal)
+        assert torn_record["task"] not in state.completed_ids
+        assert state.ledgers[torn_record["task"]].torn_attempt
+        resumed = CampaignRunner.resume(journal).run()
+        assert resumed.status == "ok"
+        assert resumed.canonical_json() == canonical_of_uninterrupted(
+            tmp_path
+        )
+
+    def test_mid_file_corruption_is_refused(self, tmp_path):
+        """Garbage anywhere but the final line is real corruption — the
+        journal refuses to resume rather than silently dropping records."""
+        journal = tmp_path / "corrupt.jsonl"
+        run_fixture_campaign(journal=str(journal), n=2, duration=0.0, seed=1)
+        lines = journal.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        journal.write_text("\n".join(lines) + "\n")
+        from repro.campaign import JournalError
+
+        with pytest.raises(JournalError):
+            CampaignRunner.resume(journal)

@@ -1,0 +1,247 @@
+"""Integration: the campaign supervisor end-to-end on real workers.
+
+Every test here spawns genuine subprocesses — pathological fixture tasks
+(crash, hang, typed failure) exercise the isolation, timeout, retry and
+quarantine paths exactly as a production campaign would hit them.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    RetryPolicy,
+    callable_task,
+    deserialize_result,
+    experiment_task,
+    load_journal,
+    run_campaign,
+)
+from repro.campaign.testing import fixture_tasks
+from repro.experiments.series import FigureResult
+from repro.resilience import TransferStalled
+from repro.resilience.errors import failure_from_json
+
+FAST_RETRY = RetryPolicy(retries=1, base_delay=0.0)
+NO_RETRY = RetryPolicy(retries=0)
+
+
+def tiny(task_id, seed=0):
+    return callable_task(
+        task_id,
+        "repro.campaign.testing:tiny_figure",
+        seed=seed,
+        label=task_id,
+    )
+
+
+class TestHappyPath:
+    def test_parallel_campaign_completes_ok(self, tmp_path):
+        tasks = [tiny(f"t{i}", seed=i) for i in range(4)]
+        journal = tmp_path / "ok.jsonl"
+        runner = CampaignRunner(
+            tasks, jobs=2, timeout=60.0, journal_path=journal, seed=0
+        )
+        report = runner.run()
+        assert report.status == "ok"
+        assert report.ok_tasks == 4
+        assert report.quarantined == ()
+        assert sorted(runner.results) == ["t0", "t1", "t2", "t3"]
+        for task_id, payload in runner.results.items():
+            figure = deserialize_result(payload)
+            assert isinstance(figure, FigureResult)
+            assert figure.series[0].label == task_id
+        # every outcome carries a digest and took exactly one attempt
+        for outcome in report.outcomes:
+            assert outcome.result_digest
+            assert outcome.attempts == 1
+        assert load_journal(journal).finished
+
+    def test_registry_experiment_through_worker(self):
+        report = run_campaign(
+            [experiment_task("fig05", seed=0)], jobs=1, timeout=120.0
+        )
+        assert report.status == "ok"
+        assert report.outcomes[0].task_id == "fig05"
+        assert report.outcomes[0].result_digest
+
+    def test_same_seeds_same_digests(self):
+        tasks = fixture_tasks(n=2, duration=0.0, seed=7)
+        a = run_campaign(tasks, jobs=2, timeout=60.0, seed=7)
+        b = run_campaign(tasks, jobs=1, timeout=60.0, seed=7)
+        digests_a = {o.task_id: o.result_digest for o in a.outcomes}
+        digests_b = {o.task_id: o.result_digest for o in b.outcomes}
+        assert digests_a == digests_b
+
+
+class TestRetry:
+    def test_worker_crash_retried_to_success(self, tmp_path):
+        sentinel = tmp_path / "crashed_once"
+        task = callable_task(
+            "flaky",
+            "repro.campaign.testing:crash_sigkill_once",
+            seed=3,
+            sentinel=str(sentinel),
+        )
+        journal = tmp_path / "flaky.jsonl"
+        runner = CampaignRunner(
+            [task],
+            jobs=1,
+            timeout=60.0,
+            retry=FAST_RETRY,
+            journal_path=journal,
+        )
+        report = runner.run()
+        assert sentinel.exists()
+        assert report.status == "ok"
+        outcome = report.outcomes[0]
+        assert outcome.attempts == 2
+        assert outcome.failure_kinds == ("crash",)
+        # the journal shows the full story: start, crash, retry, success
+        records = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+        ]
+        types = [r["type"] for r in records]
+        assert types.count("task_start") == 2
+        assert types.count("task_failure") == 1
+        assert types.count("task_success") == 1
+        failure = next(r for r in records if r["type"] == "task_failure")
+        assert failure["failure"]["kind"] == "crash"
+        assert failure["will_retry"] is True
+
+    def test_worker_kill_is_bit_identical_to_clean_run(self, tmp_path):
+        """A mid-task SIGKILL that retries to success must produce the
+        same canonical report as a run where the kill never happened."""
+        sentinel = tmp_path / "sentinel"
+
+        def build():
+            return CampaignRunner(
+                [
+                    callable_task(
+                        "flaky",
+                        "repro.campaign.testing:crash_sigkill_once",
+                        seed=5,
+                        sentinel=str(sentinel),
+                    ),
+                    tiny("steady", seed=1),
+                ],
+                jobs=1,
+                timeout=60.0,
+                retry=FAST_RETRY,
+                campaign_id="killcmp",
+            )
+
+        crashed = build().run()  # first run: worker dies once
+        clean = build().run()  # sentinel now set: no crash at all
+        assert crashed.outcomes[0].attempts == 2
+        assert clean.outcomes[0].attempts == 1
+        assert crashed.canonical_json() == clean.canonical_json()
+
+
+class TestQuarantine:
+    def test_typed_failure_quarantined_with_replayable_report(self, tmp_path):
+        journal = tmp_path / "stalled.jsonl"
+        task = callable_task(
+            "doomed",
+            "repro.campaign.testing:fail_typed",
+            seed=11,
+            kind="stalled",
+        )
+        runner = CampaignRunner(
+            [task, tiny("fine")],
+            jobs=2,
+            timeout=60.0,
+            retry=NO_RETRY,
+            journal_path=journal,
+        )
+        report = runner.run()
+        assert report.status == "degraded"
+        assert report.quarantined == ("doomed",)
+        assert report.ok_tasks == 1
+        doomed = next(o for o in report.outcomes if o.task_id == "doomed")
+        assert doomed.error_type == "TransferStalled"
+        assert "seed=11" in doomed.error_message
+        # the journaled failure rebuilds into the typed error, report intact
+        state = load_journal(journal)
+        assert state.finished
+        failure = state.ledgers["doomed"].failures[0]["failure"]
+        rebuilt = failure_from_json(failure["error"])
+        assert type(rebuilt) is TransferStalled
+        assert rebuilt.report is not None
+        assert rebuilt.report.seed == 11
+        assert rebuilt.report.fault_plan is not None
+        assert rebuilt.report.receivers[0].missing_groups == (2, 5)
+
+    def test_hang_times_out_and_quarantines(self):
+        task = callable_task("wedged", "repro.campaign.testing:hang")
+        # budget must exceed spawn/import startup (~1s) or the healthy
+        # neighbour would time out too
+        report = run_campaign(
+            [task, tiny("fine")],
+            jobs=2,
+            timeout=3.0,
+            retry=NO_RETRY,
+        )
+        assert report.status == "degraded"
+        assert report.quarantined == ("wedged",)
+        wedged = next(o for o in report.outcomes if o.task_id == "wedged")
+        assert wedged.error_type == "TaskTimeout"
+        assert wedged.failure_kinds == ("timeout",)
+        # the healthy task is unharmed by its neighbour's hang
+        assert report.ok_tasks == 1
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        journal = tmp_path / "budget.jsonl"
+        task = callable_task(
+            "doomed",
+            "repro.campaign.testing:fail_typed",
+            kind="timeout",
+        )
+        runner = CampaignRunner(
+            [task],
+            jobs=1,
+            timeout=60.0,
+            retry=RetryPolicy(retries=2, base_delay=0.0),
+            journal_path=journal,
+        )
+        report = runner.run()
+        assert report.status == "degraded"
+        assert report.outcomes[0].attempts == 3  # 1 + 2 retries, no more
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        failures = [r for r in records if r["type"] == "task_failure"]
+        assert [r["will_retry"] for r in failures] == [True, True, False]
+        assert any(r["type"] == "task_quarantined" for r in records)
+
+
+class TestValidation:
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task id"):
+            CampaignRunner([tiny("a"), tiny("a")])
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            CampaignRunner([])
+
+    def test_bad_jobs_and_timeout_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            CampaignRunner([tiny("a")], jobs=0)
+        with pytest.raises(ValueError, match="timeout"):
+            CampaignRunner([tiny("a")], timeout=0)
+
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(
+            [tiny("a")], timeout=60.0, journal_path=journal
+        ).run()
+        with pytest.raises(ValueError, match="already has records"):
+            CampaignRunner(
+                [tiny("a")], timeout=60.0, journal_path=journal
+            ).run()
+
+    def test_resume_refuses_missing_journal(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignRunner.resume(tmp_path / "nope.jsonl")

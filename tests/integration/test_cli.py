@@ -44,3 +44,90 @@ class TestCli:
     def test_unknown_figure_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             main(["fig99"])
+
+
+class TestCliFailureExit:
+    """Any failed figure must surface as a nonzero exit + printed ids."""
+
+    def test_sequential_failure_exits_nonzero(self, capsys, monkeypatch):
+        import repro.experiments.__main__ as cli
+
+        def boom(figure_id):
+            raise RuntimeError("synthetic figure failure")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        assert main(["fig05"]) == 1
+        err = capsys.readouterr().err
+        assert "fig05 FAILED" in err
+        assert "RuntimeError: synthetic figure failure" in err
+        assert "failed figures: fig05" in err
+
+    def test_sequential_partial_failure_still_runs_the_rest(
+        self, capsys, monkeypatch
+    ):
+        import repro.experiments.__main__ as cli
+        from repro.experiments.registry import run_experiment
+
+        def boom_on_fig18(figure_id):
+            if figure_id == "fig18":
+                raise RuntimeError("synthetic")
+            return run_experiment(figure_id)
+
+        monkeypatch.setattr(cli, "run_experiment", boom_on_fig18)
+        assert main(["fig18", "fig05"]) == 1
+        captured = capsys.readouterr()
+        assert "failed figures: fig18" in captured.err
+        # the healthy figure still ran and printed its table
+        assert "fig05" in captured.out and "completed in" in captured.out
+
+
+class TestCliCampaignMode:
+    def test_campaign_success_exit_zero(self, capsys, tmp_path):
+        journal = tmp_path / "cli.jsonl"
+        csv_dir = tmp_path / "csv"
+        code = main(
+            [
+                "fig05",
+                "--jobs",
+                "1",
+                "--journal",
+                str(journal),
+                "--csv",
+                str(csv_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "fig05" in out
+        assert journal.exists()
+        assert (csv_dir / "fig05.csv").read_text().startswith(
+            "figure,series,x,y,stderr"
+        )
+
+    def test_campaign_failure_exits_nonzero(self, capsys):
+        # a 1ms budget cannot even spawn the worker: guaranteed timeout,
+        # no retries -> quarantine -> degraded -> exit 1
+        code = main(["fig05", "--timeout", "0.001", "--retries", "0"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.out
+        assert "failed figures: fig05" in captured.err
+
+    def test_resume_completes_finished_campaign(self, capsys, tmp_path):
+        journal = tmp_path / "resume.jsonl"
+        assert main(["fig05", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["--resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "resumed" in out
+
+    def test_resume_rejects_figure_ids(self, capsys, tmp_path):
+        assert main(["fig05", "--resume", str(tmp_path / "j.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "task list from the journal" in err
+
+    def test_fig13_is_rendered_inline_in_campaign_mode(self, capsys):
+        assert main(["fig13", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "timing of the different approaches" in out

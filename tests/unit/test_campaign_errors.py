@@ -1,0 +1,107 @@
+"""Typed errors must cross process boundaries with diagnostics intact.
+
+The campaign worker ships failures to the supervisor by pickling them
+over a pipe; a typed error that arrives without its ``StallReport`` is a
+diagnosis lost.  Each taxonomy member is raised inside a real spawned
+subprocess (through the actual worker entry point) and inspected in the
+parent, plus direct pickle round trips.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.campaign.tasks import callable_task
+from repro.campaign.worker import worker_main
+from repro.resilience import (
+    DeliveryCorrupt,
+    TransferError,
+    TransferStalled,
+    TransferTimeout,
+)
+from repro.resilience.errors import failure_from_json
+from repro.campaign.testing import sample_stall_report
+
+TYPED = {
+    "timeout": TransferTimeout,
+    "stalled": TransferStalled,
+    "corrupt": DeliveryCorrupt,
+}
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize(
+        "error_cls", [TransferError, TransferTimeout, TransferStalled, DeliveryCorrupt]
+    )
+    def test_report_survives_pickling(self, error_cls):
+        report = sample_stall_report(seed=7)
+        error = error_cls("it broke", report)
+        rebuilt = pickle.loads(pickle.dumps(error))
+        assert type(rebuilt) is error_cls
+        assert rebuilt.report == report
+        assert rebuilt.message == "it broke"
+        # the summary is appended exactly once on reconstruction
+        assert str(rebuilt) == str(error)
+        assert str(rebuilt).count("reproduce with rng=7") == 1
+
+    @pytest.mark.parametrize(
+        "error_cls", [TransferError, TransferTimeout, TransferStalled, DeliveryCorrupt]
+    )
+    def test_reportless_error_pickles(self, error_cls):
+        rebuilt = pickle.loads(pickle.dumps(error_cls("bare")))
+        assert type(rebuilt) is error_cls
+        assert rebuilt.report is None
+        assert str(rebuilt) == "bare"
+
+    def test_double_pickle_is_stable(self):
+        error = TransferStalled("x", sample_stall_report())
+        once = pickle.loads(pickle.dumps(error))
+        twice = pickle.loads(pickle.dumps(once))
+        assert str(twice) == str(error)
+        assert twice.report == error.report
+
+
+class TestAcrossProcessBoundary:
+    @pytest.mark.parametrize("kind", sorted(TYPED))
+    def test_raised_in_subprocess_inspectable_in_parent(self, kind):
+        """Raise each typed error in a spawned worker; inspect it here."""
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        task = callable_task(
+            f"boom_{kind}",
+            "repro.campaign.testing:fail_typed",
+            kind=kind,
+            seed=13,
+        )
+        proc = ctx.Process(
+            target=worker_main, args=(child_conn, task.to_json())
+        )
+        proc.start()
+        child_conn.close()
+        status, error = parent_conn.recv()
+        proc.join(timeout=30)
+        parent_conn.close()
+        assert status == "error"
+        assert type(error) is TYPED[kind]
+        # the diagnosis crossed the boundary intact
+        assert error.report is not None
+        assert error.report.seed == 13
+        assert error.report.fault_plan is not None
+        assert error.report.receivers[0].missing_groups == (2, 5)
+        assert "reproduce with rng=13" in str(error)
+
+
+class TestJsonTaxonomy:
+    def test_unknown_error_type_degrades_to_base(self):
+        data = {"error_type": "SomethingNew", "message": "m", "report": None}
+        rebuilt = failure_from_json(data)
+        assert type(rebuilt) is TransferError
+        assert "SomethingNew" in str(rebuilt)
+
+    @pytest.mark.parametrize("error_cls", [TransferTimeout, TransferStalled])
+    def test_json_preserves_type_and_report(self, error_cls):
+        error = error_cls("m", sample_stall_report(seed=3))
+        rebuilt = failure_from_json(error.to_json())
+        assert type(rebuilt) is error_cls
+        assert rebuilt.report == error.report

@@ -1,0 +1,364 @@
+"""Unit tests: journal durability/replay, retry policy, tasks, reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignTask,
+    JournalError,
+    JournalWriter,
+    RetryPolicy,
+    callable_task,
+    deserialize_result,
+    execute_task,
+    experiment_task,
+    load_journal,
+    payload_digest,
+    read_journal,
+    replay_journal,
+    serialize_result,
+    sweep_grid_tasks,
+    tasks_from_registry,
+)
+from repro.campaign.report import CampaignReport, TaskOutcome
+from repro.experiments.series import FigureResult
+
+
+def start_record(tasks, **extra):
+    return {
+        "type": "campaign_start",
+        "campaign_id": "test",
+        "seed": 0,
+        "jobs": 1,
+        "timeout": 30.0,
+        "retry": RetryPolicy().to_json(),
+        "tasks": [task.to_json() for task in tasks],
+        **extra,
+    }
+
+
+def tiny_task(task_id="t0", **kwargs):
+    return callable_task(
+        task_id, "repro.campaign.testing:tiny_figure", **kwargs
+    )
+
+
+class TestJournalWriter:
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append({"type": "campaign_start", "tasks": []})
+            writer.append({"type": "task_start", "task": "a", "attempt": 1})
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["v"] == 1
+
+    def test_append_reopens_existing_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append({"type": "a"})
+        with JournalWriter(path) as writer:
+            writer.append({"type": "b"})
+        records, torn = read_journal(path)
+        assert [r["type"] for r in records] == ["a", "b"]
+        assert not torn
+
+
+class TestReadJournal:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append({"type": "a"})
+            writer.append({"type": "b"})
+        # simulate a crash mid-append: chop the final record in half
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])
+        records, torn = read_journal(path)
+        assert [r["type"] for r in records] == ["a"]
+        assert torn
+
+    def test_mid_file_garbage_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type": "a"}\nGARBAGE\n{"type": "b"}\n')
+        with pytest.raises(JournalError, match="line 2"):
+            read_journal(path)
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type": "a"}\n[1, 2]\n{"type": "b"}\n')
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+
+class TestReplayJournal:
+    def test_success_and_pending(self):
+        tasks = [tiny_task("a"), tiny_task("b")]
+        state = replay_journal(
+            [
+                start_record(tasks),
+                {"type": "task_start", "task": "a", "attempt": 1},
+                {
+                    "type": "task_success",
+                    "task": "a",
+                    "attempt": 1,
+                    "duration": 0.5,
+                    "result": {"type": "json", "data": 1},
+                    "digest": "d",
+                },
+            ]
+        )
+        assert state.completed_ids == ["a"]
+        assert state.ledgers["a"].complete
+        assert not state.ledgers["b"].complete
+        assert state.ledgers["b"].started_attempts == 0
+
+    def test_torn_attempt_detected(self):
+        tasks = [tiny_task("a")]
+        state = replay_journal(
+            [
+                start_record(tasks),
+                {"type": "task_start", "task": "a", "attempt": 1},
+            ]
+        )
+        assert state.ledgers["a"].torn_attempt
+        assert not state.ledgers["a"].complete
+
+    def test_failures_and_quarantine(self):
+        tasks = [tiny_task("a")]
+        failure = {
+            "type": "task_failure",
+            "task": "a",
+            "attempt": 1,
+            "duration": 0.1,
+            "failure": {"kind": "timeout", "error": None, "exitcode": -15},
+            "will_retry": False,
+            "retry_delay": 0.0,
+        }
+        state = replay_journal(
+            [
+                start_record(tasks),
+                {"type": "task_start", "task": "a", "attempt": 1},
+                failure,
+                {"type": "task_quarantined", "task": "a", "attempts": 1},
+            ]
+        )
+        ledger = state.ledgers["a"]
+        assert ledger.quarantined and ledger.complete
+        assert ledger.failed_attempts == 1
+        assert ledger.failures == [failure]
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(JournalError, match="unknown task"):
+            replay_journal(
+                [
+                    start_record([tiny_task("a")]),
+                    {"type": "task_start", "task": "zzz", "attempt": 1},
+                ]
+            )
+
+    def test_missing_campaign_start_raises(self):
+        with pytest.raises(JournalError, match="campaign_start"):
+            replay_journal([{"type": "task_start", "task": "a", "attempt": 1}])
+
+    def test_double_campaign_start_raises(self):
+        record = start_record([tiny_task("a")])
+        with pytest.raises(JournalError, match="two campaign_start"):
+            replay_journal([record, record])
+
+    def test_unknown_record_type_raises(self):
+        with pytest.raises(JournalError, match="unknown journal record"):
+            replay_journal(
+                [
+                    start_record([tiny_task("a")]),
+                    {"type": "task_migrated", "task": "a"},
+                ]
+            )
+
+    def test_finished_flag(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append(start_record([tiny_task("a")]))
+            writer.append(
+                {
+                    "type": "task_success",
+                    "task": "a",
+                    "attempt": 1,
+                    "duration": 0.1,
+                    "result": {"type": "json", "data": 1},
+                    "digest": "d",
+                }
+            )
+            writer.append(
+                {"type": "campaign_end", "status": "ok", "quarantined": []}
+            )
+        assert load_journal(path).finished
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-1)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            retries=8, base_delay=1.0, backoff=2.0, max_delay=5.0, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(a, rng) for a in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_only_shortens(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=1.0, jitter=0.5)
+        rng = np.random.default_rng(42)
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(jitter=0.9)
+        a = [policy.delay(i, np.random.default_rng(7)) for i in range(1, 5)]
+        b = [policy.delay(i, np.random.default_rng(7)) for i in range(1, 5)]
+        assert a == b
+
+    def test_zero_base_delay_means_immediate(self):
+        policy = RetryPolicy(base_delay=0.0)
+        assert policy.delay(3, np.random.default_rng(0)) == 0.0
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0, np.random.default_rng(0))
+
+
+class TestCampaignTask:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="task_id"):
+            CampaignTask(task_id="", kind="callable")
+        with pytest.raises(ValueError, match="kind"):
+            CampaignTask(task_id="x", kind="mystery")
+        with pytest.raises(ValueError, match="timeout"):
+            tiny_task("x", timeout=0)
+        with pytest.raises(ValueError, match="module:function"):
+            callable_task("x", "not_a_dotted_path")
+        with pytest.raises(KeyError, match="unknown experiment"):
+            experiment_task("fig99")
+
+    def test_registry_derivation_covers_everything(self):
+        from repro.experiments.registry import experiment_ids
+
+        tasks = tasks_from_registry(seed=5)
+        assert [t.task_id for t in tasks] == experiment_ids()
+        assert all(t.seed == 5 for t in tasks)
+        assert all(t.kind == "experiment" for t in tasks)
+
+    def test_registry_subset_validates(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            tasks_from_registry(["fig05", "nope"])
+
+    def test_sweep_grid_expansion(self):
+        tasks = sweep_grid_tasks("em_bound")
+        assert len(tasks) == 9  # 3 k-values x 3 loss rates
+        assert len({t.task_id for t in tasks}) == 9
+        with pytest.raises(KeyError, match="unknown sweep grid"):
+            sweep_grid_tasks("nope")
+
+    def test_execute_callable_task_in_process(self):
+        result = execute_task(tiny_task("a", label="lbl", seed=3))
+        assert isinstance(result, FigureResult)
+        payload = serialize_result(result)
+        assert payload["type"] == "figure"
+        assert deserialize_result(payload) == result
+
+    def test_execute_sweep_cell_in_process(self):
+        task = sweep_grid_tasks("em_bound")[0]
+        result = execute_task(task)
+        assert isinstance(result, FigureResult)
+        assert all(y >= 1.0 for s in result.series for y in s.y)
+
+    def test_execute_experiment_task_forwards_seed(self):
+        # fig05 is pure analysis (no rng parameter): seed must not leak in
+        result = execute_task(experiment_task("fig05", seed=9))
+        assert isinstance(result, FigureResult)
+
+    def test_digest_is_content_addressed(self):
+        a = serialize_result(execute_task(tiny_task("a", seed=1)))
+        b = serialize_result(execute_task(tiny_task("a", seed=1)))
+        c = serialize_result(execute_task(tiny_task("a", seed=2)))
+        assert payload_digest(a) == payload_digest(b)
+        assert payload_digest(a) != payload_digest(c)
+
+    def test_unserializable_result_degrades_to_repr(self):
+        payload = serialize_result(object())
+        assert payload["type"] == "repr"
+        assert "object" in deserialize_result(payload)
+
+
+class TestCampaignReport:
+    def make_report(self):
+        return CampaignReport(
+            campaign_id="c",
+            outcomes=[
+                TaskOutcome(
+                    task_id="a",
+                    status="ok",
+                    attempts=2,
+                    duration=0.4,
+                    seed=0,
+                    result_digest="abc123",
+                    failure_kinds=("crash",),
+                ),
+                TaskOutcome(
+                    task_id="b",
+                    status="quarantined",
+                    attempts=3,
+                    duration=9.0,
+                    failure_kinds=("timeout", "timeout", "timeout"),
+                    error_type="TaskTimeout",
+                    error_message="too slow",
+                ),
+            ],
+            wall_clock=10.0,
+        )
+
+    def test_status_and_counters(self):
+        report = self.make_report()
+        assert report.status == "degraded"
+        assert report.quarantined == ("b",)
+        assert report.ok_tasks == 1
+        assert report.total_retries == 3  # 1 for a + 2 for b
+
+    def test_render_table_mentions_everything(self):
+        text = self.make_report().render_table()
+        assert "DEGRADED" in text
+        assert "quarantined: b" in text
+        assert "abc123" in text
+        assert "TaskTimeout" in text
+        assert "wall-clock histogram" in text
+
+    def test_canonical_excludes_operational_noise(self):
+        report = self.make_report()
+        canonical = report.canonical()
+        flat = json.dumps(canonical)
+        assert "duration" not in flat and "attempts" not in flat
+        # perturb only operational fields: canonical must not move
+        noisy = CampaignReport.from_json(report.to_json())
+        noisy.wall_clock = 99.0
+        noisy.resumed_tasks = 2
+        assert noisy.canonical_json() == report.canonical_json()
+
+    def test_outcome_status_validated(self):
+        with pytest.raises(ValueError, match="status"):
+            TaskOutcome(task_id="x", status="meh", attempts=1, duration=0.0)
+
+    def test_histogram_buckets_sum_to_task_count(self):
+        report = self.make_report()
+        assert sum(c for _, c in report.wall_clock_histogram()) == 2
