@@ -45,6 +45,11 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.campaign.tasks import CampaignTask
 
 __all__ = [
@@ -87,12 +92,47 @@ def payload_digest(payload: Any) -> str:
 
 
 class JournalWriter:
-    """Appends records durably; safe to reopen an existing journal."""
+    """Appends records durably; safe to reopen an existing journal.
+
+    Reopening repairs a torn final line (a crash mid-append) by truncating
+    back to the last complete record, so resumed appends never merge onto
+    the fragment.  An exclusive advisory lock is held for the writer's
+    lifetime: a second runner on the same journal fails fast instead of
+    interleaving records.
+    """
 
     def __init__(self, path: str | pathlib.Path):
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self.path, "ab")
+        # "a+b": writes always append (O_APPEND), reads allowed for repair
+        self._file = open(self.path, "a+b")
+        try:
+            self._lock()
+            self._repair_tail()
+        except BaseException:
+            self._file.close()
+            raise
+
+    def _lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        try:
+            fcntl.flock(self._file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            raise JournalError(
+                f"journal {self.path} is locked by another live runner; "
+                f"refusing concurrent writes"
+            ) from exc
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn final line so new records start on a fresh line."""
+        self._file.seek(0)
+        raw = self._file.read()
+        if not raw or raw.endswith(b"\n"):
+            return
+        self._file.truncate(raw.rfind(b"\n") + 1)
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def append(self, record: dict) -> None:
         record = {"v": JOURNAL_VERSION, **record}

@@ -405,7 +405,14 @@ class CampaignRunner:
             # a result that squeaked in just as the deadline hit still
             # counts: the work is done and journaled
             payload = message[1]
-            digest = payload_digest(payload)
+            try:
+                digest = payload_digest(payload)
+            except (TypeError, ValueError):
+                # a payload the canonical encoding rejects (worker-side
+                # serialize_result should have degraded it already) must
+                # cost this record its fidelity, never the campaign
+                payload = {"type": "repr", "data": repr(payload)}
+                digest = payload_digest(payload)
             self._journal(
                 {
                     "type": "task_success",

@@ -249,7 +249,10 @@ def serialize_result(result: Any) -> dict:
     try:
         import json
 
-        json.dumps(result)
+        # sort_keys matches the journal's canonical encoding: a payload
+        # that cannot sort (e.g. mixed-type dict keys) must degrade here,
+        # in the worker, not crash the supervisor's digest/journal write
+        json.dumps(result, sort_keys=True)
     except (TypeError, ValueError):
         return {"type": "repr", "data": repr(result)}
     return {"type": "json", "data": result}

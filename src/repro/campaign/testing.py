@@ -31,6 +31,7 @@ __all__ = [
     "hang",
     "fail_typed",
     "crash_sigkill_once",
+    "mixed_key_result",
     "sample_stall_report",
     "fixture_tasks",
     "run_fixture_campaign",
@@ -56,6 +57,12 @@ def slow_figure(
     """``tiny_figure`` after sleeping ``duration`` seconds (interruptible)."""
     time.sleep(duration)
     return tiny_figure(label=label, seed=seed)
+
+
+def mixed_key_result(seed: int = 0) -> dict:
+    """A payload ``json.dumps`` accepts but ``sort_keys=True`` rejects
+    (mixed-type dict keys): exercises the degrade-to-repr path end-to-end."""
+    return {1: "one", "b": seed}
 
 
 def hang(ignore_sigterm: bool = False) -> None:

@@ -228,12 +228,19 @@ def main(argv: list[str] | None = None) -> int:
             parser.print_usage()
             print("error: give figure ids, --all, or --list", file=sys.stderr)
             return 2
-        for figure_id in targets:
-            if figure_id != "fig13" and figure_id not in EXPERIMENTS:
-                raise KeyError(
-                    f"unknown experiment {figure_id!r}; "
-                    f"known: {experiment_ids()}"
-                )
+        unknown = [
+            figure_id
+            for figure_id in targets
+            if figure_id != "fig13" and figure_id not in EXPERIMENTS
+        ]
+        if unknown:
+            parser.print_usage()
+            print(
+                f"error: unknown experiment(s) {' '.join(unknown)}; "
+                f"known: {' '.join(experiment_ids())}",
+                file=sys.stderr,
+            )
+            return 2
 
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir is not None:

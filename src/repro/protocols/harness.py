@@ -124,7 +124,10 @@ class TransferReport:
 
     @classmethod
     def from_json(cls, data: dict) -> "TransferReport":
-        data = dict(data)
+        # keep only known fields so journals written by a newer version
+        # (with added fields) still deserialize
+        known = {f.name for f in dataclasses.fields(cls)}
+        data = {key: value for key, value in data.items() if key in known}
         data["by_kind"] = dict(data.get("by_kind", {}))
         data["resilience"] = ResilienceSummary.from_json(
             data.get("resilience") or {}

@@ -123,6 +123,20 @@ class TestTruncatedJournal:
             tmp_path
         )
 
+    def test_resume_after_torn_tail_keeps_journal_loadable(self, tmp_path):
+        """Appending past a torn tail must repair it, not merge onto the
+        fragment — the journal stays readable (and resumable) forever
+        after, no matter how many resume cycles it has been through."""
+        journal = self.run_and_truncate(tmp_path)
+        CampaignRunner.resume(journal).run()
+        state = load_journal(journal)  # must not raise JournalError
+        assert not state.torn_tail
+        assert state.finished
+        # a *second* resume cycle of the same journal also works
+        second = CampaignRunner.resume(journal).run()
+        assert second.status == "ok"
+        assert not load_journal(journal).torn_tail
+
     def test_torn_success_record_reruns_that_task(self, tmp_path):
         """Chop the journal back into the middle of the *last success*:
         the half-written record must not count as completed work."""

@@ -66,6 +66,25 @@ class TestHappyPath:
         assert report.outcomes[0].task_id == "fig05"
         assert report.outcomes[0].result_digest
 
+    def test_mixed_key_payload_costs_fidelity_not_the_campaign(
+        self, tmp_path
+    ):
+        """A task returning a dict with mixed-type keys (sortable by
+        json.dumps only without sort_keys) must degrade to a repr payload,
+        never crash the supervisor's digest/journal write."""
+        task = callable_task(
+            "weird", "repro.campaign.testing:mixed_key_result", seed=3
+        )
+        journal = tmp_path / "weird.jsonl"
+        runner = CampaignRunner(
+            [task], jobs=1, timeout=60.0, journal_path=journal, seed=0
+        )
+        report = runner.run()
+        assert report.status == "ok"
+        payload = runner.results["weird"]
+        assert payload["type"] == "repr"
+        assert load_journal(journal).finished
+
     def test_same_seeds_same_digests(self):
         tasks = fixture_tasks(n=2, duration=0.0, seed=7)
         a = run_campaign(tasks, jobs=2, timeout=60.0, seed=7)

@@ -41,9 +41,16 @@ class TestCli:
         err = capsys.readouterr().err
         assert "figure ids" in err
 
-    def test_unknown_figure_raises(self):
-        with pytest.raises(KeyError, match="unknown experiment"):
-            main(["fig99"])
+    def test_unknown_figure_is_usage_error(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig99" in err
+
+    def test_unknown_figure_among_valid_ones_is_usage_error(self, capsys):
+        assert main(["fig05", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "fig05" not in err.split("known:")[0]
 
 
 class TestCliFailureExit:

@@ -180,6 +180,33 @@ class TestTransferReportRoundTrip:
         )
         assert roundtrip(report, TransferReport) == report
 
+    def test_unknown_keys_are_ignored(self):
+        """A journal written by a newer version (extra fields) must still
+        deserialize — from_json filters to known dataclass fields."""
+        report = TransferReport(
+            protocol="np",
+            n_receivers=1,
+            n_groups=1,
+            total_data_packets=7,
+            payload_bytes=1000,
+            verified=True,
+            completion_time=0.5,
+            transmissions_per_packet=1.0,
+            data_sent=7,
+            parity_sent=0,
+            retransmissions_sent=0,
+            polls_sent=0,
+            naks_received=0,
+            naks_sent_total=0,
+            naks_suppressed_total=0,
+            duplicates_total=0,
+            packets_reconstructed_total=0,
+            events_dispatched=42,
+        )
+        data = report.to_json()
+        data["a_field_from_the_future"] = {"nested": True}
+        assert TransferReport.from_json(data) == report
+
 
 class TestFigureResultRoundTrip:
     @given(

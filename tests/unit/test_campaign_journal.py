@@ -67,6 +67,45 @@ class TestJournalWriter:
         assert [r["type"] for r in records] == ["a", "b"]
         assert not torn
 
+    def test_reopen_repairs_torn_tail_before_appending(self, tmp_path):
+        """A crash mid-append leaves a partial final line; reopening the
+        journal for writing must truncate it, not merge the next record
+        onto the fragment (which would poison every later read)."""
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append({"type": "a"})
+            writer.append({"type": "b"})
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])  # tear the final record
+        with JournalWriter(path) as writer:
+            writer.append({"type": "c"})
+            writer.append({"type": "d"})
+        records, torn = read_journal(path)
+        assert [r["type"] for r in records] == ["a", "c", "d"]
+        assert not torn
+
+    def test_reopen_repairs_fully_torn_single_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"type": "a"')  # no complete record at all
+        with JournalWriter(path) as writer:
+            writer.append({"type": "b"})
+        records, torn = read_journal(path)
+        assert [r["type"] for r in records] == ["b"]
+        assert not torn
+
+    def test_concurrent_writer_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        writer = JournalWriter(path)
+        writer.append({"type": "a"})
+        with pytest.raises(JournalError, match="locked"):
+            JournalWriter(path)
+        writer.close()
+        # the lock dies with the holder: reopening afterwards works
+        with JournalWriter(path) as second:
+            second.append({"type": "b"})
+        records, _ = read_journal(path)
+        assert [r["type"] for r in records] == ["a", "b"]
+
 
 class TestReadJournal:
     def test_torn_final_line_is_tolerated(self, tmp_path):
@@ -300,6 +339,14 @@ class TestCampaignTask:
         payload = serialize_result(object())
         assert payload["type"] == "repr"
         assert "object" in deserialize_result(payload)
+
+    def test_mixed_type_dict_keys_degrade_to_repr(self):
+        """json.dumps accepts {1: ..., 'b': ...} but sort_keys (the
+        journal's canonical encoding) raises TypeError — such a payload
+        must degrade in the worker, not crash the supervisor digest."""
+        payload = serialize_result({1: "one", "b": 2})
+        assert payload["type"] == "repr"
+        payload_digest(payload)  # canonical encoding must accept it
 
 
 class TestCampaignReport:
