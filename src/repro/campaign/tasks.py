@@ -134,13 +134,30 @@ def callable_task(
 
 
 def tasks_from_registry(
-    figure_ids: Iterable[str] | None = None, seed: int = 0
+    figure_ids: Iterable[str] | None = None, seed: int = 0, **kwargs: Any
 ) -> list[CampaignTask]:
-    """One task per registered experiment (all of them by default)."""
-    from repro.experiments.registry import experiment_ids
+    """One task per registered experiment (all of them by default).
+
+    Extra ``kwargs`` (e.g. the sharded-MC knobs ``mc_jobs`` / ``target_ci``)
+    are forwarded to each runner that accepts them by signature and
+    silently dropped for the rest, so one flag can apply across a mixed
+    campaign of analytic and simulated figures.
+    """
+    from repro.experiments.registry import EXPERIMENTS, experiment_ids
 
     ids = experiment_ids() if figure_ids is None else list(figure_ids)
-    return [experiment_task(figure_id, seed=seed) for figure_id in ids]
+    tasks = []
+    for figure_id in ids:
+        experiment = EXPERIMENTS.get(figure_id)
+        accepted = {}
+        if experiment is not None and kwargs:
+            params = inspect.signature(experiment.runner).parameters
+            accepted = {
+                key: value for key, value in kwargs.items() if key in params
+            }
+        # unknown ids flow through to experiment_task's canonical error
+        tasks.append(experiment_task(figure_id, seed=seed, **accepted))
+    return tasks
 
 
 # ----------------------------------------------------------------------

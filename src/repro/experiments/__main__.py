@@ -83,7 +83,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="base seed forwarded to simulation figure runners (default 0)",
     )
+    mc = parser.add_argument_group(
+        "sharded Monte-Carlo (figures 11/12/15/16; see repro.mc.sharded)"
+    )
+    mc.add_argument(
+        "--mc-jobs",
+        type=int,
+        metavar="N",
+        help="worker processes per simulated figure point "
+        "(statistics identical to --mc-jobs 1)",
+    )
+    mc.add_argument(
+        "--target-ci",
+        type=float,
+        metavar="HW",
+        help="adaptive stopping: run each point until its 95%% CI "
+        "half-width reaches HW (or the replication cap)",
+    )
+    mc.add_argument(
+        "--mc-replications",
+        type=int,
+        metavar="N",
+        help="replications per point (the cap, with --target-ci)",
+    )
     return parser
+
+
+def _mc_kwargs(args: argparse.Namespace) -> dict:
+    """Sharded-MC knobs as runner kwargs (only the ones actually given)."""
+    kwargs = {}
+    if args.mc_jobs is not None:
+        kwargs["mc_jobs"] = args.mc_jobs
+    if args.target_ci is not None:
+        kwargs["target_ci"] = args.target_ci
+    if args.mc_replications is not None:
+        kwargs["replications"] = args.mc_replications
+    return kwargs
+
+
+def _accepted_kwargs(runner, kwargs: dict) -> dict:
+    """The subset of ``kwargs`` that ``runner`` accepts by signature."""
+    import inspect
+
+    params = inspect.signature(runner).parameters
+    return {key: value for key, value in kwargs.items() if key in params}
 
 
 def _campaign_mode(args: argparse.Namespace) -> bool:
@@ -115,7 +158,7 @@ def _write_csv(csv_dir: pathlib.Path, figure_id: str, result) -> None:
 
 
 def _run_sequential(
-    targets: list[str], csv_dir: pathlib.Path | None
+    targets: list[str], csv_dir: pathlib.Path | None, mc_kwargs: dict
 ) -> int:
     """The classic in-process path; now failure-aware (nonzero exit)."""
     failed: list[str] = []
@@ -125,7 +168,10 @@ def _run_sequential(
             continue
         start = time.perf_counter()
         try:
-            result = run_experiment(figure_id)
+            result = run_experiment(
+                figure_id,
+                **_accepted_kwargs(EXPERIMENTS[figure_id].runner, mc_kwargs),
+            )
         except Exception as exc:  # noqa: BLE001 - collected and reported
             elapsed = time.perf_counter() - start
             print(
@@ -175,7 +221,7 @@ def _run_campaign(
             targets = [t for t in targets if t != "fig13"]
             if not targets:
                 return 0
-        tasks = tasks_from_registry(targets, seed=args.seed)
+        tasks = tasks_from_registry(targets, seed=args.seed, **_mc_kwargs(args))
         runner = CampaignRunner(
             tasks,
             jobs=args.jobs if args.jobs is not None else 1,
@@ -248,7 +294,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if _campaign_mode(args):
         return _run_campaign(args, targets, csv_dir)
-    return _run_sequential(targets, csv_dir)
+    return _run_sequential(targets, csv_dir, _mc_kwargs(args))
 
 
 if __name__ == "__main__":

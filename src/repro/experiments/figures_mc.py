@@ -8,9 +8,19 @@ closed forms, exactly as the paper plots analysis and simulation together.
 All runners accept ``replications`` and a ``rng`` seed; the defaults trade
 a few percent of Monte-Carlo noise for benchmark-friendly runtimes, and the
 replication count is scaled down as R grows (max-statistics concentrate).
+
+The MC figures (11, 12, 15, 16) additionally accept the sharded-execution
+knobs ``mc_jobs`` / ``target_ci`` / ``chunk_size``: setting any of them
+routes every simulated point through :func:`repro.mc.run_sharded` — chunked
+streaming execution, optional process fan-out, optional adaptive stopping —
+with each point rooted at its own deterministic branch of the figure seed
+(sharded results do not depend on ``mc_jobs``).  The defaults keep the
+original serial path, and its numbers, untouched.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
@@ -19,6 +29,7 @@ from repro.experiments.series import FigureResult, Series
 from repro.mc import (
     PAPER_TIMING,
     burst_length_histogram,
+    run_sharded,
     simulate_integrated_immediate,
     simulate_integrated_rounds,
     simulate_layered,
@@ -42,6 +53,56 @@ def _scaled_reps(base: int, n_receivers: int) -> int:
     return base
 
 
+class _ShardedFigure:
+    """Per-figure adapter from figure seeds to sharded point runs.
+
+    Each simulated point gets its own root in the replication seed tree,
+    addressed by ``(figure entropy, crc32("label/x"))`` — deterministic,
+    independent of evaluation order, and stable when a figure adds or
+    drops points.
+    """
+
+    def __init__(
+        self,
+        figure_id: str,
+        rng: np.random.Generator | int | None,
+        mc_jobs: int,
+        target_ci: float | None,
+        chunk_size: int | None,
+    ):
+        if isinstance(rng, np.random.Generator):
+            entropy = int(rng.integers(2**63 - 1))
+        elif rng is None:
+            entropy = np.random.SeedSequence().entropy
+        else:
+            entropy = int(rng)
+        self.figure_id = figure_id
+        self.entropy = entropy
+        self.mc_jobs = mc_jobs
+        self.target_ci = target_ci
+        self.chunk_size = chunk_size
+
+    def point(self, simulator, model, params, label, x, cap):
+        key = zlib.crc32(f"{self.figure_id}/{label}/{x:g}".encode())
+        root = np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=(key,)
+        )
+        return run_sharded(
+            simulator,
+            model,
+            params=params,
+            replications=cap,
+            chunk_size=self.chunk_size,
+            jobs=self.mc_jobs,
+            target_ci=self.target_ci,
+            rng=root,
+        )
+
+
+def _sharded_requested(mc_jobs, target_ci, chunk_size) -> bool:
+    return mc_jobs != 1 or target_ci is not None or chunk_size is not None
+
+
 def fig11(
     p: float = DEFAULT_P,
     k: int = 7,
@@ -49,9 +110,16 @@ def fig11(
     depths: list[int] | None = None,
     replications: int = 120,
     rng: np.random.Generator | int | None = 0,
+    mc_jobs: int = 1,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
 ) -> FigureResult:
     """Figure 11: layered FEC vs no FEC under independent and FBT shared loss."""
-    rng = resolve_rng(rng)
+    sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
+    if sharded:
+        engine = _ShardedFigure("fig11", rng, mc_jobs, target_ci, chunk_size)
+    else:
+        rng = resolve_rng(rng)
     depths = list(range(0, 18, 2)) if depths is None else depths
     sizes = [2**d for d in depths]
     xs = list(map(float, sizes))
@@ -59,16 +127,32 @@ def fig11(
     nofec_indep = [nofec.expected_transmissions(p, r) for r in sizes]
     layered_indep = [layered.expected_transmissions(k, k + h, p, r) for r in sizes]
 
-    nofec_fbt, nofec_err, layered_fbt, layered_err = [], [], [], []
+    nofec_fbt, nofec_err, nofec_reps = [], [], []
+    layered_fbt, layered_err, layered_reps = [], [], []
     for depth, size in zip(depths, sizes):
         reps = _scaled_reps(replications, size)
         model = FullBinaryTreeLoss(depth, p)
-        r_nofec = simulate_nofec(model, reps, rng=rng)
-        r_layered = simulate_layered(model, k, h, reps, rng=rng)
+        if sharded:
+            r_nofec = engine.point(
+                "nofec", model, {}, "non-FEC FBT loss", size, reps
+            )
+            r_layered = engine.point(
+                "layered",
+                model,
+                {"k": k, "h": h},
+                "layered FEC FBT loss",
+                size,
+                reps,
+            )
+        else:
+            r_nofec = simulate_nofec(model, reps, rng=rng)
+            r_layered = simulate_layered(model, k, h, reps, rng=rng)
         nofec_fbt.append(r_nofec.mean)
         nofec_err.append(r_nofec.stderr)
+        nofec_reps.append(r_nofec.replications)
         layered_fbt.append(r_layered.mean)
         layered_err.append(r_layered.stderr)
+        layered_reps.append(r_layered.replications)
 
     nofec_fbt_exact = [
         fbt.expected_transmissions_nofec(depth, p) for depth in depths
@@ -81,8 +165,20 @@ def fig11(
         series=[
             Series("non-FEC indep. loss", xs, nofec_indep),
             Series("layered FEC indep. loss", xs, layered_indep),
-            Series("non-FEC FBT loss", xs, nofec_fbt, nofec_err),
-            Series("layered FEC FBT loss", xs, layered_fbt, layered_err),
+            Series(
+                "non-FEC FBT loss",
+                xs,
+                nofec_fbt,
+                nofec_err,
+                nofec_reps if sharded else None,
+            ),
+            Series(
+                "layered FEC FBT loss",
+                xs,
+                layered_fbt,
+                layered_err,
+                layered_reps if sharded else None,
+            ),
             Series("non-FEC FBT exact", xs, nofec_fbt_exact),
         ],
         notes="independent-loss and FBT-exact curves analytical; "
@@ -96,9 +192,16 @@ def fig12(
     depths: list[int] | None = None,
     replications: int = 120,
     rng: np.random.Generator | int | None = 0,
+    mc_jobs: int = 1,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
 ) -> FigureResult:
     """Figure 12: integrated FEC vs no FEC, independent vs FBT shared loss."""
-    rng = resolve_rng(rng)
+    sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
+    if sharded:
+        engine = _ShardedFigure("fig12", rng, mc_jobs, target_ci, chunk_size)
+    else:
+        rng = resolve_rng(rng)
     depths = list(range(0, 18, 2)) if depths is None else depths
     sizes = [2**d for d in depths]
     xs = list(map(float, sizes))
@@ -108,16 +211,32 @@ def fig12(
         integrated.expected_transmissions_lower_bound(k, p, r) for r in sizes
     ]
 
-    nofec_fbt, nofec_err, integ_fbt, integ_err = [], [], [], []
+    nofec_fbt, nofec_err, nofec_reps = [], [], []
+    integ_fbt, integ_err, integ_reps = [], [], []
     for depth, size in zip(depths, sizes):
         reps = _scaled_reps(replications, size)
         model = FullBinaryTreeLoss(depth, p)
-        r_nofec = simulate_nofec(model, reps, rng=rng)
-        r_integ = simulate_integrated_immediate(model, k, reps, rng=rng)
+        if sharded:
+            r_nofec = engine.point(
+                "nofec", model, {}, "non-FEC FBT loss", size, reps
+            )
+            r_integ = engine.point(
+                "integrated_immediate",
+                model,
+                {"k": k},
+                "integrated FEC FBT loss",
+                size,
+                reps,
+            )
+        else:
+            r_nofec = simulate_nofec(model, reps, rng=rng)
+            r_integ = simulate_integrated_immediate(model, k, reps, rng=rng)
         nofec_fbt.append(r_nofec.mean)
         nofec_err.append(r_nofec.stderr)
+        nofec_reps.append(r_nofec.replications)
         integ_fbt.append(r_integ.mean)
         integ_err.append(r_integ.stderr)
+        integ_reps.append(r_integ.replications)
 
     nofec_fbt_exact = [
         fbt.expected_transmissions_nofec(depth, p) for depth in depths
@@ -133,8 +252,20 @@ def fig12(
         series=[
             Series("non-FEC indep. loss", xs, nofec_indep),
             Series("integrated FEC indep. loss", xs, integrated_indep),
-            Series("non-FEC FBT loss", xs, nofec_fbt, nofec_err),
-            Series("integrated FEC FBT loss", xs, integ_fbt, integ_err),
+            Series(
+                "non-FEC FBT loss",
+                xs,
+                nofec_fbt,
+                nofec_err,
+                nofec_reps if sharded else None,
+            ),
+            Series(
+                "integrated FEC FBT loss",
+                xs,
+                integ_fbt,
+                integ_err,
+                integ_reps if sharded else None,
+            ),
             Series("non-FEC FBT exact", xs, nofec_fbt_exact),
             Series("integrated FEC FBT exact", xs, integ_fbt_exact),
         ],
@@ -185,34 +316,56 @@ def fig15(
     sizes: list[int] | None = None,
     replications: int = 150,
     rng: np.random.Generator | int | None = 0,
+    mc_jobs: int = 1,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
 ) -> FigureResult:
     """Figure 15: burst loss — layered FEC (7+1), (7+3) vs no FEC."""
-    rng = resolve_rng(rng)
+    sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
+    if sharded:
+        engine = _ShardedFigure("fig15", rng, mc_jobs, target_ci, chunk_size)
+    else:
+        rng = resolve_rng(rng)
     sizes = sizes or [1, 10, 100, 1000, 10000]
     xs = list(map(float, sizes))
     series = {
-        "no FEC": ([], []),
-        "FEC layer (7+1)": ([], []),
-        "FEC layer (7+3)": ([], []),
+        "no FEC": ([], [], []),
+        "FEC layer (7+1)": ([], [], []),
+        "FEC layer (7+3)": ([], [], []),
     }
+
+    def record(label, result):
+        series[label][0].append(result.mean)
+        series[label][1].append(result.stderr)
+        series[label][2].append(result.replications)
+
     for size in sizes:
         reps = _scaled_reps(replications, size)
         model = _burst_model(size, p, mean_burst)
-        r = simulate_nofec(model, reps, rng=rng)
-        series["no FEC"][0].append(r.mean)
-        series["no FEC"][1].append(r.stderr)
+        if sharded:
+            record("no FEC", engine.point("nofec", model, {}, "no FEC", size, reps))
+        else:
+            record("no FEC", simulate_nofec(model, reps, rng=rng))
         for h, label in ((1, "FEC layer (7+1)"), (3, "FEC layer (7+3)")):
-            r = simulate_layered(model, 7, h, reps, rng=rng)
-            series[label][0].append(r.mean)
-            series[label][1].append(r.stderr)
+            if sharded:
+                record(
+                    label,
+                    engine.point(
+                        "layered", model, {"k": 7, "h": h}, label, size, reps
+                    ),
+                )
+            else:
+                record(label, simulate_layered(model, 7, h, reps, rng=rng))
     return FigureResult(
         figure_id="fig15",
         title=f"Burst loss and FEC layer, p = {p}, b = {mean_burst:g}",
         x_label="R",
         y_label="transmissions E[M]",
         series=[
-            Series(label, xs, values, errors)
-            for label, (values, errors) in series.items()
+            Series(
+                label, xs, values, errors, reps_used if sharded else None
+            )
+            for label, (values, errors, reps_used) in series.items()
         ],
     )
 
@@ -224,9 +377,16 @@ def fig16(
     group_sizes: tuple[int, ...] = (7, 20, 100),
     replications: int = 150,
     rng: np.random.Generator | int | None = 0,
+    mc_jobs: int = 1,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
 ) -> FigureResult:
     """Figure 16: burst loss — integrated FEC 1 vs FEC 2 for k = 7, 20, 100."""
-    rng = resolve_rng(rng)
+    sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
+    if sharded:
+        engine = _ShardedFigure("fig16", rng, mc_jobs, target_ci, chunk_size)
+    else:
+        rng = resolve_rng(rng)
     sizes = sizes or [1, 10, 100, 1000, 10000]
     xs = list(map(float, sizes))
     result = FigureResult(
@@ -235,24 +395,54 @@ def fig16(
         x_label="R",
         y_label="transmissions E[M]",
     )
-    nofec_values, nofec_errors = [], []
+    nofec_values, nofec_errors, nofec_reps = [], [], []
     for size in sizes:
         reps = _scaled_reps(replications, size)
-        r = simulate_nofec(_burst_model(size, p, mean_burst), reps, rng=rng)
+        model = _burst_model(size, p, mean_burst)
+        if sharded:
+            r = engine.point("nofec", model, {}, "no FEC", size, reps)
+        else:
+            r = simulate_nofec(model, reps, rng=rng)
         nofec_values.append(r.mean)
         nofec_errors.append(r.stderr)
-    result.series.append(Series("no FEC", xs, nofec_values, nofec_errors))
+        nofec_reps.append(r.replications)
+    result.series.append(
+        Series(
+            "no FEC",
+            xs,
+            nofec_values,
+            nofec_errors,
+            nofec_reps if sharded else None,
+        )
+    )
 
+    schemes = (
+        (simulate_integrated_immediate, "integrated_immediate", "integrated FEC 1"),
+        (simulate_integrated_rounds, "integrated_rounds", "integrated FEC 2"),
+    )
     for k in group_sizes:
-        for scheme, label in (
-            (simulate_integrated_immediate, f"integrated FEC 1, k={k}"),
-            (simulate_integrated_rounds, f"integrated FEC 2, k={k}"),
-        ):
-            values, errors = [], []
+        for scheme, simulator, prefix in schemes:
+            label = f"{prefix}, k={k}"
+            values, errors, reps_used = [], [], []
             for size in sizes:
                 reps = _scaled_reps(replications, size)
-                r = scheme(_burst_model(size, p, mean_burst), k, reps, rng=rng)
+                model = _burst_model(size, p, mean_burst)
+                if sharded:
+                    r = engine.point(
+                        simulator, model, {"k": k}, label, size, reps
+                    )
+                else:
+                    r = scheme(model, k, reps, rng=rng)
                 values.append(r.mean)
                 errors.append(r.stderr)
-            result.series.append(Series(label, xs, values, errors))
+                reps_used.append(r.replications)
+            result.series.append(
+                Series(
+                    label,
+                    xs,
+                    values,
+                    errors,
+                    reps_used if sharded else None,
+                )
+            )
     return result

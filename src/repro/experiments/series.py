@@ -26,6 +26,9 @@ class Series:
     x: list[float]
     y: list[float]
     errors: list[float] | None = None
+    #: Monte-Carlo replications actually spent per point (adaptive runs
+    #: stop early, so this is measured output, not an input echo).
+    replications: list[int] | None = None
 
     def __post_init__(self) -> None:
         if len(self.x) != len(self.y):
@@ -35,6 +38,12 @@ class Series:
             )
         if self.errors is not None and len(self.errors) != len(self.y):
             raise ValueError(f"series {self.label!r}: errors length mismatch")
+        if self.replications is not None and len(self.replications) != len(
+            self.y
+        ):
+            raise ValueError(
+                f"series {self.label!r}: replications length mismatch"
+            )
 
     def to_json(self) -> dict:
         return {
@@ -42,16 +51,23 @@ class Series:
             "x": list(self.x),
             "y": list(self.y),
             "errors": None if self.errors is None else list(self.errors),
+            "replications": (
+                None if self.replications is None else list(self.replications)
+            ),
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "Series":
         errors = data.get("errors")
+        replications = data.get("replications")
         return cls(
             label=data["label"],
             x=list(data["x"]),
             y=list(data["y"]),
             errors=None if errors is None else list(errors),
+            replications=(
+                None if replications is None else list(replications)
+            ),
         )
 
     def value_at(self, x: float) -> float:
@@ -118,26 +134,41 @@ class FigureResult:
         rows = []
         for series in self.series:
             errors = series.errors or [math.nan] * len(series)
-            for xi, yi, ei in zip(series.x, series.y, errors):
-                rows.append(
-                    {
-                        "figure": self.figure_id,
-                        "series": series.label,
-                        "x": xi,
-                        "y": yi,
-                        "stderr": ei,
-                    }
-                )
+            replications = series.replications or [None] * len(series)
+            for xi, yi, ei, ri in zip(series.x, series.y, errors, replications):
+                row = {
+                    "figure": self.figure_id,
+                    "series": series.label,
+                    "x": xi,
+                    "y": yi,
+                    "stderr": ei,
+                }
+                # only sharded/adaptive MC points carry a measured spend;
+                # plain rows keep their legacy shape
+                if ri is not None:
+                    row["replications"] = ri
+                rows.append(row)
         return rows
 
     def to_csv(self) -> str:
-        lines = ["figure,series,x,y,stderr"]
+        # the replications column only appears when a series measured it
+        # (sharded/adaptive MC runs) so analytic-only figures keep the
+        # legacy 5-column layout byte for byte
+        with_reps = any(s.replications is not None for s in self.series)
+        header = "figure,series,x,y,stderr"
+        if with_reps:
+            header += ",replications"
+        lines = [header]
         for row in self.to_rows():
             stderr = "" if math.isnan(row["stderr"]) else f"{row['stderr']:.6g}"
-            lines.append(
+            line = (
                 f"{row['figure']},{row['series']},{row['x']:.6g},"
                 f"{row['y']:.6g},{stderr}"
             )
+            if with_reps:
+                reps = row.get("replications")
+                line += f",{'' if reps is None else reps}"
+            lines.append(line)
         return "\n".join(lines) + "\n"
 
     def render_table(self, float_format: str = "{:.3f}") -> str:

@@ -4,6 +4,15 @@ These complement :mod:`repro.analysis`: the closed forms cover independent
 loss; the simulators here additionally handle the shared-tree and burst
 loss models of Section 4 (Figures 11, 12, 14, 15, 16) and cross-validate
 the analysis everywhere both apply.
+
+Two execution styles share the same sampling kernels:
+
+* the serial ``simulate_*`` front-ends (one shared RNG stream, the
+  original fixed-count API), and
+* :func:`repro.mc.sharded.run_sharded` — chunked, optionally
+  process-parallel and adaptive-stopping, with bit-identical statistics
+  for any shard/job split thanks to per-replication seed trees and the
+  exact mergeable accumulator in :mod:`repro.mc.streaming`.
 """
 
 from repro.mc._common import MCResult, PAPER_TIMING, Timing
@@ -14,6 +23,8 @@ from repro.mc.integrated import (
 )
 from repro.mc.layered import simulate_layered
 from repro.mc.nofec import simulate_nofec
+from repro.mc.sharded import SIMULATORS, replication_rng, run_sharded
+from repro.mc.streaming import StreamingMoments
 
 __all__ = [
     "MCResult",
@@ -26,4 +37,8 @@ __all__ = [
     "BurstHistogram",
     "burst_length_histogram",
     "run_lengths",
+    "StreamingMoments",
+    "run_sharded",
+    "replication_rng",
+    "SIMULATORS",
 ]

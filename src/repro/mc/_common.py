@@ -46,6 +46,17 @@ class MCResult:
 
     ``mean`` estimates the paper's E[M] (or whatever the experiment
     measures); ``stderr`` is the standard error over replications.
+
+    Degenerate-case contract (see also :func:`summarize`):
+
+    * ``replications == 1`` — the sample variance is *undefined*, so
+      ``stderr`` is NaN (not ``0.0``: a single draw carries no evidence
+      of determinism).  ``confidence95`` is ``(nan, nan)`` and
+      :meth:`compatible_with` is vacuously true — one replication cannot
+      falsify anything, so a 1-rep smoke run is never flaky.
+    * ``stderr == 0.0`` with ``replications >= 2`` — the variance was
+      *measured* to be zero (a deterministic process, e.g. zero loss);
+      :meth:`compatible_with` demands near-exact equality.
     """
 
     mean: float
@@ -55,25 +66,41 @@ class MCResult:
     @property
     def confidence95(self) -> tuple[float, float]:
         """Normal-approximation 95% confidence interval."""
-        half = 1.96 * self.stderr
+        half = self.ci95_halfwidth
         return self.mean - half, self.mean + half
 
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the 95% CI (NaN when ``stderr`` is undefined)."""
+        return 1.96 * self.stderr
+
     def compatible_with(self, expected: float, sigmas: float = 4.0) -> bool:
-        """True if ``expected`` lies within ``sigmas`` standard errors."""
+        """True if ``expected`` lies within ``sigmas`` standard errors.
+
+        With a single replication (or an otherwise undefined ``stderr``)
+        this is vacuously true; with a measured-zero ``stderr`` it falls
+        back to near-exact equality.  See the class docstring.
+        """
+        if self.replications < 2 or math.isnan(self.stderr):
+            return True
         if self.stderr == 0.0:
             return math.isclose(self.mean, expected, rel_tol=1e-9)
         return abs(self.mean - expected) <= sigmas * self.stderr
 
 
 def summarize(samples: list[float] | np.ndarray) -> MCResult:
-    """Mean and standard error of a vector of per-replication estimates."""
+    """Mean and standard error of a vector of per-replication estimates.
+
+    A single sample yields ``stderr = nan`` (variance undefined), per the
+    :class:`MCResult` degenerate-case contract.
+    """
     samples = np.asarray(samples, dtype=float)
     if samples.size == 0:
         raise ValueError("no samples to summarise")
     stderr = (
         float(samples.std(ddof=1) / math.sqrt(samples.size))
         if samples.size > 1
-        else 0.0
+        else math.nan
     )
     return MCResult(float(samples.mean()), stderr, int(samples.size))
 

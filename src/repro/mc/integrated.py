@@ -19,6 +19,9 @@ Both count total packet transmissions for the group; E[M] = total / k.
 
 from __future__ import annotations
 
+import itertools
+from typing import Iterable
+
 import numpy as np
 
 from repro.mc._common import (
@@ -31,7 +34,12 @@ from repro.mc._common import (
 )
 from repro.sim.loss import LossModel
 
-__all__ = ["simulate_integrated_immediate", "simulate_integrated_rounds"]
+__all__ = [
+    "simulate_integrated_immediate",
+    "simulate_integrated_rounds",
+    "sample_chunk_immediate",
+    "sample_chunk_rounds",
+]
 
 _MAX_TRANSMISSIONS = 1_000_000
 _PARITY_CHUNK = 16
@@ -152,6 +160,61 @@ def _make_verifier(
     return PayloadVerifier(codec, rng=np.random.default_rng(0x5EED))
 
 
+def _validate_integrated(k: int, initial_parities: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if initial_parities < 0:
+        raise ValueError("initial_parities must be >= 0")
+
+
+def sample_chunk_immediate(
+    loss_model: LossModel,
+    timing: Timing,
+    rngs: Iterable[np.random.Generator],
+    *,
+    k: int,
+    initial_parities: int = 0,
+    verifier: PayloadVerifier | None = None,
+) -> np.ndarray:
+    """Chunk-shaped kernel for integrated FEC 1 (continuous parity tail).
+
+    One E[M] sample per rng in ``rngs``; see
+    :func:`repro.mc.layered.sample_chunk` for the sharding contract.
+    """
+    _validate_integrated(k, initial_parities)
+    return np.array(
+        [
+            _immediate_replication(
+                loss_model, k, timing, rng, initial_parities, verifier
+            )
+            for rng in rngs
+        ],
+        dtype=float,
+    )
+
+
+def sample_chunk_rounds(
+    loss_model: LossModel,
+    timing: Timing,
+    rngs: Iterable[np.random.Generator],
+    *,
+    k: int,
+    initial_parities: int = 0,
+    verifier: PayloadVerifier | None = None,
+) -> np.ndarray:
+    """Chunk-shaped kernel for integrated FEC 2 (NAK-driven parity rounds)."""
+    _validate_integrated(k, initial_parities)
+    return np.array(
+        [
+            _rounds_replication(
+                loss_model, k, timing, rng, initial_parities, verifier
+            )
+            for rng in rngs
+        ],
+        dtype=float,
+    )
+
+
 def simulate_integrated_immediate(
     loss_model: LossModel,
     k: int,
@@ -167,20 +230,19 @@ def simulate_integrated_immediate(
     first-burst erasure patterns through the real batched decode path —
     see :func:`_make_verifier`; statistics are unchanged.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if initial_parities < 0:
-        raise ValueError("initial_parities must be >= 0")
+    _validate_integrated(k, initial_parities)
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
     verifier = _make_verifier(codec, k, initial_parities)
-    samples = [
-        _immediate_replication(
-            loss_model, k, timing, rng, initial_parities, verifier
-        )
-        for _ in range(replications)
-    ]
+    samples = sample_chunk_immediate(
+        loss_model,
+        timing,
+        itertools.repeat(rng, replications),
+        k=k,
+        initial_parities=initial_parities,
+        verifier=verifier,
+    )
     return summarize(samples)
 
 
@@ -199,18 +261,17 @@ def simulate_integrated_rounds(
     first-burst erasure patterns through the real batched decode path —
     see :func:`_make_verifier`; statistics are unchanged.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if initial_parities < 0:
-        raise ValueError("initial_parities must be >= 0")
+    _validate_integrated(k, initial_parities)
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
     verifier = _make_verifier(codec, k, initial_parities)
-    samples = [
-        _rounds_replication(
-            loss_model, k, timing, rng, initial_parities, verifier
-        )
-        for _ in range(replications)
-    ]
+    samples = sample_chunk_rounds(
+        loss_model,
+        timing,
+        itertools.repeat(rng, replications),
+        k=k,
+        initial_parities=initial_parities,
+        verifier=verifier,
+    )
     return summarize(samples)

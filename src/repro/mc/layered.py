@@ -15,6 +15,9 @@ The estimate of E[M] for a round is ``(n/k) * mean_i(rounds_i)`` where
 
 from __future__ import annotations
 
+import itertools
+from typing import Iterable
+
 import numpy as np
 
 from repro.mc._common import (
@@ -27,9 +30,14 @@ from repro.mc._common import (
 )
 from repro.sim.loss import LossModel
 
-__all__ = ["simulate_layered"]
+__all__ = ["simulate_layered", "sample_chunk"]
 
 _MAX_ROUNDS = 100_000
+
+
+def _validate_geometry(k: int, h: int) -> None:
+    if k < 1 or h < 0:
+        raise ValueError(f"need k >= 1 and h >= 0, got k={k}, h={h}")
 
 
 def _one_replication(
@@ -66,6 +74,34 @@ def _one_replication(
     raise RuntimeError(f"transmission group unfinished after {_MAX_ROUNDS} rounds")
 
 
+def sample_chunk(
+    loss_model: LossModel,
+    timing: Timing,
+    rngs: Iterable[np.random.Generator],
+    *,
+    k: int,
+    h: int,
+    verifier: PayloadVerifier | None = None,
+) -> np.ndarray:
+    """Chunk-shaped kernel: one layered-FEC E[M] sample per rng in ``rngs``.
+
+    This is the unit of work the sharded engine (:mod:`repro.mc.sharded`)
+    dispatches: each replication draws from *its own* generator, so a chunk
+    is fully determined by the seeds it is handed — independent of how the
+    replication range was split.  The serial front-end reuses it with one
+    shared generator repeated, preserving the legacy single-stream
+    semantics (and numbers) exactly.
+    """
+    _validate_geometry(k, h)
+    return np.array(
+        [
+            _one_replication(loss_model, k, h, timing, rng, verifier)
+            for rng in rngs
+        ],
+        dtype=float,
+    )
+
+
 def simulate_layered(
     loss_model: LossModel,
     k: int,
@@ -95,8 +131,7 @@ def simulate_layered(
         :class:`repro.mc._common.PayloadVerifier`); the statistics are
         unchanged.
     """
-    if k < 1 or h < 0:
-        raise ValueError(f"need k >= 1 and h >= 0, got k={k}, h={h}")
+    _validate_geometry(k, h)
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
@@ -111,8 +146,12 @@ def simulate_layered(
         # simulation's stream would perturb the loss samples, making the
         # codec-verified run statistically different from the plain one
         verifier = PayloadVerifier(codec, rng=np.random.default_rng(0x5EED))
-    samples = [
-        _one_replication(loss_model, k, h, timing, rng, verifier)
-        for _ in range(replications)
-    ]
+    samples = sample_chunk(
+        loss_model,
+        timing,
+        itertools.repeat(rng, replications),
+        k=k,
+        h=h,
+        verifier=verifier,
+    )
     return summarize(samples)

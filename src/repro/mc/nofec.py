@@ -9,12 +9,15 @@ all flow through the model's incremental sampler, which is the whole point
 
 from __future__ import annotations
 
+import itertools
+from typing import Iterable
+
 import numpy as np
 
 from repro.mc._common import MCResult, PAPER_TIMING, Timing, resolve_rng, summarize
 from repro.sim.loss import LossModel
 
-__all__ = ["simulate_nofec"]
+__all__ = ["simulate_nofec", "sample_chunk"]
 
 #: Attempts per incremental sampling chunk.
 _CHUNK = 16
@@ -52,6 +55,22 @@ def _one_replication(
     )
 
 
+def sample_chunk(
+    loss_model: LossModel,
+    timing: Timing,
+    rngs: Iterable[np.random.Generator],
+) -> np.ndarray:
+    """Chunk-shaped kernel: one no-FEC E[M] sample per rng in ``rngs``.
+
+    The sharded engine hands each replication its own seed-tree generator;
+    the serial front-end repeats one shared generator (legacy stream).
+    """
+    return np.array(
+        [_one_replication(loss_model, timing, rng) for rng in rngs],
+        dtype=float,
+    )
+
+
 def simulate_nofec(
     loss_model: LossModel,
     replications: int = 200,
@@ -62,7 +81,5 @@ def simulate_nofec(
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
-    samples = [
-        _one_replication(loss_model, timing, rng) for _ in range(replications)
-    ]
+    samples = sample_chunk(loss_model, timing, itertools.repeat(rng, replications))
     return summarize(samples)

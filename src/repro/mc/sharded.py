@@ -1,0 +1,429 @@
+"""Sharded, streaming, parallel execution layer for the MC simulators.
+
+The serial front-ends in :mod:`repro.mc` run replications in a Python
+loop, materialise every per-replication sample and stop at a fixed count.
+This module re-expresses the same estimators as **shard-parallel streaming
+jobs** with three guarantees:
+
+* **Deterministic seed trees.**  Replication ``i`` of a run rooted at seed
+  ``s`` always draws from ``SeedSequence(s, spawn_key=(i,))`` — a private,
+  statistically independent stream addressed by *replication index*, not
+  by worker or shard.  Together with the exact accumulator below, one root
+  seed yields bit-identical ``(mean, stderr, replications)`` for any
+  ``(shards, chunk_size, jobs)`` split, any completion order, and
+  ``jobs=1`` versus ``jobs>1``.
+* **Streaming moments.**  Shards fold samples into
+  :class:`~repro.mc.streaming.StreamingMoments` (exact, mergeable) instead
+  of shipping sample vectors: memory is O(chunk) per worker and O(1) at
+  the supervisor, however many replications run.
+* **Supervised fan-out.**  ``jobs > 1`` reuses the campaign primitives of
+  :mod:`repro.campaign` — spawned worker processes, wall-clock deadlines,
+  bounded retry — so a wedged or crashed shard costs one bounded retry,
+  never the run.  Retried shards recompute *identical* samples (the seed
+  tree makes shard execution idempotent), so retries cannot bias the
+  estimate.
+
+**Adaptive stopping** (``target_ci=``) runs chunks until the 95% CI
+half-width of the running estimate drops to the target or the replication
+cap is hit.  The rule is evaluated on *prefix-complete* chunk sequences in
+index order, so the stopped replication count is deterministic for a given
+``(root seed, chunk_size, target_ci, cap)`` — independent of ``jobs`` and
+of worker completion order.  (It does depend on ``chunk_size``: stopping
+can only happen at chunk boundaries.)
+
+Loss models cross the process boundary as JSON specs
+(:meth:`repro.sim.loss.LossModel.to_spec`); a model without a spec (e.g.
+``TreeLoss``) still works in-process with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.mc import integrated, layered, nofec
+from repro.mc._common import MCResult, PAPER_TIMING, Timing
+from repro.mc.streaming import StreamingMoments
+from repro.sim.loss import LossModel, loss_model_from_spec
+
+__all__ = [
+    "SIMULATORS",
+    "ShardedSimulator",
+    "replication_rng",
+    "run_sharded",
+    "shard_cell",
+]
+
+#: Default replications per chunk when ``chunk_size`` is not given and
+#: adaptive stopping is on.  Must not depend on ``jobs`` — the stopped
+#: replication count is part of the deterministic contract.
+_ADAPTIVE_CHUNK = 64
+#: Fixed-count runs default to ~this many chunks per worker (load balance
+#: without per-chunk spawn overhead); chunking cannot affect fixed-count
+#: statistics, so a jobs-dependent default is safe there.
+_CHUNKS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class ShardedSimulator:
+    """One MC estimator as the sharded engine sees it.
+
+    ``kernel`` is the chunk-shaped sampling function
+    (``kernel(loss_model, timing, rngs, **params) -> np.ndarray``);
+    ``param_names`` the exact parameter keys it requires.
+    """
+
+    name: str
+    kernel: Callable[..., np.ndarray]
+    param_names: tuple[str, ...] = ()
+    optional_params: tuple[str, ...] = ()
+
+    def validate_params(self, params: dict) -> dict:
+        params = dict(params or {})
+        missing = [key for key in self.param_names if key not in params]
+        if missing:
+            raise ValueError(
+                f"simulator {self.name!r} requires params {missing}"
+            )
+        allowed = set(self.param_names) | set(self.optional_params)
+        unknown = [key for key in params if key not in allowed]
+        if unknown:
+            raise ValueError(
+                f"simulator {self.name!r} got unknown params {unknown}; "
+                f"accepts {sorted(allowed)}"
+            )
+        return params
+
+
+#: Every MC simulator, addressable by name (figure runners, CLI, tests).
+SIMULATORS: dict[str, ShardedSimulator] = {
+    spec.name: spec
+    for spec in [
+        ShardedSimulator("nofec", nofec.sample_chunk),
+        ShardedSimulator("layered", layered.sample_chunk, ("k", "h")),
+        ShardedSimulator(
+            "integrated_immediate",
+            integrated.sample_chunk_immediate,
+            ("k",),
+            ("initial_parities",),
+        ),
+        ShardedSimulator(
+            "integrated_rounds",
+            integrated.sample_chunk_rounds,
+            ("k",),
+            ("initial_parities",),
+        ),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# seed trees
+# ----------------------------------------------------------------------
+def _root_sequence(
+    rng: np.random.SeedSequence | np.random.Generator | int | None,
+) -> np.random.SeedSequence:
+    """Normalise any seed-ish input to the root of the replication tree."""
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        # a live generator cannot be shipped to workers; draw one entropy
+        # value from it (deterministic given its state) and root there
+        return np.random.SeedSequence(int(rng.integers(2**63 - 1)))
+    if rng is None:
+        return np.random.SeedSequence()
+    return np.random.SeedSequence(int(rng))
+
+
+def replication_rng(
+    entropy, spawn_key: Sequence[int], index: int
+) -> np.random.Generator:
+    """The private generator of replication ``index`` under a root.
+
+    Children are addressed exactly like ``SeedSequence.spawn`` would
+    (``spawn_key + (index,)``) but by random access, so a worker holding
+    replications ``[a, b)`` derives its streams without materialising the
+    first ``a`` children.
+    """
+    child = np.random.SeedSequence(
+        entropy=entropy, spawn_key=(*tuple(spawn_key), int(index))
+    )
+    return np.random.default_rng(child)
+
+
+def _chunk_rngs(
+    entropy, spawn_key: Sequence[int], start: int, count: int
+) -> Iterator[np.random.Generator]:
+    return (
+        replication_rng(entropy, spawn_key, index)
+        for index in range(start, start + count)
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker cell (runs inside a spawned campaign worker — or inline)
+# ----------------------------------------------------------------------
+def shard_cell(
+    *,
+    simulator: str,
+    model: dict,
+    params: dict,
+    entropy,
+    spawn_key: list,
+    start: int,
+    count: int,
+    timing: dict,
+) -> dict:
+    """Run replications ``[start, start + count)`` and return exact moments.
+
+    This is the campaign ``callable`` target for process fan-out; every
+    argument is plain data so the task survives the spawn boundary and the
+    JSONL journal unchanged.  The return value is
+    :meth:`StreamingMoments.to_json` — O(1) size however large the chunk.
+    """
+    spec = SIMULATORS[simulator]
+    loss_model = loss_model_from_spec(model)
+    samples = spec.kernel(
+        loss_model,
+        Timing(**timing),
+        _chunk_rngs(entropy, spawn_key, start, count),
+        **spec.validate_params(params),
+    )
+    moments = StreamingMoments()
+    moments.update_many(samples)
+    return moments.to_json()
+
+
+# ----------------------------------------------------------------------
+# planning + folding
+# ----------------------------------------------------------------------
+def _plan_chunks(
+    replications: int, chunk_size: int | None, jobs: int, adaptive: bool
+) -> list[tuple[int, int]]:
+    """Split ``replications`` into ``(start, count)`` chunks."""
+    if chunk_size is None:
+        if adaptive:
+            chunk_size = _ADAPTIVE_CHUNK
+        else:
+            chunk_size = max(
+                1, math.ceil(replications / (jobs * _CHUNKS_PER_JOB))
+            )
+    return [
+        (start, min(chunk_size, replications - start))
+        for start in range(0, replications, chunk_size)
+    ]
+
+
+def _ci_reached(moments: StreamingMoments, target_ci: float | None) -> bool:
+    if target_ci is None or moments.count < 2:
+        return False
+    halfwidth = 1.96 * moments.stderr
+    return halfwidth <= target_ci  # NaN stderr compares False: keep going
+
+
+# ----------------------------------------------------------------------
+# the public API
+# ----------------------------------------------------------------------
+def run_sharded(
+    simulator: str,
+    loss_model: LossModel,
+    *,
+    params: dict | None = None,
+    replications: int = 512,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    target_ci: float | None = None,
+    rng: np.random.SeedSequence | np.random.Generator | int | None = 0,
+    timing: Timing = PAPER_TIMING,
+    timeout: float = 600.0,
+    retries: int = 1,
+) -> MCResult:
+    """Sharded, streaming Monte-Carlo estimate of E[M].
+
+    Parameters
+    ----------
+    simulator:
+        A :data:`SIMULATORS` name: ``"nofec"``, ``"layered"``,
+        ``"integrated_immediate"`` or ``"integrated_rounds"``.
+    loss_model:
+        Any joint loss process.  With ``jobs > 1`` it must round-trip
+        through :meth:`~repro.sim.loss.LossModel.to_spec`.
+    params:
+        Simulator parameters (e.g. ``{"k": 7, "h": 1}`` for layered).
+    replications:
+        Replication count — exact when ``target_ci`` is None, otherwise
+        the cap the adaptive rule runs up to.
+    chunk_size:
+        Replications per dispatched chunk.  Fixed-count statistics are
+        *identical for every chunking* (exact merge); with ``target_ci``
+        set, stopping happens at chunk boundaries, so the default is a
+        jobs-independent constant to keep stopped counts deterministic.
+    jobs:
+        ``1`` runs chunks inline; ``N > 1`` fans chunks out to ``N``
+        spawned, supervised worker processes (campaign machinery:
+        deadlines, bounded retry).  Identical results either way.
+    target_ci:
+        Optional 95% CI half-width target: stop as soon as the running
+        estimate is at least this tight (checked at chunk boundaries, in
+        chunk order).
+    rng:
+        Root of the seed tree: an int seed, a ``SeedSequence``, None
+        (fresh entropy) or a ``Generator`` (one entropy draw is taken).
+    timeout, retries:
+        Per-shard wall-clock budget and retry allowance (``jobs > 1``).
+    """
+    try:
+        spec = SIMULATORS[simulator]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulator {simulator!r}; known: {sorted(SIMULATORS)}"
+        ) from None
+    params = spec.validate_params(params or {})
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if target_ci is not None and not target_ci > 0:
+        raise ValueError(f"target_ci must be positive, got {target_ci}")
+
+    root = _root_sequence(rng)
+    chunks = _plan_chunks(
+        replications, chunk_size, jobs, adaptive=target_ci is not None
+    )
+    if jobs == 1:
+        return _run_inline(spec, loss_model, params, chunks, root, timing, target_ci)
+    return _run_fanout(
+        spec,
+        loss_model,
+        params,
+        chunks,
+        root,
+        timing,
+        target_ci,
+        jobs,
+        timeout,
+        retries,
+    )
+
+
+def _run_inline(
+    spec: ShardedSimulator,
+    loss_model: LossModel,
+    params: dict,
+    chunks: list[tuple[int, int]],
+    root: np.random.SeedSequence,
+    timing: Timing,
+    target_ci: float | None,
+) -> MCResult:
+    """Single-process path: same chunks, same seeds, no campaign."""
+    moments = StreamingMoments()
+    for start, count in chunks:
+        samples = spec.kernel(
+            loss_model,
+            timing,
+            _chunk_rngs(root.entropy, root.spawn_key, start, count),
+            **params,
+        )
+        moments.update_many(samples)
+        if _ci_reached(moments, target_ci):
+            break
+    return moments.result()
+
+
+def _run_fanout(
+    spec: ShardedSimulator,
+    loss_model: LossModel,
+    params: dict,
+    chunks: list[tuple[int, int]],
+    root: np.random.SeedSequence,
+    timing: Timing,
+    target_ci: float | None,
+    jobs: int,
+    timeout: float,
+    retries: int,
+) -> MCResult:
+    """Process-parallel path via the campaign supervisor."""
+    from repro.campaign import (
+        CampaignRunner,
+        RetryPolicy,
+        callable_task,
+        deserialize_result,
+    )
+
+    try:
+        model_spec = loss_model.to_spec()
+    except NotImplementedError as exc:
+        raise ValueError(
+            f"{type(loss_model).__name__} cannot cross the process "
+            f"boundary ({exc}); run with jobs=1"
+        ) from None
+
+    def make_task(index: int, start: int, count: int):
+        return callable_task(
+            f"chunk{index:05d}",
+            "repro.mc.sharded:shard_cell",
+            timeout=timeout,
+            simulator=spec.name,
+            model=model_spec,
+            params=params,
+            entropy=root.entropy,
+            spawn_key=list(root.spawn_key),
+            start=start,
+            count=count,
+            timing={
+                "packet_interval": timing.packet_interval,
+                "round_gap": timing.round_gap,
+            },
+        )
+
+    moments = StreamingMoments()
+    # Fixed-count runs dispatch everything at once; adaptive runs go in
+    # waves of `jobs` chunks so a tight CI stops after bounded overshoot.
+    wave_size = len(chunks) if target_ci is None else jobs
+    next_chunk = 0
+    while next_chunk < len(chunks):
+        wave = chunks[next_chunk : next_chunk + wave_size]
+        tasks = [
+            make_task(next_chunk + offset, start, count)
+            for offset, (start, count) in enumerate(wave)
+        ]
+        runner = CampaignRunner(
+            tasks,
+            jobs=min(jobs, len(tasks)),
+            timeout=timeout,
+            retry=RetryPolicy(retries=retries),
+            campaign_id=f"mc-{spec.name}",
+        )
+        report = runner.run()
+        if report.status != "ok":
+            details = "; ".join(
+                f"{outcome.task_id}: {outcome.error_type}: {outcome.error_message}"
+                for outcome in report.outcomes
+                if outcome.status != "ok"
+            )
+            raise RuntimeError(
+                f"sharded MC run lost {len(report.quarantined)} shard(s) "
+                f"after retries — statistics would be biased ({details})"
+            )
+        stopped = False
+        for offset in range(len(wave)):
+            task_id = f"chunk{next_chunk + offset:05d}"
+            chunk_moments = StreamingMoments.from_json(
+                deserialize_result(runner.results[task_id])
+            )
+            moments.merge(chunk_moments)
+            # evaluate the stop rule at every chunk boundary in index
+            # order; chunks computed beyond the stop point are discarded
+            # so the stopped count never depends on jobs or wave size
+            if _ci_reached(moments, target_ci):
+                stopped = True
+                break
+        if stopped:
+            break
+        next_chunk += len(wave)
+    return moments.result()

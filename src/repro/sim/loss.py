@@ -38,6 +38,7 @@ __all__ = [
     "BurstyTreeLoss",
     "FullBinaryTreeLoss",
     "TreeLoss",
+    "loss_model_from_spec",
 ]
 
 
@@ -85,6 +86,21 @@ class LossModel(ABC):
         correlation return a stateless wrapper.
         """
         return _MemorylessSampler(self, rng)
+
+    def to_spec(self) -> dict:
+        """JSON-safe description rebuildable by :func:`loss_model_from_spec`.
+
+        The sharded Monte-Carlo engine ships loss models to spawned worker
+        processes through campaign tasks (plain-data JSON), so every model
+        that should parallelise across processes must round-trip here.
+        Models that cannot (e.g. :class:`TreeLoss`, which wraps a live
+        ``networkx`` graph) raise ``NotImplementedError`` and are still
+        usable in-process (``jobs=1``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no spec serialization; "
+            f"it can only run in-process (jobs=1)"
+        )
 
 
 class LossSampler:
@@ -139,6 +155,9 @@ class BernoulliLoss(LossModel):
     def marginal_loss_probability(self) -> np.ndarray:
         return np.full(self.n_receivers, self.p)
 
+    def to_spec(self) -> dict:
+        return {"kind": "bernoulli", "n_receivers": self.n_receivers, "p": self.p}
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"BernoulliLoss(R={self.n_receivers}, p={self.p})"
 
@@ -162,6 +181,12 @@ class HeterogeneousLoss(LossModel):
 
     def marginal_loss_probability(self) -> np.ndarray:
         return self.probabilities.copy()
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "heterogeneous",
+            "probabilities": [float(p) for p in self.probabilities],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"HeterogeneousLoss(R={self.n_receivers})"
@@ -295,6 +320,14 @@ class GilbertLoss(LossModel):
         interval = np.searchsorted(np.asarray(boundaries), times, side="right") - 1
         return np.asarray(states, dtype=bool)[interval]
 
+    def to_spec(self) -> dict:
+        return {
+            "kind": "gilbert",
+            "n_receivers": self.n_receivers,
+            "rate_good_to_bad": self.rate_good_to_bad,
+            "rate_bad_to_good": self.rate_bad_to_good,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"GilbertLoss(R={self.n_receivers}, "
@@ -375,6 +408,9 @@ class FullBinaryTreeLoss(LossModel):
     def marginal_loss_probability(self) -> np.ndarray:
         return np.full(self.n_receivers, self.p)
 
+    def to_spec(self) -> dict:
+        return {"kind": "fbt", "depth": self.depth, "p": self.p}
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"FullBinaryTreeLoss(d={self.depth}, p={self.p})"
 
@@ -408,6 +444,9 @@ class ScriptedLoss(LossModel):
         if self.schedule.shape[1] == 0:
             return np.zeros(self.n_receivers)
         return self.schedule.mean(axis=1)
+
+    def to_spec(self) -> dict:
+        return {"kind": "scripted", "schedule": self.schedule.tolist()}
 
 
 class _ScriptedSampler(LossSampler):
@@ -459,6 +498,8 @@ class BurstyTreeLoss(LossModel):
         super().__init__(2**depth)
         self.depth = depth
         self.p = p
+        self.mean_burst_length = mean_burst_length
+        self.packet_interval = packet_interval
         self.p_node = 1.0 - (1.0 - p) ** (1.0 / (depth + 1))
         self.n_nodes = 2 ** (depth + 1) - 1
         # one Gilbert process shared by all nodes' chains (they only need
@@ -475,6 +516,15 @@ class BurstyTreeLoss(LossModel):
 
     def marginal_loss_probability(self) -> np.ndarray:
         return np.full(self.n_receivers, self.p)
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "bursty_tree",
+            "depth": self.depth,
+            "p": self.p,
+            "mean_burst_length": self.mean_burst_length,
+            "packet_interval": self.packet_interval,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"BurstyTreeLoss(d={self.depth}, p={self.p})"
@@ -580,3 +630,53 @@ class TreeLoss(LossModel):
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"TreeLoss(R={self.n_receivers}, nodes={len(self._order)})"
+
+
+#: spec ``kind`` -> rebuilder; see :meth:`LossModel.to_spec`
+_SPEC_BUILDERS = {
+    "bernoulli": lambda spec: BernoulliLoss(
+        int(spec["n_receivers"]), float(spec["p"])
+    ),
+    "heterogeneous": lambda spec: HeterogeneousLoss(
+        np.asarray(spec["probabilities"], dtype=float)
+    ),
+    "gilbert": lambda spec: GilbertLoss(
+        int(spec["n_receivers"]),
+        float(spec["rate_good_to_bad"]),
+        float(spec["rate_bad_to_good"]),
+    ),
+    "fbt": lambda spec: FullBinaryTreeLoss(
+        int(spec["depth"]), float(spec["p"])
+    ),
+    "bursty_tree": lambda spec: BurstyTreeLoss(
+        int(spec["depth"]),
+        float(spec["p"]),
+        float(spec["mean_burst_length"]),
+        float(spec["packet_interval"]),
+    ),
+    "scripted": lambda spec: ScriptedLoss(
+        np.asarray(spec["schedule"], dtype=bool)
+    ),
+}
+
+
+def loss_model_from_spec(spec: dict) -> LossModel:
+    """Rebuild a loss model from its :meth:`LossModel.to_spec` dict.
+
+    The round trip is exact: JSON preserves the defining float parameters
+    bit-for-bit, so a rebuilt model samples identically to the original
+    under the same rng stream — which is what lets the sharded Monte-Carlo
+    engine promise bit-identical statistics across process boundaries.
+    """
+    try:
+        kind = spec["kind"]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a loss-model spec: {spec!r}") from None
+    try:
+        builder = _SPEC_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown loss-model kind {kind!r}; "
+            f"known: {sorted(_SPEC_BUILDERS)}"
+        ) from None
+    return builder(spec)

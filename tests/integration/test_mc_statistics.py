@@ -1,0 +1,168 @@
+"""Statistical regression suite for the sharded MC engine.
+
+Every check pins a seed and asserts the sharded estimate lands within the
+standard ``compatible_with(sigmas=4)`` band of an independent reference:
+closed forms where they exist (independent loss), the exact FBT recursions
+for shared tree loss, and serial-vs-sharded cross-checks for burst loss
+(which has no closed form).  A systematic bias anywhere in the seed-tree /
+chunking / merge pipeline shows up here as a deterministic failure, not a
+flake — the seeds are fixed, so these tests are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fbt, integrated, layered, nofec
+from repro.experiments.figures_mc import fig15
+from repro.mc import (
+    run_sharded,
+    simulate_integrated_rounds,
+    simulate_layered,
+)
+from repro.sim.loss import BernoulliLoss, FullBinaryTreeLoss, GilbertLoss
+
+SEED = 0x5A17
+
+
+def burst_model(n_receivers: int) -> GilbertLoss:
+    return GilbertLoss.from_loss_and_burst(n_receivers, 0.01, 2.0, 0.040)
+
+
+class TestClosedFormAgreement:
+    """Independent loss: the paper's closed forms are exact references."""
+
+    def test_nofec_vs_equation(self):
+        # fig11/12 leftmost regime: plain ARQ, independent loss
+        expected = nofec.expected_transmissions(0.01, 10)
+        result = run_sharded(
+            "nofec",
+            BernoulliLoss(10, 0.01),
+            replications=600,
+            rng=SEED,
+            chunk_size=64,
+        )
+        assert result.compatible_with(expected)
+        assert result.replications == 600
+
+    def test_layered_vs_equation(self):
+        # fig11's layered curve: k=7, h=1 block over independent loss
+        expected = layered.expected_transmissions(7, 8, 0.01, 10)
+        result = run_sharded(
+            "layered",
+            BernoulliLoss(10, 0.01),
+            params={"k": 7, "h": 1},
+            replications=400,
+            rng=SEED,
+            chunk_size=50,
+        )
+        assert result.compatible_with(expected)
+
+    def test_integrated_immediate_vs_lower_bound(self):
+        # under memoryless loss, integrated FEC 1 *is* the Equation 6
+        # idealised scheme, so the lower bound is its exact expectation
+        expected = integrated.expected_transmissions_lower_bound(7, 0.01, 20)
+        result = run_sharded(
+            "integrated_immediate",
+            BernoulliLoss(20, 0.01),
+            params={"k": 7},
+            replications=400,
+            rng=SEED,
+        )
+        assert result.compatible_with(expected)
+
+
+class TestFBTExactAgreement:
+    """Shared tree loss: the exact recursions of Section 4.1."""
+
+    def test_nofec_on_tree(self):
+        depth = 4
+        expected = fbt.expected_transmissions_nofec(depth, 0.01)
+        result = run_sharded(
+            "nofec",
+            FullBinaryTreeLoss(depth, 0.01),
+            replications=600,
+            rng=SEED,
+            chunk_size=100,
+        )
+        assert result.compatible_with(expected)
+
+    def test_integrated_on_tree(self):
+        depth = 4
+        expected = fbt.expected_transmissions_integrated(depth, 0.01, 7)
+        result = run_sharded(
+            "integrated_immediate",
+            FullBinaryTreeLoss(depth, 0.01),
+            params={"k": 7},
+            replications=400,
+            rng=SEED,
+        )
+        assert result.compatible_with(expected)
+
+
+class TestBurstAgreement:
+    """Burst loss has no closed form: sharded must agree with the serial
+    simulators (independent estimates, combined-stderr 4-sigma band)."""
+
+    def test_layered_sharded_vs_serial(self):
+        model = burst_model(10)
+        sharded = run_sharded(
+            "layered",
+            model,
+            params={"k": 7, "h": 1},
+            replications=300,
+            rng=SEED,
+        )
+        serial = simulate_layered(model, 7, 1, replications=300, rng=SEED + 1)
+        band = 4 * math.hypot(sharded.stderr, serial.stderr)
+        assert abs(sharded.mean - serial.mean) <= band
+
+    def test_integrated_rounds_sharded_vs_serial(self):
+        model = burst_model(10)
+        sharded = run_sharded(
+            "integrated_rounds",
+            model,
+            params={"k": 7},
+            replications=300,
+            rng=SEED,
+        )
+        serial = simulate_integrated_rounds(
+            model, 7, replications=300, rng=SEED + 1
+        )
+        band = 4 * math.hypot(sharded.stderr, serial.stderr)
+        assert abs(sharded.mean - serial.mean) <= band
+
+
+class TestAdaptiveStatistics:
+    def test_adaptive_stop_stays_unbiased(self):
+        # stopping early must not bias the estimate off the closed form
+        expected = nofec.expected_transmissions(0.01, 10)
+        result = run_sharded(
+            "nofec",
+            BernoulliLoss(10, 0.01),
+            replications=4096,
+            rng=SEED,
+            target_ci=0.02,
+        )
+        assert result.ci95_halfwidth <= 0.02 or result.replications == 4096
+        assert result.compatible_with(expected)
+
+    def test_figure_records_adaptive_spend(self):
+        # the figure CSV must carry replications-used for sharded points
+        result = fig15(
+            sizes=[1, 4],
+            replications=64,
+            rng=SEED,
+            target_ci=0.3,
+            chunk_size=16,
+        )
+        series = result.get("no FEC")
+        assert series.replications is not None
+        assert all(1 <= r <= 64 for r in series.replications)
+        csv = result.to_csv()
+        assert csv.splitlines()[0] == "figure,series,x,y,stderr,replications"
+
+    def test_figure_serial_path_keeps_legacy_csv(self):
+        result = fig15(sizes=[1, 4], replications=8, rng=SEED)
+        assert all(s.replications is None for s in result.series)
+        assert result.to_csv().splitlines()[0] == "figure,series,x,y,stderr"

@@ -39,8 +39,19 @@ class TestCommon:
         result = MCResult(mean=2.0, stderr=0.1, replications=100)
         assert result.compatible_with(2.3)
         assert not result.compatible_with(3.0)
-        exact = MCResult(mean=2.0, stderr=0.0, replications=1)
+
+    def test_mcresult_compatibility_degenerate_samples(self):
+        # a single replication carries no spread information: its stderr
+        # is NaN and any expectation is (vacuously) compatible
+        single = MCResult(mean=2.0, stderr=math.nan, replications=1)
+        assert math.isnan(single.ci95_halfwidth)
+        assert single.compatible_with(2.0)
+        assert single.compatible_with(999.0)
+        # measured-zero spread (n >= 2, all samples equal) demands the
+        # expectation up to float tolerance, not bitwise equality
+        exact = MCResult(mean=2.0, stderr=0.0, replications=50)
         assert exact.compatible_with(2.0)
+        assert exact.compatible_with(2.0 * (1 + 1e-12))
         assert not exact.compatible_with(2.1)
 
     def test_summarize(self):
@@ -52,7 +63,10 @@ class TestCommon:
             summarize([])
 
     def test_summarize_single_sample(self):
-        assert summarize([5.0]).stderr == 0.0
+        result = summarize([5.0])
+        assert result.mean == 5.0
+        assert math.isnan(result.stderr)
+        assert result.compatible_with(5.0) and result.compatible_with(-1.0)
 
     def test_resolve_rng(self):
         generator = np.random.default_rng(1)
