@@ -37,6 +37,12 @@ from repro.campaign.journal import (
 )
 from repro.campaign.report import CampaignReport, TaskOutcome
 from repro.campaign.retry import RetryPolicy
+from repro.campaign.status import (
+    CampaignStatus,
+    TaskStatus,
+    campaign_status,
+    render_status,
+)
 from repro.campaign.supervisor import CampaignRunner, run_campaign
 from repro.campaign.tasks import (
     SWEEP_GRIDS,
@@ -74,4 +80,8 @@ __all__ = [
     "replay_journal",
     "load_journal",
     "payload_digest",
+    "CampaignStatus",
+    "TaskStatus",
+    "campaign_status",
+    "render_status",
 ]

@@ -10,7 +10,8 @@ Garbage anywhere *before* the final line means the file is not one of our
 journals (or was edited), and raises :class:`JournalError` instead of
 guessing.
 
-Record schema (``v`` = :data:`JOURNAL_VERSION` on every record):
+Record schema (every record carries ``v`` = :data:`JOURNAL_VERSION` and
+``ts``, the wall-clock append time used only by read-only status views):
 
 ``campaign_start``
     ``campaign_id``, ``seed``, ``jobs``, ``timeout``, ``retry`` (policy
@@ -23,7 +24,10 @@ Record schema (``v`` = :data:`JOURNAL_VERSION` on every record):
 ``task_success``
     ``task``, ``attempt``, ``duration``, ``result`` (payload JSON, e.g. a
     serialized :class:`~repro.experiments.series.FigureResult`),
-    ``digest`` (sha256 of the canonical payload encoding).
+    ``digest`` (sha256 of the canonical payload encoding), and — when the
+    campaign captures telemetry — ``metrics``, the worker's
+    :class:`repro.obs.MetricsSnapshot` JSON, deliberately outside the
+    digested payload so result fingerprints stay metric-independent.
 ``task_failure``
     ``task``, ``attempt``, ``duration``, ``failure`` (``kind`` in
     ``{"error", "timeout", "crash"}``, serialized typed error with its
@@ -42,6 +46,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -135,7 +140,9 @@ class JournalWriter:
         os.fsync(self._file.fileno())
 
     def append(self, record: dict) -> None:
-        record = {"v": JOURNAL_VERSION, **record}
+        # "ts" (wall clock) is display metadata for read-only status views;
+        # replay and digests never read it, so it cannot affect resume
+        record = {"v": JOURNAL_VERSION, "ts": time.time(), **record}
         self._file.write(_encode(record))
         self._file.flush()
         os.fsync(self._file.fileno())

@@ -36,12 +36,14 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.campaign.journal import (
     JournalState,
     JournalWriter,
     load_journal,
     payload_digest,
 )
+from repro.obs.metrics import MetricsSnapshot
 from repro.campaign.report import CampaignReport, TaskOutcome
 from repro.campaign.retry import RetryPolicy
 from repro.campaign.tasks import CampaignTask
@@ -102,6 +104,7 @@ class CampaignRunner:
         seed: int = 0,
         campaign_id: str = "campaign",
         term_grace: float = 2.0,
+        capture_metrics: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -127,6 +130,11 @@ class CampaignRunner:
         self.seed = seed
         self.campaign_id = campaign_id
         self.term_grace = term_grace
+        self.capture_metrics = capture_metrics
+        #: exact merge of every successful worker's MetricsSnapshot
+        #: (empty unless ``capture_metrics``); nested shard workers roll
+        #: up through their figure worker, so one merge level suffices
+        self.worker_metrics = MetricsSnapshot()
         self._states = {
             task.task_id: _TaskState(task=task) for task in tasks
         }
@@ -147,6 +155,7 @@ class CampaignRunner:
         timeout: float | None = None,
         retry: RetryPolicy | None = None,
         term_grace: float = 2.0,
+        capture_metrics: bool | None = None,
     ) -> "CampaignRunner":
         """Rebuild a runner from its journal; completed work is kept.
 
@@ -173,6 +182,11 @@ class CampaignRunner:
             seed=int(meta.get("seed", 0)),
             campaign_id=meta.get("campaign_id", "campaign"),
             term_grace=term_grace,
+            capture_metrics=(
+                capture_metrics
+                if capture_metrics is not None
+                else bool(meta.get("capture_metrics", False))
+            ),
         )
         runner._preload(state)
         return runner
@@ -200,11 +214,28 @@ class CampaignRunner:
                 task_state.durations.append(float(record.get("duration", 0.0)))
                 task_state.resumed = True
                 self.results[task_id] = task_state.success_payload
+                # metrics journaled with the success survive a resume, so
+                # the rollup equals an uninterrupted run's (exact merge)
+                if record.get("metrics"):
+                    self._merge_worker_metrics(record["metrics"], task_id)
             elif ledger.quarantined:
                 task_state.quarantined = True
                 task_state.resumed = True
             # torn attempts (task_start without a terminal record) are
             # simply re-run: the attempt number restarts where it tore
+
+    def _merge_worker_metrics(self, metrics_json: dict, task_id: str) -> None:
+        """Fold one worker's shipped snapshot into the campaign rollup.
+
+        A malformed snapshot costs telemetry fidelity, never the
+        campaign — the result payload it rode beside is already safe."""
+        try:
+            self.worker_metrics = self.worker_metrics.merge(
+                MetricsSnapshot.from_json(metrics_json)
+            )
+        except (KeyError, TypeError, ValueError):
+            if obs.is_enabled():
+                obs.counter("campaign.metrics_rejected").inc()
 
     # ------------------------------------------------------------------
     # journal plumbing
@@ -239,6 +270,7 @@ class CampaignRunner:
                     "jobs": self.jobs,
                     "timeout": self.timeout,
                     "retry": self.retry.to_json(),
+                    "capture_metrics": self.capture_metrics,
                     "tasks": [task.to_json() for task in self.tasks],
                 }
             )
@@ -317,7 +349,7 @@ class CampaignRunner:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=worker_main,
-            args=(child_conn, state.task.to_json()),
+            args=(child_conn, state.task.to_json(), self.capture_metrics),
             name=f"campaign-{state.task.task_id}-a{attempt}",
         )
         proc.start()
@@ -405,6 +437,10 @@ class CampaignRunner:
             # a result that squeaked in just as the deadline hit still
             # counts: the work is done and journaled
             payload = message[1]
+            # telemetry (capture_metrics) arrives as a third element; it
+            # rides beside the payload in the journal record, outside the
+            # digest, so result digests stay metric-independent
+            metrics_json = message[2] if len(message) > 2 else None
             try:
                 digest = payload_digest(payload)
             except (TypeError, ValueError):
@@ -413,20 +449,24 @@ class CampaignRunner:
                 # cost this record its fidelity, never the campaign
                 payload = {"type": "repr", "data": repr(payload)}
                 digest = payload_digest(payload)
-            self._journal(
-                {
-                    "type": "task_success",
-                    "task": state.task.task_id,
-                    "attempt": run.attempt,
-                    "duration": duration,
-                    "result": payload,
-                    "digest": digest,
-                }
-            )
+            record = {
+                "type": "task_success",
+                "task": state.task.task_id,
+                "attempt": run.attempt,
+                "duration": duration,
+                "result": payload,
+                "digest": digest,
+            }
+            if metrics_json is not None:
+                record["metrics"] = metrics_json
+            self._journal(record)
             state.success_payload = payload
             state.success_digest = digest
             state.success_attempt = run.attempt
             self.results[state.task.task_id] = payload
+            if metrics_json is not None:
+                self._merge_worker_metrics(metrics_json, state.task.task_id)
+            self._observe_settle("ok", duration, run)
             return
 
         # ---- failure paths ------------------------------------------
@@ -490,6 +530,7 @@ class CampaignRunner:
                 "retry_delay": delay,
             }
         )
+        self._observe_settle(kind, duration, run, retried=will_retry)
         if will_retry:
             state.eligible_at = time.monotonic() + delay
             pending.append(state)
@@ -502,6 +543,27 @@ class CampaignRunner:
                 }
             )
             state.quarantined = True
+
+    def _observe_settle(
+        self,
+        status: str,
+        duration: float,
+        run: _Running,
+        retried: bool = False,
+    ) -> None:
+        """Supervisor-side instruments for one settled attempt (no-op
+        unless telemetry is enabled in this process)."""
+        if not obs.is_enabled():
+            return
+        obs.counter("campaign.attempts", status=status).inc()
+        obs.histogram("campaign.task_seconds", status=status).observe(duration)
+        if retried:
+            obs.counter("campaign.retries").inc()
+        if run.timed_out:
+            obs.counter(
+                "campaign.escalations",
+                signal="SIGKILL" if run.killed else "SIGTERM",
+            ).inc()
 
     def _retry_rng(self, state: _TaskState) -> np.random.Generator:
         """Jitter rng seeded by (campaign, task, attempt): replayable."""

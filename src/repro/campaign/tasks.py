@@ -228,7 +228,7 @@ def _resolve_target(path: str) -> Any:
 def execute_task(task: CampaignTask) -> Any:
     """Run one task to completion and return its raw result object."""
     if task.kind == "experiment":
-        from repro.experiments.registry import EXPERIMENTS
+        from repro.experiments.registry import EXPERIMENTS, run_experiment
 
         experiment = EXPERIMENTS[task.spec["experiment_id"]]
         kwargs = dict(task.spec.get("kwargs", {}))
@@ -237,7 +237,9 @@ def execute_task(task: CampaignTask) -> Any:
             and "rng" in inspect.signature(experiment.runner).parameters
         ):
             kwargs.setdefault("rng", task.seed)
-        return experiment.runner(**kwargs)
+        # through run_experiment, not the bare runner: a campaign worker
+        # then emits the same figure.<id> span a sequential run would
+        return run_experiment(task.spec["experiment_id"], **kwargs)
     fn = _resolve_target(task.spec["target"])
     kwargs = dict(task.spec.get("kwargs", {}))
     if (

@@ -27,6 +27,7 @@ from repro.resilience.report import ReceiverStall, StallReport
 
 __all__ = [
     "tiny_figure",
+    "transfer_cell",
     "slow_figure",
     "hang",
     "fail_typed",
@@ -49,6 +50,27 @@ def tiny_figure(label: str = "cell", seed: int = 0, points: int = 4) -> FigureRe
         y_label="y",
         series=[Series(label, xs, ys)],
     )
+
+
+def transfer_cell(seed: int = 0, payload_bytes: int = 4096) -> dict:
+    """One small seeded NP transfer; returns the report as a dict.
+
+    Used by the observability integration tests: each cell emits the
+    full set of ``transfer.*`` instruments from a fixed RNG stream, so
+    the supervisor's merged registry must be bit-identical no matter
+    how the cells are spread over workers.
+    """
+    from repro.protocols.harness import run_transfer
+    from repro.protocols.np_protocol import NPConfig
+    from repro.sim.loss import BernoulliLoss
+
+    payload = bytes((seed + i) % 251 for i in range(payload_bytes))
+    config = NPConfig(k=7, h=8, packet_size=256, packet_interval=0.01)
+    report = run_transfer(
+        "np", payload, BernoulliLoss(8, 0.05), config, rng=seed
+    )
+    assert report.verified
+    return report.to_json()
 
 
 def slow_figure(

@@ -6,6 +6,12 @@ supervisor is a single message on a one-shot pipe:
 
 * ``("ok", payload)`` — the task returned; ``payload`` is the
   journal-ready dict from :func:`repro.campaign.tasks.serialize_result`.
+* ``("ok", payload, metrics)`` — same, when the supervisor asked for
+  telemetry (``capture_metrics=True``): ``metrics`` is the worker's
+  merged :class:`repro.obs.MetricsSnapshot` as a JSON dict, covering
+  everything the attempt recorded (codec counters, transfer counters,
+  spans-as-histograms).  It rides beside the payload, never inside it,
+  so result digests stay metric-independent.
 * ``("error", exc)`` — the task raised; typed errors from
   :mod:`repro.resilience.errors` pickle with their ``StallReport``
   attached (their ``__reduce__`` guarantees it), so diagnostics cross the
@@ -27,17 +33,29 @@ from repro.campaign.tasks import CampaignTask, execute_task, serialize_result
 __all__ = ["worker_main"]
 
 
-def worker_main(conn: Any, task_json: dict) -> None:
+def worker_main(
+    conn: Any, task_json: dict, capture_metrics: bool = False
+) -> None:
     """Process entry point: execute the task, send one message, exit.
 
     ``task_json`` (not a live :class:`CampaignTask`) keeps the spawn
     pickle surface to plain data; the task is rebuilt here, inside the
-    worker, where its imports are resolved.
+    worker, where its imports are resolved.  With ``capture_metrics``,
+    telemetry is enabled for the whole attempt and the resulting snapshot
+    is appended to the success message (failures ship no metrics — a
+    failed attempt's partial counters would double-count on retry).
     """
+    if capture_metrics:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
     try:
         task = CampaignTask.from_json(task_json)
         result = execute_task(task)
-        message = ("ok", serialize_result(result))
+        message: tuple = ("ok", serialize_result(result))
+        if capture_metrics:
+            message = (*message, obs.snapshot().to_json())
     except BaseException as exc:  # noqa: BLE001 - the pipe IS the error path
         try:
             pickle.dumps(exc)

@@ -106,6 +106,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="replications per point (the cap, with --target-ci)",
     )
+    observability = parser.add_argument_group(
+        "observability (repro.obs; see DESIGN.md section 12)"
+    )
+    observability.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable telemetry and write the merged metric registry to "
+        "PATH on exit (.csv for CSV, anything else NDJSON); campaign and "
+        "sharded-MC workers ship their metrics home for the merge",
+    )
+    observability.add_argument(
+        "--status",
+        metavar="PATH",
+        help="print the current state of the campaign journal at PATH "
+        "(read-only, works while a runner is live) and exit",
+    )
     return parser
 
 
@@ -205,6 +221,7 @@ def _run_campaign(
         tasks_from_registry,
     )
 
+    capture = args.metrics_out is not None
     if args.resume:
         overrides = {}
         if args.jobs is not None:
@@ -213,6 +230,8 @@ def _run_campaign(
             overrides["timeout"] = args.timeout
         if args.retries is not None:
             overrides["retry"] = RetryPolicy(retries=args.retries)
+        if capture:
+            overrides["capture_metrics"] = True
         runner = CampaignRunner.resume(args.resume, **overrides)
     else:
         if "fig13" in targets:
@@ -232,8 +251,13 @@ def _run_campaign(
             journal_path=args.journal,
             seed=args.seed,
             campaign_id="experiments",
+            capture_metrics=capture,
         )
     report = runner.run()
+    if capture:
+        from repro import obs
+
+        obs.merge_snapshot(runner.worker_metrics)
     print(report.render_table())
     if csv_dir is not None:
         for task_id, payload in sorted(runner.results.items()):
@@ -257,6 +281,22 @@ def main(argv: list[str] | None = None) -> int:
             experiment = EXPERIMENTS[figure_id]
             print(f"{figure_id}  [{experiment.method:11s}]  {experiment.paper_caption}")
         return 0
+
+    if args.status:
+        from repro.campaign import JournalError, campaign_status, render_status
+
+        try:
+            print(render_status(campaign_status(args.status)))
+        except (OSError, JournalError) as exc:
+            print(f"error: cannot read journal {args.status}: {exc}",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    if args.metrics_out:
+        from repro import obs
+
+        obs.enable()
 
     if args.resume:
         if args.figures or args.all:
@@ -293,8 +333,16 @@ def main(argv: list[str] | None = None) -> int:
         csv_dir.mkdir(parents=True, exist_ok=True)
 
     if _campaign_mode(args):
-        return _run_campaign(args, targets, csv_dir)
-    return _run_sequential(targets, csv_dir, _mc_kwargs(args))
+        status = _run_campaign(args, targets, csv_dir)
+    else:
+        status = _run_sequential(targets, csv_dir, _mc_kwargs(args))
+
+    if args.metrics_out:
+        from repro import obs
+
+        written = obs.export_metrics(args.metrics_out)
+        print(f"wrote {written} instruments to {args.metrics_out}")
+    return status
 
 
 if __name__ == "__main__":

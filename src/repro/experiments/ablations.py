@@ -9,9 +9,10 @@ in EXPERIMENTS.md; the benchmark modules add the shape assertions.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
+
+from repro import obs
 
 from repro.analysis import integrated
 from repro.analysis._series import max_survival
@@ -124,13 +125,20 @@ def _encode_rate(field, k: int, h: int, packet_size: int = 1024,
     codec = RSECodec(k, h, field=field)
     data = [os.urandom(packet_size) for _ in range(k)]
     blocks = 0
-    start = time.perf_counter()
-    while True:
-        codec.encode(data)
-        blocks += 1
-        elapsed = time.perf_counter() - start
-        if elapsed >= min_duration:
-            return blocks * k / elapsed
+    # an obs span instead of bare perf_counter: the measured window lands
+    # in the exported registry (span.duration_seconds) when telemetry is
+    # on, and costs two timer reads when it is off
+    with obs.span("ablation.encode_rate", m=field.m, k=k, h=h) as timer:
+        while True:
+            codec.encode(data)
+            blocks += 1
+            elapsed = timer.elapsed
+            if elapsed >= min_duration:
+                break
+    rate = blocks * k / elapsed
+    if obs.is_enabled():
+        obs.gauge("ablation.encode_rate_pps", m=field.m, k=k, h=h).observe(rate)
+    return rate
 
 
 def abl_symbol_size(k: int = 7, h: int = 3) -> FigureResult:

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import math
 import os
-import time
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.series import FigureResult, Series
 from repro.fec.rse import RSECodec
 
@@ -36,16 +36,22 @@ __all__ = ["fig01", "measure_codec_rates"]
 _PATHS = ("batched", "scalar")
 
 
-def _timed(fn, min_duration: float) -> float:
-    """Calls per second of ``fn`` over at least ``min_duration`` seconds."""
+def _timed(fn, min_duration: float, label: str = "codec") -> float:
+    """Calls per second of ``fn`` over at least ``min_duration`` seconds.
+
+    The measurement window is an obs span, so with telemetry enabled the
+    time spent benchmarking shows up in the exported registry instead of
+    dying in a local; disabled, the span is a bare monotonic timer.
+    """
     calls = 0
-    start = time.perf_counter()
-    while True:
-        fn()
-        calls += 1
-        elapsed = time.perf_counter() - start
-        if elapsed >= min_duration:
-            return calls / elapsed
+    with obs.span(f"codec_rate.{label}") as timer:
+        while True:
+            fn()
+            calls += 1
+            elapsed = timer.elapsed
+            if elapsed >= min_duration:
+                break
+    return calls / elapsed
 
 
 def measure_codec_rates(
@@ -82,16 +88,20 @@ def measure_codec_rates(
             "decode produced wrong packets during measurement"
         )
         encode_rate = k * _timed(
-            lambda: codec.encode_symbols_scalar(symbols), min_duration
+            lambda: codec.encode_symbols_scalar(symbols),
+            min_duration,
+            label="encode_scalar",
         )
         decode_rate = (
             lost * _timed(
                 lambda: codec.decode_symbols_scalar(dict(received)),
                 min_duration,
+                label="decode_scalar",
             )
             if lost
             else math.inf
         )
+        _observe_rates(path, k, h, encode_rate, decode_rate)
         return encode_rate, decode_rate
 
     data = [os.urandom(packet_size) for _ in range(k)]
@@ -102,13 +112,31 @@ def measure_codec_rates(
     assert codec.decode(received) == data, (
         "decode produced wrong packets during measurement"
     )
-    encode_rate = k * _timed(lambda: codec.encode(data), min_duration)
+    encode_rate = k * _timed(
+        lambda: codec.encode(data), min_duration, label="encode"
+    )
     decode_rate = (
-        lost * _timed(lambda: codec.decode(received), min_duration)
+        lost * _timed(
+            lambda: codec.decode(received), min_duration, label="decode"
+        )
         if lost
         else math.inf
     )
+    _observe_rates(path, k, h, encode_rate, decode_rate)
     return encode_rate, decode_rate
+
+
+def _observe_rates(
+    path: str, k: int, h: int, encode_rate: float, decode_rate: float
+) -> None:
+    """Measured rates as max-gauges in the registry (telemetry on only)."""
+    if not obs.is_enabled():
+        return
+    obs.gauge("codec.encode_rate_pps", path=path, k=k, h=h).observe(encode_rate)
+    if math.isfinite(decode_rate):
+        obs.gauge(
+            "codec.decode_rate_pps", path=path, k=k, h=h
+        ).observe(decode_rate)
 
 
 def fig01(

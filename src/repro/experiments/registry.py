@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.experiments import ablations, figures_analysis, figures_codec, figures_mc
 from repro.experiments.series import FigureResult
 
@@ -202,11 +203,18 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(figure_id: str, **kwargs) -> FigureResult:
-    """Run one experiment by id, forwarding runner-specific kwargs."""
+    """Run one experiment by id, forwarding runner-specific kwargs.
+
+    Each run is wrapped in an obs span (``figure.<id>``), so with
+    telemetry enabled figure wall-times land in the exported registry —
+    including runs inside campaign workers, whose snapshots merge into
+    the supervisor's rollup.
+    """
     try:
         experiment = EXPERIMENTS[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {figure_id!r}; known: {experiment_ids()}"
         ) from None
-    return experiment.runner(**kwargs)
+    with obs.span(f"figure.{figure_id}", method=experiment.method):
+        return experiment.runner(**kwargs)

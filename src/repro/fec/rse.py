@@ -38,6 +38,7 @@ from threading import Lock
 
 import numpy as np
 
+from repro import obs
 from repro.galois.field import GF256, GaloisField
 from repro.galois.matrix import invert, systematic_generator
 
@@ -219,6 +220,15 @@ class RSECodec:
         self._parity_ops = int(np.count_nonzero(self.generator[self.k:]))
         self.stats = CodecStats()
 
+    def _observe_encode(self, n_blocks: int) -> None:
+        """Registry-side mirror of one encode call (telemetry enabled)."""
+        labels = {"k": self.k, "h": self.h}
+        obs.counter("rse.blocks_encoded", **labels).inc(n_blocks)
+        obs.counter("rse.parities_produced", **labels).inc(n_blocks * self.h)
+        obs.counter("rse.symbols_multiplied", **labels).inc(
+            n_blocks * self._parity_ops
+        )
+
     # ------------------------------------------------------------------
     # packet <-> symbol conversion
     # ------------------------------------------------------------------
@@ -310,10 +320,13 @@ class RSECodec:
         ``h * k`` Python-level loop of :meth:`encode_symbols_scalar`.
         """
         data = self._check_symbols(data, rows_axis=0)
-        parities = self.field.matmul(self.generator[self.k:], data)
+        with obs.span("rse.encode", k=self.k, h=self.h):
+            parities = self.field.matmul(self.generator[self.k:], data)
         self.stats.packets_encoded += self.k
         self.stats.parities_produced += self.h
         self.stats.symbols_multiplied += self._parity_ops
+        if obs.is_enabled():
+            self._observe_encode(1)
         return parities
 
     def encode_blocks(self, data: np.ndarray) -> np.ndarray:
@@ -328,11 +341,14 @@ class RSECodec:
                 f"expected a (B, k, S) symbol batch, got shape {data.shape}"
             )
         data = self._check_symbols(data, rows_axis=1)
-        parities = self.field.matmul(self.generator[self.k:], data)
+        with obs.span("rse.encode", k=self.k, h=self.h, blocks=data.shape[0]):
+            parities = self.field.matmul(self.generator[self.k:], data)
         n_blocks = data.shape[0]
         self.stats.packets_encoded += n_blocks * self.k
         self.stats.parities_produced += n_blocks * self.h
         self.stats.symbols_multiplied += n_blocks * self._parity_ops
+        if obs.is_enabled():
+            self._observe_encode(n_blocks)
         return parities
 
     def encode_many(self, groups: list[list[bytes]]) -> list[list[bytes]]:
@@ -427,8 +443,12 @@ class RSECodec:
         inverse = self.inverse_cache.get(key)
         if inverse is not None:
             self.stats.decode_cache_hits += 1
+            if obs.is_enabled():
+                obs.counter("rse.decode_cache", outcome="hit").inc()
             return inverse
         self.stats.decode_cache_misses += 1
+        if obs.is_enabled():
+            obs.counter("rse.decode_cache", outcome="miss").inc()
         return self.inverse_cache.put(key, invert(self.field, self.generator[use]))
 
     def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
@@ -444,16 +464,24 @@ class RSECodec:
         have_data, missing, use = self._decode_plan(rows)
         out: dict[int, np.ndarray] = {i: rows[i] for i in have_data}
         if not missing:
+            # the no-loss fast path stays untimed: nothing happens here
             return out
 
-        inverse = self._inverted_submatrix(use)
-        stacked = np.vstack([rows[i] for i in use])  # (k, S)
-        coefficients = inverse[missing]  # (M, k)
-        reconstructed = self.field.matmul(coefficients, stacked)
+        with obs.span(
+            "rse.decode", k=self.k, h=self.h, missing=len(missing)
+        ):
+            inverse = self._inverted_submatrix(use)
+            stacked = np.vstack([rows[i] for i in use])  # (k, S)
+            coefficients = inverse[missing]  # (M, k)
+            reconstructed = self.field.matmul(coefficients, stacked)
         for row, data_index in zip(reconstructed, missing):
             out[data_index] = row
         self.stats.symbols_multiplied += int(np.count_nonzero(coefficients))
         self.stats.packets_decoded += len(missing)
+        if obs.is_enabled():
+            obs.counter(
+                "rse.packets_reconstructed", k=self.k, h=self.h
+            ).inc(len(missing))
         return out
 
     def decode_symbols_scalar(

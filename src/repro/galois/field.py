@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.galois.tables import (
     PRIMITIVE_POLYNOMIALS,
     FieldTableError,
@@ -255,9 +256,16 @@ class GaloisField:
         # and the rows are long enough for word-wide XORs to matter.
         row_bytes = c * self.dtype.itemsize
         if r >= 4 and row_bytes >= 256 and r * s * n_batch >= 48:
+            kernel = "sliced"
             out = self._matmul_sliced(a, b3)
         else:
+            kernel = "gather"
             out = self._matmul_gather(a, b3)
+        if obs.is_enabled():
+            obs.counter("galois.matmul_calls", m=self.m, kernel=kernel).inc()
+            obs.counter("galois.product_terms", m=self.m).inc(
+                r * s * c * n_batch
+            )
         if batched:
             return out
         return out[0, :, 0] if vector else out[0]

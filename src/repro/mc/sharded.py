@@ -44,6 +44,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.mc import integrated, layered, nofec
 from repro.mc._common import MCResult, PAPER_TIMING, Timing
 from repro.mc.streaming import StreamingMoments
@@ -186,15 +187,36 @@ def shard_cell(
     """
     spec = SIMULATORS[simulator]
     loss_model = loss_model_from_spec(model)
-    samples = spec.kernel(
-        loss_model,
-        Timing(**timing),
-        _chunk_rngs(entropy, spawn_key, start, count),
-        **spec.validate_params(params),
-    )
+    with obs.span("mc.shard", simulator=simulator, start=start, count=count) as timer:
+        samples = spec.kernel(
+            loss_model,
+            Timing(**timing),
+            _chunk_rngs(entropy, spawn_key, start, count),
+            **spec.validate_params(params),
+        )
+    _observe_chunk(simulator, count, timer.elapsed)
     moments = StreamingMoments()
     moments.update_many(samples)
     return moments.to_json()
+
+
+def _observe_chunk(simulator: str, count: int, elapsed: float) -> None:
+    """Per-chunk telemetry: replication counter + throughput peak.
+
+    ``mc.replications`` counts replications *computed* (inline and worker
+    paths alike), so fixed-count runs report identical totals for any
+    ``jobs``; with adaptive stopping, ``jobs > 1`` legitimately computes
+    discarded overshoot chunks beyond the stop point, which this counter
+    makes visible.
+    """
+    if not obs.is_enabled():
+        return
+    obs.counter("mc.replications", simulator=simulator).inc(count)
+    obs.counter("mc.chunks", simulator=simulator).inc()
+    if elapsed > 0:
+        obs.gauge(
+            "mc.shard_replications_per_second", simulator=simulator
+        ).observe(count / elapsed)
 
 
 # ----------------------------------------------------------------------
@@ -323,12 +345,16 @@ def _run_inline(
     """Single-process path: same chunks, same seeds, no campaign."""
     moments = StreamingMoments()
     for start, count in chunks:
-        samples = spec.kernel(
-            loss_model,
-            timing,
-            _chunk_rngs(root.entropy, root.spawn_key, start, count),
-            **params,
-        )
+        with obs.span(
+            "mc.shard", simulator=spec.name, start=start, count=count
+        ) as timer:
+            samples = spec.kernel(
+                loss_model,
+                timing,
+                _chunk_rngs(root.entropy, root.spawn_key, start, count),
+                **params,
+            )
+        _observe_chunk(spec.name, count, timer.elapsed)
         moments.update_many(samples)
         if _ci_reached(moments, target_ci):
             break
@@ -398,8 +424,14 @@ def _run_fanout(
             timeout=timeout,
             retry=RetryPolicy(retries=retries),
             campaign_id=f"mc-{spec.name}",
+            # shard workers inherit this process's telemetry switch; their
+            # snapshots merge here, so the rollup looks exactly like an
+            # inline run's (modulo wall-clock histograms)
+            capture_metrics=obs.is_enabled(),
         )
         report = runner.run()
+        if obs.is_enabled() and runner.worker_metrics:
+            obs.merge_snapshot(runner.worker_metrics)
         if report.status != "ok":
             details = "; ".join(
                 f"{outcome.task_id}: {outcome.error_type}: {outcome.error_message}"

@@ -1,0 +1,66 @@
+"""`repro.obs` — unified metrics, spans, and cross-process telemetry.
+
+Zero-dependency observability for the whole stack: exactly-mergeable
+metric instruments (:mod:`repro.obs.metrics`), nested monotonic span
+tracing (:mod:`repro.obs.spans`), and a per-process runtime switch
+(:mod:`repro.obs.runtime`).  Off by default; ``obs.enable()`` or the
+experiments CLI's ``--metrics-out PATH`` turns it on.  See DESIGN.md
+section 12 for the merge contract and the overhead budget.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshot,
+    labels_key,
+)
+from repro.obs.runtime import (
+    capture,
+    counter,
+    disable,
+    enable,
+    export_metrics,
+    export_spans,
+    gauge,
+    histogram,
+    is_enabled,
+    merge_snapshot,
+    recorder,
+    registry,
+    reset,
+    snapshot,
+    span,
+)
+from repro.obs.spans import Span, SpanRecord, SpanRecorder, TimerSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_DURATION_BOUNDS",
+    "labels_key",
+    "Span",
+    "SpanRecord",
+    "SpanRecorder",
+    "TimerSpan",
+    "capture",
+    "counter",
+    "disable",
+    "enable",
+    "export_metrics",
+    "export_spans",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "merge_snapshot",
+    "recorder",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,181 @@
+"""Process-global observability runtime: one switch, one registry.
+
+Instrumented code throughout the repo asks two cheap questions::
+
+    from repro import obs
+
+    if obs.is_enabled():                       # one global read
+        obs.counter("galois.matmul_calls", m=field.m).inc()
+
+    with obs.span("rse.decode", k=k, h=h):     # timer either way
+        ...
+
+Everything is **off by default**: ``is_enabled()`` is a module-level
+boolean read, ``span()`` returns a bare :class:`~repro.obs.spans.TimerSpan`
+when disabled, and no instrument objects exist until something records.
+``enable()`` flips the switch; workers spawned with telemetry capture
+call it on startup, snapshot at exit, and ship the snapshot home where
+the supervisor merges it (`repro.obs.metrics` guarantees the merge is
+partition-invariant).  Nothing here reads or seeds any RNG, so enabling
+observability can never perturb seeded experiment streams.
+
+The state is deliberately per-process and unlocked: simulation code is
+single-threaded, and cross-process aggregation happens via snapshots,
+not shared memory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+from typing import Any, Iterator
+
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.spans import Span, SpanRecorder, TimerSpan
+
+__all__ = [
+    "is_enabled",
+    "enable",
+    "disable",
+    "reset",
+    "registry",
+    "recorder",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "snapshot",
+    "merge_snapshot",
+    "capture",
+    "export_metrics",
+    "export_spans",
+]
+
+_enabled = False
+_registry = MetricRegistry()
+_recorder = SpanRecorder()
+
+
+def is_enabled() -> bool:
+    """Whether telemetry is recording in this process."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop recording; accumulated state stays readable until reset()."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all accumulated metrics and spans (state, not the switch)."""
+    _registry.clear()
+    _recorder.clear()
+
+
+def registry() -> MetricRegistry:
+    return _registry
+
+
+def recorder() -> SpanRecorder:
+    return _recorder
+
+
+# ----------------------------------------------------------------------
+# instrument accessors (call only behind is_enabled() on hot paths)
+# ----------------------------------------------------------------------
+def counter(name: str, **labels: Any) -> Counter:
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, mode: str = "max", **labels: Any) -> Gauge:
+    return _registry.gauge(name, mode=mode, **labels)
+
+
+def histogram(
+    name: str,
+    bounds: tuple[float, ...] = DEFAULT_DURATION_BOUNDS,
+    **labels: Any,
+) -> Histogram:
+    return _registry.histogram(name, bounds=bounds, **labels)
+
+
+def _span_finished(record) -> None:
+    # durations join the mergeable registry, labeled by span name only —
+    # span attrs are unbounded-cardinality and stay on the trace records
+    _registry.histogram("span.duration_seconds", span=record.name).observe(
+        record.duration
+    )
+
+
+def span(name: str, **attrs: Any) -> Span | TimerSpan:
+    """A timing context: recording when enabled, a bare timer otherwise."""
+    if not _enabled:
+        return TimerSpan()
+    return Span(name, _recorder, attrs, on_finish=_span_finished)
+
+
+# ----------------------------------------------------------------------
+# aggregation + export
+# ----------------------------------------------------------------------
+def snapshot() -> MetricsSnapshot:
+    """Frozen copy of this process's registry (mergeable, JSON-safe)."""
+    return _registry.snapshot()
+
+
+def merge_snapshot(incoming: MetricsSnapshot) -> None:
+    """Fold a worker's shipped snapshot into this process's registry."""
+    _registry.merge_snapshot(incoming)
+
+
+@contextlib.contextmanager
+def capture(enabled: bool = True) -> Iterator[MetricRegistry]:
+    """Scoped telemetry for tests: fresh state in, prior state restored.
+
+    ``with obs.capture() as reg: ...`` enables recording into a clean
+    registry/recorder pair and yields the registry; on exit the previous
+    runtime state (switch, registry, recorder) is restored exactly.
+    """
+    global _enabled, _registry, _recorder
+    saved = (_enabled, _registry, _recorder)
+    _enabled = enabled
+    _registry = MetricRegistry()
+    _recorder = SpanRecorder()
+    try:
+        yield _registry
+    finally:
+        _enabled, _registry, _recorder = saved
+
+
+def export_metrics(
+    path: str | pathlib.Path, snap: MetricsSnapshot | None = None
+) -> int:
+    """Dump a snapshot (default: this process's) to ``path``.
+
+    Format follows the suffix: ``.csv`` writes flat CSV, anything else
+    writes NDJSON ``{"record": "metric", ...}`` lines.  Returns the
+    number of instruments written.
+    """
+    if snap is None:
+        snap = snapshot()
+    path = pathlib.Path(path)
+    if path.suffix.lower() == ".csv":
+        return snap.to_csv(path)
+    return snap.to_ndjson(path)
+
+
+def export_spans(path: str | pathlib.Path, mode: str = "w") -> int:
+    """Dump this process's finished spans as NDJSON; returns line count."""
+    return _recorder.to_ndjson(path, mode=mode)

@@ -1,0 +1,248 @@
+"""Lightweight span tracing: nested monotonic timers with NDJSON export.
+
+A span measures one named stretch of work (``with obs.span("rse.decode",
+k=k, h=h):``).  Spans nest — the recorder tracks a per-process stack and
+stamps each finished span with its depth and its parent's name — and use
+``time.perf_counter()`` exclusively, so enabling tracing never touches
+wall-clock-dependent code paths or any RNG.
+
+Finished spans land in a bounded in-memory ring (:class:`SpanRecorder`)
+and, when the runtime is enabled, also feed a ``span.duration_seconds``
+histogram labeled by span name so durations participate in the mergeable
+metrics contract (`repro.obs.metrics`).  The NDJSON export uses the same
+``{"record": "span", ...}`` line discriminator as metric and simulator-
+trace exports, so all three interleave in a single file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["SpanRecord", "SpanRecorder", "Span", "TimerSpan"]
+
+#: Default bound on retained spans; beyond it, new spans are counted in
+#: ``SpanRecorder.dropped`` rather than stored (protocol runs can finish
+#: millions of decode spans).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, monotonic start/end, nesting, attributes."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    parent: str | None
+    attrs: dict = field(default_factory=dict)
+    index: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": {str(k): _attr_safe(v) for k, v in self.attrs.items()},
+            "index": self.index,
+        }
+
+
+def _attr_safe(value: Any) -> Any:
+    """Span attributes as JSON scalars (repr fallback for anything odd)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class SpanRecorder:
+    """Bounded store of finished spans plus the live nesting stack."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self._stack: list[str] = []
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records)
+
+    @property
+    def depth(self) -> int:
+        """Current live nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> str | None:
+        """Name of the innermost live span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+        self._stack.clear()
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, name: str) -> tuple[int, str | None]:
+        """Enter a span; returns (depth, parent name)."""
+        depth = len(self._stack)
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(name)
+        return depth, parent
+
+    def _pop(self, record: SpanRecord) -> None:
+        """Exit a span, storing its record (or counting it as dropped)."""
+        if self._stack:
+            self._stack.pop()
+        if len(self.records) < self.capacity:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+        self._next_index += 1
+
+    # ------------------------------------------------------------------
+    def query(self, name: str | None = None) -> list[SpanRecord]:
+        if name is None:
+            return list(self.records)
+        return [r for r in self.records if r.name == name]
+
+    def total_duration(self, name: str) -> float:
+        return sum(r.duration for r in self.records if r.name == name)
+
+    def to_ndjson(self, path: str | pathlib.Path, mode: str = "w") -> int:
+        """Write one ``{"record": "span", ...}`` object per line."""
+        path = pathlib.Path(path)
+        count = 0
+        with open(path, mode) as fh:
+            for record in self.records:
+                fh.write(
+                    json.dumps({"record": "span", **record.to_json()}, sort_keys=True)
+                )
+                fh.write("\n")
+                count += 1
+        return count
+
+    def summary(self) -> dict:
+        by_name: dict[str, dict] = {}
+        for record in self.records:
+            slot = by_name.setdefault(
+                record.name, {"count": 0, "total_seconds": 0.0}
+            )
+            slot["count"] += 1
+            slot["total_seconds"] += record.duration
+        return {
+            "spans": len(self.records),
+            "dropped": self.dropped,
+            "by_name": by_name,
+        }
+
+
+class Span:
+    """Recording context manager: times the block, records on exit.
+
+    ``on_finish`` is the runtime's hook for feeding the duration
+    histogram; exceptions inside the block are noted on the record
+    (``attrs["error"]``) and re-raised.
+    """
+
+    __slots__ = ("name", "attrs", "_recorder", "_on_finish", "_start",
+                 "_end", "_depth", "_parent")
+
+    def __init__(
+        self,
+        name: str,
+        recorder: SpanRecorder,
+        attrs: dict,
+        on_finish: Callable[[SpanRecord], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._recorder = recorder
+        self._on_finish = on_finish
+        self._start: float | None = None
+        self._end: float | None = None
+        self._depth = 0
+        self._parent: str | None = None
+
+    def __enter__(self) -> "Span":
+        self._depth, self._parent = self._recorder._push(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs = {**self.attrs, "error": exc_type.__name__}
+        record = SpanRecord(
+            name=self.name,
+            start=self._start,
+            end=self._end,
+            depth=self._depth,
+            parent=self._parent,
+            attrs=self.attrs,
+            index=self._recorder._next_index,
+        )
+        self._recorder._pop(record)
+        if self._on_finish is not None:
+            self._on_finish(record)
+        return None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since entry (live) or the final duration (finished)."""
+        if self._start is None:
+            return 0.0
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+    duration = elapsed
+
+
+class TimerSpan:
+    """The disabled-path stand-in: a bare timer, nothing recorded.
+
+    Code that reads ``span.elapsed`` (rate-measurement loops in the
+    codec figures) keeps working with observability off, at the cost of
+    two ``perf_counter()`` calls and one attribute store.
+    """
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._end: float | None = None
+
+    def __enter__(self) -> "TimerSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end = time.perf_counter()
+        return None
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+    duration = elapsed

@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.fec.rse import InverseCache, RSECodec
 from repro.mc._common import resolve_rng
+from repro.obs.metrics import MetricRegistry
 from repro.protocols.adaptive import AdaptiveNPSender
 from repro.protocols.fec1 import Fec1Receiver, Fec1Sender
 from repro.protocols.layered import LayeredReceiver, LayeredSender
@@ -313,23 +315,29 @@ def run_transfer(
             network.stats.injected, seed, fault_plan,
         )
 
-    sender.start()
     queue_drained = False
-    try:
-        while pending and sim.now < max_sim_time:
-            if not sim.step():
-                queue_drained = True
-                break
-    except SimulationError as exc:
-        raise TransferStalled(
-            f"{protocol}: {len(pending)} receivers incomplete — {exc}",
-            diagnose(),
-        ) from exc
-    except RoundLimitExceeded as exc:
-        raise TransferStalled(
-            f"{protocol}: {len(pending)} receivers incomplete — {exc}",
-            diagnose(),
-        ) from exc
+    with obs.span(
+        "transfer",
+        protocol=protocol,
+        receivers=loss_model.n_receivers,
+        groups=sender.n_groups,
+    ):
+        sender.start()
+        try:
+            while pending and sim.now < max_sim_time:
+                if not sim.step():
+                    queue_drained = True
+                    break
+        except SimulationError as exc:
+            raise TransferStalled(
+                f"{protocol}: {len(pending)} receivers incomplete — {exc}",
+                diagnose(),
+            ) from exc
+        except RoundLimitExceeded as exc:
+            raise TransferStalled(
+                f"{protocol}: {len(pending)} receivers incomplete — {exc}",
+                diagnose(),
+            ) from exc
 
     ejected: tuple[int, ...] = ()
     abandoned = frozenset(getattr(sender, "abandoned_groups", ()))
@@ -367,11 +375,6 @@ def run_transfer(
             f"{protocol}: reassembled payload mismatch", diagnose()
         )
 
-    total_payload_tx = (
-        sender.stats.data_sent
-        + sender.stats.parity_sent
-        + sender.stats.retransmissions_sent
-    )
     completion = max(
         (
             receiver.stats.completion_time
@@ -398,52 +401,121 @@ def run_transfer(
         abandoned_groups=tuple(sorted(abandoned)),
         ejected_receivers=ejected,
     )
-    return TransferReport(
-        protocol=protocol,
-        n_receivers=loss_model.n_receivers,
-        n_groups=sender.n_groups,
-        total_data_packets=sender.total_data_packets,
-        payload_bytes=len(data),
-        verified=verified,
-        completion_time=completion,
-        transmissions_per_packet=total_payload_tx / sender.total_data_packets,
-        data_sent=sender.stats.data_sent,
-        parity_sent=sender.stats.parity_sent,
-        retransmissions_sent=sender.stats.retransmissions_sent,
-        polls_sent=sender.stats.polls_sent,
-        naks_received=sender.stats.naks_received,
-        naks_sent_total=sum(
+    # ------------------------------------------------------------------
+    # Registry-backed measurement (repro.obs): every count on the report
+    # is recorded into a per-transfer MetricRegistry and read back out,
+    # so the report and a ``--metrics-out`` rollup share one source of
+    # truth — a campaign's merged ``transfer.*`` counters sum exactly the
+    # values reported here.  The local registry always exists (a couple
+    # dozen cheap instruments per transfer); it merges into the process-
+    # global registry only when telemetry is enabled.
+    registry = MetricRegistry()
+
+    def count(name: str, value: int, **labels) -> int:
+        instrument = registry.counter(name, protocol=protocol, **labels)
+        instrument.inc(int(value))
+        return instrument.value
+
+    def peak(name: str, value: float) -> float:
+        instrument = registry.gauge(name, protocol=protocol)
+        instrument.observe(float(value))
+        return instrument.value
+
+    count("transfer.runs", 1)
+    count("transfer.payload_bytes", len(data))
+    data_packets = count("transfer.data_packets", sender.total_data_packets)
+    data_sent = count("transfer.data_sent", sender.stats.data_sent)
+    parity_sent = count("transfer.parity_sent", sender.stats.parity_sent)
+    retransmissions_sent = count(
+        "transfer.retransmissions_sent", sender.stats.retransmissions_sent
+    )
+    polls_sent = count("transfer.polls_sent", sender.stats.polls_sent)
+    naks_received = count("transfer.naks_received", sender.stats.naks_received)
+    count("transfer.rounds_served", getattr(sender.stats, "rounds_served", 0))
+    naks_sent = count(
+        "transfer.naks_sent",
+        sum(
             r.slotter.stats.naks_sent
             for r in receivers
             if hasattr(r, "slotter")  # fec1 is feedback-free
         ),
-        naks_suppressed_total=sum(
+    )
+    naks_suppressed = count(
+        "transfer.naks_suppressed",
+        sum(
             r.slotter.stats.naks_suppressed
             for r in receivers
             if hasattr(r, "slotter")
         ),
-        duplicates_total=sum(r.stats.duplicates for r in receivers),
-        packets_reconstructed_total=sum(
-            r.stats.packets_reconstructed for r in receivers
-        ),
-        events_dispatched=sim.events_dispatched,
-        by_kind=dict(network.stats.by_kind),
-        peak_buffered_groups=max(
+    )
+    duplicates = count(
+        "transfer.duplicates", sum(r.stats.duplicates for r in receivers)
+    )
+    reconstructed = count(
+        "transfer.packets_reconstructed",
+        sum(r.stats.packets_reconstructed for r in receivers),
+    )
+    events = count("transfer.events_dispatched", sim.events_dispatched)
+    count("transfer.watchdog_retries", resilience.watchdog_retries)
+    for kind, kind_count in sorted(network.stats.by_kind.items()):
+        count("transfer.wire_packets", kind_count, kind=kind)
+    symbols_multiplied = count(
+        "transfer.codec_symbols_multiplied",
+        codec.stats.symbols_multiplied if codec is not None else 0,
+    )
+    cache_hits = count(
+        "transfer.decode_cache_hits",
+        codec.stats.decode_cache_hits if codec is not None else 0,
+    )
+    cache_misses = count(
+        "transfer.decode_cache_misses",
+        codec.stats.decode_cache_misses if codec is not None else 0,
+    )
+    buffered_groups = peak(
+        "transfer.peak_buffered_groups",
+        max(
             (getattr(r.stats, "peak_buffered_groups", 0) for r in receivers),
             default=0,
         ),
-        peak_buffered_packets=max(
+    )
+    buffered_packets = peak(
+        "transfer.peak_buffered_packets",
+        max(
             (getattr(r.stats, "peak_buffered_packets", 0) for r in receivers),
             default=0,
         ),
-        codec_symbols_multiplied=(
-            codec.stats.symbols_multiplied if codec is not None else 0
+    )
+    peak("transfer.completion_time", completion)
+    peak("transfer.watchdog_backoff_peak", resilience.watchdog_backoff_peak)
+    if obs.is_enabled():
+        obs.merge_snapshot(registry.snapshot())
+
+    return TransferReport(
+        protocol=protocol,
+        n_receivers=loss_model.n_receivers,
+        n_groups=sender.n_groups,
+        total_data_packets=data_packets,
+        payload_bytes=len(data),
+        verified=verified,
+        completion_time=completion,
+        transmissions_per_packet=(
+            (data_sent + parity_sent + retransmissions_sent) / data_packets
         ),
-        decode_cache_hits=(
-            codec.stats.decode_cache_hits if codec is not None else 0
-        ),
-        decode_cache_misses=(
-            codec.stats.decode_cache_misses if codec is not None else 0
-        ),
+        data_sent=data_sent,
+        parity_sent=parity_sent,
+        retransmissions_sent=retransmissions_sent,
+        polls_sent=polls_sent,
+        naks_received=naks_received,
+        naks_sent_total=naks_sent,
+        naks_suppressed_total=naks_suppressed,
+        duplicates_total=duplicates,
+        packets_reconstructed_total=reconstructed,
+        events_dispatched=events,
+        by_kind=dict(network.stats.by_kind),
+        peak_buffered_groups=int(buffered_groups),
+        peak_buffered_packets=int(buffered_packets),
+        codec_symbols_multiplied=symbols_multiplied,
+        decode_cache_hits=cache_hits,
+        decode_cache_misses=cache_misses,
         resilience=resilience,
     )

@@ -15,6 +15,10 @@ and handy when digging into a protocol pathology::
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import pathlib
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -22,6 +26,31 @@ from repro.sim.engine import Simulator
 from repro.sim.network import MulticastNetwork
 
 __all__ = ["TraceEvent", "TraceRecorder"]
+
+
+def _json_safe(value: Any) -> Any:
+    """A JSON-dumpable stand-in for any packet field.
+
+    Payload bytes are summarised (length + CRC-32), not embedded — a
+    trace should identify packets, not double the transfer in base64.
+    Dataclass packets become dicts tagged with their type name; anything
+    else unrecognised degrades to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return {"bytes": len(raw), "crc32": zlib.crc32(raw)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"packet_type": type(value).__name__}
+        for field in dataclasses.fields(value):
+            out[field.name] = _json_safe(getattr(value, field.name))
+        return out
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -36,6 +65,17 @@ class TraceEvent:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.time:10.4f}s] {self.channel:10s} {self.kind:8s} {self.packet}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form; raw packet objects are summarised via
+        :func:`_json_safe` (payload bytes become length + CRC-32)."""
+        return {
+            "time": self.time,
+            "channel": self.channel,
+            "kind": self.kind,
+            "sequence": self.sequence,
+            "packet": _json_safe(self.packet),
+        }
 
 
 class TraceRecorder:
@@ -130,6 +170,27 @@ class TraceRecorder:
             for event in self.query(channel="downstream", kind=kind)
         ]
         return [b - a for a, b in zip(times, times[1:])]
+
+    def to_ndjson(self, path: str | pathlib.Path, mode: str = "w") -> int:
+        """Write one ``{"record": "trace", ...}`` object per line.
+
+        The ``record`` discriminator matches the obs span/metric exports
+        (:mod:`repro.obs`), so a simulator trace and a span trace can
+        share one file (pass ``mode="a"`` to append).  Returns the number
+        of lines written.
+        """
+        path = pathlib.Path(path)
+        count = 0
+        with open(path, mode) as fh:
+            for event in self.events:
+                fh.write(
+                    json.dumps(
+                        {"record": "trace", **event.to_json()}, sort_keys=True
+                    )
+                )
+                fh.write("\n")
+                count += 1
+        return count
 
     def summary(self) -> str:
         parts = [f"{len(self.events)} events"]

@@ -1,0 +1,106 @@
+"""Property-based tests of the obs merge contract.
+
+The promise under test (the same one ``StreamingMoments`` makes for the
+Monte-Carlo layer): snapshot merging is exactly commutative, and *any*
+partition of the same observations across processes merges to
+bit-identical state.  Hypothesis drives the sample multisets and the
+partitions; equality below is snapshot equality — every integer count,
+every fixed-point sum digit.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricRegistry, MetricsSnapshot
+
+# label sets small enough to collide across partitions (that is the point)
+label_sets = st.sampled_from(
+    [{}, {"protocol": "np"}, {"protocol": "n2"}, {"kind": "data", "m": 8}]
+)
+counter_events = st.tuples(
+    st.sampled_from(["packets", "naks", "rounds"]),
+    label_sets,
+    st.integers(min_value=0, max_value=1 << 40),
+)
+# finite floats including awkward ones (subnormals, huge magnitudes)
+samples = st.floats(
+    allow_nan=False, allow_infinity=False, width=64,
+    min_value=-1e300, max_value=1e300,
+)
+histogram_events = st.tuples(
+    st.sampled_from(["latency", "size"]), label_sets, samples
+)
+gauge_events = st.tuples(st.sampled_from(["peak"]), label_sets, samples)
+
+BOUNDS = (0.001, 1.0, 1000.0)
+
+
+def _apply(registry: MetricRegistry, events) -> None:
+    for kind, name, labels, value in events:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, mode="max", **labels).observe(value)
+        else:
+            registry.histogram(name, bounds=BOUNDS, **labels).observe(value)
+
+
+def _snapshot(events) -> MetricsSnapshot:
+    registry = MetricRegistry()
+    _apply(registry, events)
+    return registry.snapshot()
+
+
+tagged_events = st.one_of(
+    st.tuples(st.just("counter"), counter_events),
+    st.tuples(st.just("gauge"), gauge_events),
+    st.tuples(st.just("histogram"), histogram_events),
+).map(lambda pair: (pair[0], *pair[1]))
+
+event_lists = st.lists(tagged_events, max_size=60)
+
+
+class TestMergeLaws:
+    @given(a=event_lists, b=event_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_commutes(self, a, b):
+        sa, sb = _snapshot(a), _snapshot(b)
+        assert sa.merge(sb) == sb.merge(sa)
+
+    @given(a=event_lists, b=event_lists, c=event_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        sa, sb, sc = _snapshot(a), _snapshot(b), _snapshot(c)
+        assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+
+    @given(
+        events=event_lists,
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partition_invariance(self, events, cuts):
+        """Any split of one event stream into consecutive shards merges
+        back to exactly the single-process snapshot."""
+        whole = _snapshot(events)
+        edges = sorted({min(c, len(events)) for c in cuts} | {0, len(events)})
+        shards = [
+            _snapshot(events[lo:hi]) for lo, hi in zip(edges, edges[1:])
+        ]
+        assert MetricsSnapshot.merge_all(shards) == whole
+
+    @given(events=event_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_json_transport_is_lossless(self, events):
+        snap = _snapshot(events)
+        wire = json.dumps(snap.to_json())
+        assert MetricsSnapshot.from_json(json.loads(wire)) == snap
+
+    @given(events=event_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_empty_is_identity(self, events):
+        snap = _snapshot(events)
+        empty = MetricsSnapshot()
+        assert snap.merge(empty) == snap
+        assert empty.merge(snap) == snap

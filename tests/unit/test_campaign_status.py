@@ -1,0 +1,138 @@
+"""Unit tests for the read-only campaign status view (``--status``)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    JournalError,
+    callable_task,
+    campaign_status,
+    render_status,
+)
+
+
+def _journal(path, records):
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def _start_record(task_ids, ts=1000.0):
+    return {
+        "v": 1,
+        "ts": ts,
+        "type": "campaign_start",
+        "campaign_id": "unit",
+        "seed": 0,
+        "jobs": 2,
+        "timeout": 60.0,
+        "tasks": [
+            callable_task(t, "repro.campaign.testing:tiny_figure").to_json()
+            for t in task_ids
+        ],
+    }
+
+
+class TestStates:
+    def test_mixed_states_derived_from_ledger(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal(path, [
+            _start_record(["done", "live", "flaky", "fresh"]),
+            {"ts": 1001.0, "type": "task_start", "task": "done", "attempt": 1},
+            {"ts": 1002.0, "type": "task_success", "task": "done",
+             "attempt": 1, "duration": 1.0, "result": {}, "digest": "x"},
+            {"ts": 1003.0, "type": "task_start", "task": "live", "attempt": 1},
+            {"ts": 1004.0, "type": "task_start", "task": "flaky", "attempt": 1},
+            {"ts": 1005.0, "type": "task_failure", "task": "flaky",
+             "attempt": 1, "duration": 2.0,
+             "failure": {"kind": "timeout"}, "will_retry": True},
+        ])
+        status = campaign_status(path, now=1010.0)
+        states = {t: s.state for t, s in status.tasks.items()}
+        assert states == {
+            "done": "succeeded",
+            "live": "running",
+            "flaky": "retrying",
+            "fresh": "pending",
+        }
+        assert status.counts == {
+            "running": 1, "retrying": 1, "pending": 1,
+            "succeeded": 1, "quarantined": 0,
+        }
+        assert status.in_flight == 1
+        assert not status.finished and not status.torn_tail
+        assert status.tasks["live"].started_ts == 1003.0
+        assert status.tasks["flaky"].spent == 2.0
+        assert "timeout" in status.tasks["flaky"].error
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        _journal(path, [
+            _start_record(["t"]),
+            {"ts": 1001.0, "type": "task_start", "task": "t", "attempt": 1},
+        ])
+        with open(path, "a") as fh:
+            fh.write('{"type": "task_succ')  # runner died mid-append
+        status = campaign_status(path)
+        assert status.torn_tail
+        assert status.tasks["t"].state == "running"
+        assert "torn tail" in render_status(status)
+
+    def test_garbage_before_tail_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        _journal(path, [_start_record(["t"]), {"x": 1}])
+        with open(path, "r+") as fh:
+            lines = fh.readlines()
+            fh.seek(0)
+            fh.write("not json at all\n")
+            fh.writelines(lines)
+        with pytest.raises(JournalError):
+            campaign_status(path)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            campaign_status(tmp_path / "absent.jsonl")
+
+
+class TestRendering:
+    def test_render_header_and_rows(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal(path, [
+            _start_record(["a", "b"], ts=1000.0),
+            {"ts": 1001.0, "type": "task_start", "task": "a", "attempt": 1},
+        ])
+        text = render_status(campaign_status(path, now=1061.0), now=1061.0)
+        assert "campaign 'unit'" in text
+        assert "started 1.0m ago" in text
+        assert "running=1" in text and "pending=1" in text
+        assert "in-flight 1.0m" in text
+        # the dead-runner caveat accompanies any running task
+        assert "--resume will re-run" in text
+
+    def test_render_does_not_claim_finished_when_live(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal(path, [_start_record(["a"])])
+        text = render_status(campaign_status(path))
+        assert "finished" not in text
+
+
+class TestAgainstRealRunner:
+    def test_status_of_completed_campaign(self, tmp_path):
+        tasks = [
+            callable_task(f"t{i}", "repro.campaign.testing:tiny_figure",
+                          seed=i, label=f"t{i}")
+            for i in range(3)
+        ]
+        journal = tmp_path / "real.jsonl"
+        report = CampaignRunner(
+            tasks, jobs=2, timeout=60.0, journal_path=journal, seed=0
+        ).run()
+        assert report.status == "ok"
+        status = campaign_status(journal)
+        assert status.finished and not status.torn_tail
+        assert status.counts["succeeded"] == 3
+        assert status.in_flight == 0
+        text = render_status(status)
+        assert "finished" in text and "succeeded=3" in text
