@@ -181,6 +181,57 @@ def em_bound_cell(
     )
 
 
+def codec_em_cell(
+    codec: str,
+    k: int = 7,
+    h: int = 3,
+    p: float = 0.01,
+    receivers: Sequence[int] = (1, 10, 100, 1000),
+    replications: int = 60,
+    seed: int = 0,
+) -> "Any":
+    """One codec cell of the per-scheme layered E[M] sweep.
+
+    ``h`` is the *requested* parity count; each codec clamps it onto its
+    supported lattice via :meth:`~repro.fec.code.ErasureCode.nearest_h`
+    (``xor`` -> 1, ``rect`` -> rows + cols, ...), so one grid definition
+    covers codes with incompatible geometry constraints.
+    """
+    from repro.experiments.series import FigureResult, Series
+    from repro.fec.registry import get_codec
+    from repro.mc.layered import simulate_layered
+    from repro.sim.loss import BernoulliLoss
+
+    h_eff = get_codec(codec).nearest_h(k, h)
+    values, errors = [], []
+    for receiver_count in receivers:
+        result = simulate_layered(
+            BernoulliLoss(receiver_count, p),
+            k,
+            h_eff,
+            replications,
+            rng=seed,
+            codec=codec,
+        )
+        values.append(result.mean)
+        errors.append(result.stderr)
+    return FigureResult(
+        figure_id=f"codec_em_{codec}",
+        title=f"layered E[M], codec={codec} ({k}+{h_eff}), p={p:g}",
+        x_label="R",
+        y_label="E[M]",
+        series=[
+            Series(
+                f"{codec} ({k}+{h_eff})",
+                list(map(float, receivers)),
+                values,
+                errors,
+            )
+        ],
+        notes=f"requested h={h}, effective h={h_eff}",
+    )
+
+
 #: grid name -> list of (cell task id suffix, target, kwargs)
 SWEEP_GRIDS: dict[str, list[tuple[str, str, dict]]] = {
     "em_bound": [
@@ -191,6 +242,17 @@ SWEEP_GRIDS: dict[str, list[tuple[str, str, dict]]] = {
         )
         for k in (7, 20, 100)
         for p in (0.001, 0.01, 0.05)
+    ],
+    # one cell per registered erasure code, same requested geometry: the
+    # clamped effective h and the honest decodability both come from the
+    # codec itself, so new registrations extend this grid by name alone
+    "codec_em": [
+        (
+            codec,
+            "repro.campaign.tasks:codec_em_cell",
+            {"codec": codec, "k": 7, "h": 3},
+        )
+        for codec in ("rse", "xor", "rect", "lrc")
     ],
 }
 

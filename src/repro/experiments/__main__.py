@@ -106,6 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="replications per point (the cap, with --target-ci)",
     )
+    from repro.fec.registry import codec_names
+
+    mc.add_argument(
+        "--codec",
+        choices=codec_names(),
+        metavar="NAME",
+        help="erasure code for layered-FEC figures (11/15): one of "
+        f"{{{', '.join(codec_names())}}}; non-default codecs clamp h onto "
+        "their supported geometry (default: rse)",
+    )
     observability = parser.add_argument_group(
         "observability (repro.obs; see DESIGN.md section 12)"
     )
@@ -134,6 +144,8 @@ def _mc_kwargs(args: argparse.Namespace) -> dict:
         kwargs["target_ci"] = args.target_ci
     if args.mc_replications is not None:
         kwargs["replications"] = args.mc_replications
+    if args.codec is not None:
+        kwargs["codec"] = args.codec
     return kwargs
 
 

@@ -35,12 +35,26 @@ from repro.mc import (
     simulate_layered,
     simulate_nofec,
 )
+from repro.fec.registry import DEFAULT_CODEC, get_codec
 from repro.mc._common import resolve_rng
 from repro.sim.loss import FullBinaryTreeLoss, GilbertLoss
 
 __all__ = ["fig11", "fig12", "fig14", "fig15", "fig16"]
 
 DEFAULT_P = 0.01
+
+
+def _effective_h(codec: str, k: int, h: int) -> int:
+    """Clamp a requested parity count onto the codec's supported lattice.
+
+    The figure grids were designed for RSE's any-``h`` geometry; constrained
+    codes (``xor``: h = 1, ``rect``: h = rows + cols) substitute their
+    nearest supported count so per-scheme sweeps stay runnable.  The default
+    codec passes through untouched.
+    """
+    if codec == DEFAULT_CODEC:
+        return h
+    return get_codec(codec).nearest_h(k, h)
 
 
 def _scaled_reps(base: int, n_receivers: int) -> int:
@@ -113,19 +127,36 @@ def fig11(
     mc_jobs: int = 1,
     target_ci: float | None = None,
     chunk_size: int | None = None,
+    codec: str = DEFAULT_CODEC,
 ) -> FigureResult:
-    """Figure 11: layered FEC vs no FEC under independent and FBT shared loss."""
+    """Figure 11: layered FEC vs no FEC under independent and FBT shared loss.
+
+    ``codec`` selects the erasure code driving per-receiver decodability
+    (registry name; see :mod:`repro.fec.registry`).  The default ``rse``
+    takes the legacy ideal-MDS path unchanged; other codecs clamp ``h``
+    onto their supported lattice and simulate with honest (possibly
+    non-MDS) recoverability.
+    """
     sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
     if sharded:
         engine = _ShardedFigure("fig11", rng, mc_jobs, target_ci, chunk_size)
     else:
         rng = resolve_rng(rng)
+    use_codec = codec != DEFAULT_CODEC
+    h_eff = _effective_h(codec, k, h)
+    layered_label = (
+        f"layered FEC [{codec} {k}+{h_eff}] FBT loss"
+        if use_codec
+        else "layered FEC FBT loss"
+    )
     depths = list(range(0, 18, 2)) if depths is None else depths
     sizes = [2**d for d in depths]
     xs = list(map(float, sizes))
 
     nofec_indep = [nofec.expected_transmissions(p, r) for r in sizes]
-    layered_indep = [layered.expected_transmissions(k, k + h, p, r) for r in sizes]
+    layered_indep = [
+        layered.expected_transmissions(k, k + h_eff, p, r) for r in sizes
+    ]
 
     nofec_fbt, nofec_err, nofec_reps = [], [], []
     layered_fbt, layered_err, layered_reps = [], [], []
@@ -136,17 +167,22 @@ def fig11(
             r_nofec = engine.point(
                 "nofec", model, {}, "non-FEC FBT loss", size, reps
             )
+            params = {"k": k, "h": h_eff}
+            if use_codec:
+                params["codec"] = codec
             r_layered = engine.point(
                 "layered",
                 model,
-                {"k": k, "h": h},
-                "layered FEC FBT loss",
+                params,
+                layered_label,
                 size,
                 reps,
             )
         else:
             r_nofec = simulate_nofec(model, reps, rng=rng)
-            r_layered = simulate_layered(model, k, h, reps, rng=rng)
+            r_layered = simulate_layered(
+                model, k, h_eff, reps, rng=rng, codec=codec if use_codec else None
+            )
         nofec_fbt.append(r_nofec.mean)
         nofec_err.append(r_nofec.stderr)
         nofec_reps.append(r_nofec.replications)
@@ -157,9 +193,19 @@ def fig11(
     nofec_fbt_exact = [
         fbt.expected_transmissions_nofec(depth, p) for depth in depths
     ]
+    notes = (
+        "independent-loss and FBT-exact curves analytical; "
+        "FBT loss curves simulated"
+    )
+    if use_codec:
+        notes += (
+            f"; codec = {codec} (requested h={h} -> effective h={h_eff}; "
+            "indep. curve assumes ideal MDS at the effective geometry)"
+        )
     return FigureResult(
         figure_id="fig11",
-        title=f"Layered FEC, p = {p}, k = {k}, h = {h}: independent vs FBT loss",
+        title=f"Layered FEC, p = {p}, k = {k}, h = {h_eff}: "
+        "independent vs FBT loss",
         x_label="R",
         y_label="transmissions E[M]",
         series=[
@@ -173,7 +219,7 @@ def fig11(
                 nofec_reps if sharded else None,
             ),
             Series(
-                "layered FEC FBT loss",
+                layered_label,
                 xs,
                 layered_fbt,
                 layered_err,
@@ -181,8 +227,7 @@ def fig11(
             ),
             Series("non-FEC FBT exact", xs, nofec_fbt_exact),
         ],
-        notes="independent-loss and FBT-exact curves analytical; "
-        "FBT loss curves simulated",
+        notes=notes,
     )
 
 
@@ -319,20 +364,39 @@ def fig15(
     mc_jobs: int = 1,
     target_ci: float | None = None,
     chunk_size: int | None = None,
+    codec: str = DEFAULT_CODEC,
 ) -> FigureResult:
-    """Figure 15: burst loss — layered FEC (7+1), (7+3) vs no FEC."""
+    """Figure 15: burst loss — layered FEC (7+1), (7+3) vs no FEC.
+
+    ``codec`` selects the erasure code (registry name).  The default
+    ``rse`` keeps the legacy (7+1)/(7+3) ideal-MDS pair; other codecs
+    clamp each requested parity count onto their supported lattice and
+    deduplicate geometries that coincide (e.g. ``xor`` collapses both to
+    a single 7+1 series, ``rect`` to a single 7+6 series).
+    """
     sharded = _sharded_requested(mc_jobs, target_ci, chunk_size)
     if sharded:
         engine = _ShardedFigure("fig15", rng, mc_jobs, target_ci, chunk_size)
     else:
         rng = resolve_rng(rng)
+    use_codec = codec != DEFAULT_CODEC
+    k = 7
+    geometries: list[tuple[int, str]] = []
+    for h_req in (1, 3):
+        h_eff = _effective_h(codec, k, h_req)
+        if any(h_eff == existing for existing, _ in geometries):
+            continue
+        label = (
+            f"FEC layer {codec} ({k}+{h_eff})"
+            if use_codec
+            else f"FEC layer ({k}+{h_eff})"
+        )
+        geometries.append((h_eff, label))
     sizes = sizes or [1, 10, 100, 1000, 10000]
     xs = list(map(float, sizes))
-    series = {
-        "no FEC": ([], [], []),
-        "FEC layer (7+1)": ([], [], []),
-        "FEC layer (7+3)": ([], [], []),
-    }
+    series = {"no FEC": ([], [], [])}
+    for _, label in geometries:
+        series[label] = ([], [], [])
 
     def record(label, result):
         series[label][0].append(result.mean)
@@ -346,19 +410,33 @@ def fig15(
             record("no FEC", engine.point("nofec", model, {}, "no FEC", size, reps))
         else:
             record("no FEC", simulate_nofec(model, reps, rng=rng))
-        for h, label in ((1, "FEC layer (7+1)"), (3, "FEC layer (7+3)")):
+        for h, label in geometries:
             if sharded:
+                params = {"k": k, "h": h}
+                if use_codec:
+                    params["codec"] = codec
                 record(
                     label,
-                    engine.point(
-                        "layered", model, {"k": 7, "h": h}, label, size, reps
-                    ),
+                    engine.point("layered", model, params, label, size, reps),
                 )
             else:
-                record(label, simulate_layered(model, 7, h, reps, rng=rng))
+                record(
+                    label,
+                    simulate_layered(
+                        model,
+                        k,
+                        h,
+                        reps,
+                        rng=rng,
+                        codec=codec if use_codec else None,
+                    ),
+                )
+    title = f"Burst loss and FEC layer, p = {p}, b = {mean_burst:g}"
+    if use_codec:
+        title += f", codec = {codec}"
     return FigureResult(
         figure_id="fig15",
-        title=f"Burst loss and FEC layer, p = {p}, b = {mean_burst:g}",
+        title=title,
         x_label="R",
         y_label="transmissions E[M]",
         series=[

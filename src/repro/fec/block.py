@@ -1,4 +1,4 @@
-"""Transmission-group framing on top of the raw RSE codec.
+"""Transmission-group framing on top of a raw erasure codec.
 
 The paper's unit of loss recovery is the *transmission group* (TG): ``k``
 data packets that share one FEC block of ``n = k + h`` packets.  This module
@@ -12,14 +12,24 @@ provides the sender- and receiver-side bookkeeping around the codec:
 * :class:`BlockDecoder` is the per-TG receive buffer: it absorbs data and
   parity packets in any order, reports how many packets are still missing
   (the quantity carried in the paper's ``NAK(i, l)``), and reconstructs the
-  group once any ``k`` packets have arrived.
+  group once a decodable set of packets has arrived.
+
+Both sides work against the :class:`~repro.fec.code.ErasureCode` contract:
+``codec`` may be a live instance or a registry name (``"rse"``, ``"xor"``,
+``"rect"``, ``"lrc"``).  Non-systematic codes are supported: the sender
+transmits the *coded* block prefix in place of the raw data packets, and
+the receiver's decodability test defers to the codec's honest
+:meth:`~repro.fec.code.ErasureCode.decodable_from` claim rather than a bare
+``>= k`` count (these only differ for non-MDS codes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.fec.rse import DecodeError, RSECodec
+from repro.fec.code import DecodeError, ErasureCode
+from repro.fec.registry import create_codec
+from repro.fec.rse import RSECodec
 
 __all__ = [
     "TransmissionGroup",
@@ -67,11 +77,16 @@ def join_stream(groups: list[list[bytes]], total_length: int) -> bytes:
 
 @dataclass
 class TransmissionGroup:
-    """One sender-side TG: data packets plus (possibly partial) parities."""
+    """One sender-side TG: data packets plus (possibly partial) parities.
+
+    For non-systematic codecs :attr:`coded` holds the transformed first
+    ``k`` on-the-wire packets; :meth:`packet` serves from it when present.
+    """
 
     index: int
     data: list[bytes]
     parities: list[bytes] = field(default_factory=list)
+    coded: list[bytes] | None = None
 
     @property
     def k(self) -> int:
@@ -80,6 +95,8 @@ class TransmissionGroup:
     def packet(self, block_index: int) -> bytes:
         """Packet by FEC-block index (``0..k-1`` data, ``k..`` parity)."""
         if block_index < self.k:
+            if self.coded is not None:
+                return self.coded[block_index]
             return self.data[block_index]
         parity_index = block_index - self.k
         if parity_index >= len(self.parities):
@@ -99,11 +116,14 @@ class BlockEncoder:
     packet_size:
         Payload bytes per packet.
     codec:
-        Optional shared :class:`RSECodec`; one is built if omitted.
+        Optional shared :class:`~repro.fec.code.ErasureCode` instance or
+        registry name; an :class:`RSECodec` is built if omitted.
     pre_encode:
         If true, all ``h`` parities of every group are produced at
         construction time (the paper's "pre-encoding" variant that removes
-        encoding from the sender's critical path).
+        encoding from the sender's critical path).  Non-systematic codecs
+        always encode eagerly: their on-the-wire data prefix is itself a
+        coding product.
     """
 
     def __init__(
@@ -112,9 +132,11 @@ class BlockEncoder:
         k: int,
         h: int,
         packet_size: int,
-        codec: RSECodec | None = None,
+        codec: ErasureCode | str | None = None,
         pre_encode: bool = False,
     ):
+        if isinstance(codec, str):
+            codec = create_codec(codec, k, h)
         self.codec = codec if codec is not None else RSECodec(k, h)
         if self.codec.k != k or self.codec.h < h:
             raise ValueError(
@@ -128,7 +150,12 @@ class BlockEncoder:
             TransmissionGroup(index=i, data=group)
             for i, group in enumerate(slice_stream(data, packet_size, k))
         ]
-        if pre_encode and h > 0:
+        if not self.codec.systematic:
+            for group in self.groups:
+                block = self.codec.encode_block(group.data)
+                group.coded = block[:k]
+                group.parities = block[k:k + h]
+        elif pre_encode and h > 0:
             # all groups share the packet size, so the whole stream is one
             # batched (B, k, S) encode instead of a per-group Python loop
             all_parities = self.codec.encode_many(
@@ -141,9 +168,14 @@ class BlockEncoder:
         return len(self.groups)
 
     def data_packet(self, tg_index: int, block_index: int) -> bytes:
+        """On-the-wire packet for block index ``0..k-1``.
+
+        For systematic codecs this is the raw data packet; for
+        non-systematic codecs it is the coded packet carrying that slot.
+        """
         if not 0 <= block_index < self.k:
             raise IndexError(f"data index {block_index} outside 0..{self.k - 1}")
-        return self.groups[tg_index].data[block_index]
+        return self.groups[tg_index].packet(block_index)
 
     def parity_packet(self, tg_index: int, parity_index: int) -> bytes:
         """Parity ``parity_index`` of group ``tg_index``, encoding lazily."""
@@ -158,10 +190,9 @@ class BlockEncoder:
     def _ensure_parities(self, group: TransmissionGroup, count: int) -> None:
         if len(group.parities) >= count:
             return
-        # The Vandermonde-systematic construction lets us compute the full
-        # parity set once; producing them incrementally would redo the k
-        # multiplies per parity anyway, so encode all h on first demand.
-        group.parities = self.codec.encode(group.data)
+        # Parity sets are computed in full on first demand: producing them
+        # incrementally would redo the k multiplies per parity anyway.
+        group.parities = self.codec.encode(group.data)[: self.h]
 
 
 class BlockDecoder:
@@ -169,10 +200,18 @@ class BlockDecoder:
 
     Mirrors the FEC-receiver behaviour of Section 3.1 and protocol NP's
     receiver (Section 5.1): store whatever arrives, expose the number of
-    packets still needed (``l`` in ``NAK(i, l)``) and decode once complete.
+    packets still needed (``l`` in ``NAK(i, l)``) and decode once the codec
+    claims the held pattern decodable (any ``k`` packets for MDS codes).
     """
 
-    def __init__(self, k: int, codec: RSECodec):
+    def __init__(self, k: int, codec: ErasureCode | str, h: int | None = None):
+        if isinstance(codec, str):
+            if h is None:
+                raise ValueError(
+                    "resolving a codec name needs the block's parity count: "
+                    "pass h= alongside the registry name"
+                )
+            codec = create_codec(codec, k, h)
         if codec.k != k:
             raise ValueError(f"codec k={codec.k} does not match group k={k}")
         self.k = k
@@ -194,14 +233,27 @@ class BlockDecoder:
 
     @property
     def decodable(self) -> bool:
-        return self._decoded is not None or len(self.received) >= self.k
+        if self._decoded is not None:
+            return True
+        if len(self.received) < self.k:
+            return False
+        return self.codec.decodable_from(self.received)
 
     @property
     def missing(self) -> int:
-        """Packets still required to reconstruct the group (``l``)."""
+        """Packets still required to reconstruct the group (``l``).
+
+        For non-MDS codecs this is a *lower bound*: a stalled pattern
+        (``>= k`` packets held but structurally unrecoverable) still
+        reports 1 so the receiver keeps soliciting — returning 0 there
+        would silence the NAK loop and stall the transfer.  The true
+        requirement surfaces as more packets arrive.
+        """
         if self._decoded is not None:
             return 0
-        return max(0, self.k - len(self.received))
+        if len(self.received) >= self.k:
+            return 0 if self.decodable else 1
+        return self.k - len(self.received)
 
     def reconstruct(self) -> list[bytes]:
         """Decode and return the ``k`` data packets (cached after first call)."""
@@ -214,5 +266,11 @@ class BlockDecoder:
         return self._decoded
 
     def decoding_work(self) -> int:
-        """Number of data packets that decoding had to reconstruct."""
+        """Number of data packets that decoding had to reconstruct.
+
+        Non-systematic codecs rebuild the whole group from coded packets,
+        so their work is always ``k`` once any decode happens.
+        """
+        if not self.codec.systematic:
+            return self.k
         return sum(1 for i in range(self.k) if i not in self.received)

@@ -1,0 +1,265 @@
+"""A simple locally-repairable code (LRC): local XOR groups + global RS rows.
+
+The ``k`` data packets are partitioned into ``g`` contiguous *local groups*;
+each group gets one XOR parity (coefficient-1 row over the group), and the
+block is topped up with ``m = h - g`` *global* Reed-Solomon parity rows (the
+parity rows of the ``(k, k + m)`` Vandermonde-systematic generator).  This is
+the Azure/Xorbas-style trade: the dominant single-loss-per-group case is
+repaired from the small local group with a few XORs, while the global rows
+catch heavier loss — at the price of not being MDS (``g + m`` parities
+tolerate any ``m + 1`` losses, but *not* every ``h``-subset an RS code with
+the same rate would survive; e.g. ``m + 2`` losses inside one local group are
+unrecoverable).
+
+Decode solves the available parity equations restricted to the missing data
+columns by Gaussian elimination over the field — an exact (maximum-likelihood)
+erasure decoder for this code, so peeling-reachable patterns and
+rank-reachable patterns are both claimed and both decoded.
+:meth:`~LRCCodec.decodable_from` is the matching rank test; the two can never
+disagree because they run the same elimination.
+
+Block index layout: ``0..k-1`` data, ``k..k+g-1`` local XOR parities (one per
+group, in group order), ``k+g..k+h-1`` global RS parities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fec.code import CodeGeometryError, DecodeError, ErasureCode
+from repro.fec.registry import register_codec
+from repro.galois.field import GF256, GaloisField
+from repro.galois.matrix import systematic_generator
+
+__all__ = ["LRCCodec"]
+
+
+def _default_groups(k: int, h: int) -> int:
+    """Default local-group count: ~sqrt(k), leaving >= 1 global parity."""
+    return max(1, min(round(math.sqrt(k)), h - 1, k))
+
+
+def _group_slices(k: int, groups: int) -> list[range]:
+    """Contiguous near-equal partition of ``range(k)`` into ``groups``."""
+    base, extra = divmod(k, groups)
+    slices = []
+    start = 0
+    for j in range(groups):
+        size = base + (1 if j < extra else 0)
+        slices.append(range(start, start + size))
+        start += size
+    return slices
+
+
+@register_codec
+class LRCCodec(ErasureCode):
+    """Locally-repairable code: ``g`` local XOR parities + ``h - g`` RS rows.
+
+    Parameters
+    ----------
+    k, h:
+        Group size and total parity count; ``h`` must be at least 2 (one
+        local and one global parity).
+    field:
+        Galois field for the global rows; defaults to GF(2^8).
+    local_groups:
+        Number of local groups ``g`` (``1 <= g <= min(h - 1, k)``); defaults
+        to roughly ``sqrt(k)``.
+
+    Accounting mirrors :class:`~repro.fec.rse.RSECodec`: one
+    ``symbols_multiplied`` per nonzero parity coefficient on encode, one per
+    nonzero coefficient met while eliminating on decode.
+    """
+
+    name = "lrc"
+    is_mds = False
+    systematic = True
+
+    def __init__(
+        self,
+        k: int,
+        h: int,
+        field: GaloisField = GF256,
+        local_groups: int | None = None,
+    ):
+        super().__init__(k, h, field=field, local_groups=local_groups)
+        self.local_groups = (
+            local_groups if local_groups is not None else _default_groups(k, h)
+        )
+        self.global_parities = h - self.local_groups
+        self.groups = _group_slices(k, self.local_groups)
+        parity = np.zeros((h, k), dtype=field.dtype)
+        for j, members in enumerate(self.groups):
+            parity[j, list(members)] = 1
+        parity[self.local_groups:] = systematic_generator(
+            field, k, k + self.global_parities
+        )[k:]
+        parity.setflags(write=False)
+        #: ``(h, k)`` parity coefficient matrix: local rows then global rows.
+        self.parity_matrix = parity
+        self._parity_ops = int(np.count_nonzero(parity))
+
+    @classmethod
+    def validate_geometry(
+        cls,
+        k: int,
+        h: int,
+        *,
+        field: GaloisField = GF256,
+        local_groups: int | None = None,
+        **extra: object,
+    ) -> None:
+        super().validate_geometry(k, h, field=field, **extra)
+        if h < 2:
+            raise CodeGeometryError(
+                f"lrc needs at least one local and one global parity "
+                f"(h >= 2), got h={h}"
+            )
+        groups = local_groups if local_groups is not None else _default_groups(k, h)
+        if not 1 <= groups <= min(h - 1, k):
+            raise CodeGeometryError(
+                f"lrc local_groups must be in 1..min(h-1, k)="
+                f"{min(h - 1, k)}, got {groups}"
+            )
+
+    @classmethod
+    def nearest_h(cls, k: int, h: int) -> int:
+        return max(h, 2)
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def encode_symbols(self, data: np.ndarray) -> np.ndarray:
+        """All ``h`` parities (local then global) of a ``(k, S)`` matrix."""
+        data = self._check_symbols(data, rows_axis=0)
+        parities = self.field.matmul(self.parity_matrix, data)
+        self.stats.packets_encoded += self.k
+        self.stats.parities_produced += self.h
+        self.stats.symbols_multiplied += self._parity_ops
+        return parities
+
+    def encode_blocks(self, data: np.ndarray) -> np.ndarray:
+        """Batched encode of a ``(B, k, S)`` block batch (one matmul)."""
+        if data.ndim != 3:
+            raise ValueError(
+                f"expected a (B, k, S) symbol batch, got shape {data.shape}"
+            )
+        data = self._check_symbols(data, rows_axis=1)
+        parities = self.field.matmul(self.parity_matrix, data)
+        blocks = data.shape[0]
+        self.stats.packets_encoded += blocks * self.k
+        self.stats.parities_produced += blocks * self.h
+        self.stats.symbols_multiplied += blocks * self._parity_ops
+        return parities
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def _elimination(
+        self,
+        coefficients: np.ndarray,
+        rhs: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, int] | None:
+        """Gauss-Jordan over the field on ``(E, M)`` ``coefficients``.
+
+        With ``rhs`` (shape ``(E, S)``): returns ``(solution, operations)``
+        where ``solution`` is ``(M, S)``, or None if some unknown has no
+        pivot.  Without ``rhs``: returns ``(None, 0)`` on full column rank,
+        None otherwise (the pure decodability test).
+        """
+        a = coefficients.astype(self.field.dtype, copy=True)
+        b = None if rhs is None else rhs.astype(self.field.dtype, copy=True)
+        equations, unknowns = a.shape
+        operations = 0
+        pivot_rows: list[int] = []
+        row = 0
+        for col in range(unknowns):
+            pivot = next(
+                (r for r in range(row, equations) if a[r, col]), None
+            )
+            if pivot is None:
+                return None
+            if pivot != row:
+                a[[row, pivot]] = a[[pivot, row]]
+                if b is not None:
+                    b[[row, pivot]] = b[[pivot, row]]
+            scale = self.field.inverse(int(a[row, col]))
+            if scale != 1:
+                a[row] = self.field.scale(scale, a[row])
+                if b is not None:
+                    b[row] = self.field.scale(scale, b[row])
+                    operations += 1
+            for other in range(equations):
+                factor = int(a[other, col])
+                if other == row or not factor:
+                    continue
+                np.bitwise_xor(
+                    a[other], self.field.scale(factor, a[row]), out=a[other]
+                )
+                if b is not None:
+                    self.field.scale_accumulate(b[other], factor, b[row])
+                    operations += 1
+            pivot_rows.append(row)
+            row += 1
+        if b is None:
+            return None, 0
+        return b[pivot_rows], operations
+
+    def _pattern_decodable(self, pattern: tuple[int, ...]) -> bool:
+        present = frozenset(pattern)
+        missing = [i for i in range(self.k) if i not in present]
+        if not missing:
+            return True
+        available = [p - self.k for p in present if p >= self.k]
+        if len(available) < len(missing):
+            return False
+        coefficients = self.parity_matrix[available][:, missing]
+        return self._elimination(coefficients, None) is not None
+
+    def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Exact erasure decode by elimination over the parity equations."""
+        out = {
+            i: np.asarray(rows[i], dtype=self.field.dtype)
+            for i in rows if i < self.k
+        }
+        missing = [i for i in range(self.k) if i not in rows]
+        if not missing:
+            return out
+        parity_indices = sorted(i for i in rows if i >= self.k)
+        available = [p - self.k for p in parity_indices]
+        if len(available) < len(missing):
+            raise DecodeError(
+                f"unrecoverable block: {len(missing)} data packets missing "
+                f"but only {len(available)} parity equations available"
+            )
+        # substitute the known data into each equation:
+        #   rhs_e = parity_e + sum_{j known} P[e, j] * data_j
+        known = sorted(out)
+        rhs = np.vstack([
+            np.asarray(rows[p], dtype=self.field.dtype)
+            for p in parity_indices
+        ]).copy()
+        operations = 0
+        if known:
+            known_coeffs = self.parity_matrix[available][:, known]
+            stacked = np.vstack([out[i] for i in known])
+            np.bitwise_xor(
+                rhs, self.field.matmul(known_coeffs, stacked), out=rhs
+            )
+            operations += int(np.count_nonzero(known_coeffs))
+        coefficients = self.parity_matrix[available][:, missing]
+        solved = self._elimination(coefficients, rhs)
+        if solved is None:
+            raise DecodeError(
+                f"unrecoverable block: parity equations are rank-deficient "
+                f"for missing data {missing} "
+                f"(lrc g={self.local_groups}, m={self.global_parities})"
+            )
+        solution, elimination_ops = solved
+        for row_index, data_index in enumerate(missing):
+            out[data_index] = solution[row_index]
+        self.stats.packets_decoded += len(missing)
+        self.stats.symbols_multiplied += operations + elimination_ops
+        return out

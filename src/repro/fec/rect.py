@@ -1,0 +1,212 @@
+"""Rectangular (row/column) parity codes — lightweight 2-D XOR FEC.
+
+The ``k`` data packets of a transmission group are laid out row-major on an
+``r x c`` grid (``r * c >= k``; cells past ``k`` are *virtual* zero packets
+that are never transmitted), and ``h = r + c`` parity packets are emitted:
+one XOR parity per grid row followed by one per grid column.  This is the
+classic "lightweight FEC" construction: every parity is a plain XOR, decode
+is iterative *peeling* — repeatedly repair any row or column whose parity
+arrived and which is missing exactly one cell — so the common sparse-loss
+patterns are repaired with a handful of XORs and no field arithmetic.
+
+The code is **not** MDS: ``h = r + c`` parities never protect against
+``r + c`` arbitrary losses (any four losses on the corners of a grid
+rectangle are unrecoverable no matter how many parities arrived).
+Recoverability is defined — honestly — as "the peeling decoder finishes":
+:meth:`~RectangularCodec.decodable_from` runs the peeling schedule on the
+index pattern, and :meth:`~RectangularCodec.decode_symbols` raises
+:exc:`~repro.fec.code.DecodeError` on exactly the patterns the predicate
+rejects.
+
+Block index layout: ``0..k-1`` data, ``k..k+r-1`` row parities (top to
+bottom), ``k+r..k+r+c-1`` column parities (left to right).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fec.code import CodeGeometryError, DecodeError, ErasureCode
+from repro.fec.registry import register_codec
+from repro.galois.field import GF256, GaloisField
+
+__all__ = ["RectangularCodec"]
+
+
+def _grid_for(k: int, h: int) -> tuple[int, int] | None:
+    """Best ``(rows, cols)`` split of ``h`` covering ``k`` cells, or None.
+
+    Among all ``r + c = h`` with ``r * c >= k``, prefer the least padding
+    (fewest virtual cells), then the squarest grid, then fewer rows — a
+    deterministic choice so the same ``(k, h)`` always yields the same
+    layout on every host.
+    """
+    best: tuple[tuple[int, int, int], tuple[int, int]] | None = None
+    for rows in range(1, h):
+        cols = h - rows
+        if rows * cols < k:
+            continue
+        key = (rows * cols - k, abs(rows - cols), rows)
+        if best is None or key < best[0]:
+            best = (key, (rows, cols))
+    return best[1] if best else None
+
+
+def _min_h(k: int) -> int:
+    """Smallest ``h = r + c`` with ``r * c >= k``."""
+    return min(
+        rows + math.ceil(k / rows) for rows in range(1, k + 1)
+    )
+
+
+@register_codec
+class RectangularCodec(ErasureCode):
+    """Row/column XOR parity over an ``r x c`` grid (``h = r + c``).
+
+    Accounting: every real cell is accumulated into exactly one row parity
+    and one column parity, so encoding charges ``2k`` coefficient-1
+    operations per block; each peeling repair charges one operation per
+    packet XORed into the reconstruction.
+    """
+
+    name = "rect"
+    is_mds = False
+    systematic = True
+
+    def __init__(self, k: int, h: int, field: GaloisField = GF256):
+        super().__init__(k, h, field=field)
+        self.rows, self.cols = _grid_for(k, h)  # validated: never None
+
+    @classmethod
+    def validate_geometry(
+        cls, k: int, h: int, *, field: GaloisField = GF256, **extra: object
+    ) -> None:
+        super().validate_geometry(k, h, field=field, **extra)
+        if _grid_for(k, h) is None:
+            raise CodeGeometryError(
+                f"rect needs h = rows + cols with rows * cols >= k; "
+                f"no split of h={h} covers k={k} "
+                f"(minimum h for k={k} is {_min_h(k)})"
+            )
+
+    @classmethod
+    def nearest_h(cls, k: int, h: int) -> int:
+        # every h at or above the minimal perimeter is realisable (grow one
+        # side), so clamping from below suffices
+        return max(h, _min_h(k))
+
+    # ------------------------------------------------------------------
+    # grid helpers
+    # ------------------------------------------------------------------
+    def _row_cells(self, row: int) -> list[int]:
+        """Real data indices on grid row ``row``."""
+        start = row * self.cols
+        return [i for i in range(start, start + self.cols) if i < self.k]
+
+    def _col_cells(self, col: int) -> list[int]:
+        """Real data indices on grid column ``col``."""
+        return [i for i in range(col, self.rows * self.cols, self.cols)
+                if i < self.k]
+
+    def _peel_plan(
+        self, present: frozenset[int]
+    ) -> list[tuple[int, list[int]]] | None:
+        """Peeling schedule for an index pattern, or None if it stalls.
+
+        Returns ordered steps ``(cell, sources)``: XOR the ``sources``
+        (one parity index plus the line's other real cells, all available
+        by that point) to rebuild ``cell``.
+        """
+        missing = {i for i in range(self.k) if i not in present}
+        if not missing:
+            return []
+        row_parities = [
+            row for row in range(self.rows) if self.k + row in present
+        ]
+        col_parities = [
+            col for col in range(self.cols)
+            if self.k + self.rows + col in present
+        ]
+        steps: list[tuple[int, list[int]]] = []
+        progress = True
+        while missing and progress:
+            progress = False
+            for row in row_parities:
+                cells = self._row_cells(row)
+                unknown = [i for i in cells if i in missing]
+                if len(unknown) == 1:
+                    cell = unknown[0]
+                    sources = [self.k + row] + [i for i in cells if i != cell]
+                    steps.append((cell, sources))
+                    missing.remove(cell)
+                    progress = True
+            for col in col_parities:
+                cells = self._col_cells(col)
+                unknown = [i for i in cells if i in missing]
+                if len(unknown) == 1:
+                    cell = unknown[0]
+                    sources = [self.k + self.rows + col] + [
+                        i for i in cells if i != cell
+                    ]
+                    steps.append((cell, sources))
+                    missing.remove(cell)
+                    progress = True
+        return steps if not missing else None
+
+    def _pattern_decodable(self, pattern: tuple[int, ...]) -> bool:
+        return self._peel_plan(frozenset(pattern)) is not None
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode_symbols(self, data: np.ndarray) -> np.ndarray:
+        """Row then column XOR parities of a ``(k, S)`` symbol matrix."""
+        data = self._check_symbols(data, rows_axis=0)
+        symbols = data.shape[1]
+        grid = np.zeros(
+            (self.rows * self.cols, symbols), dtype=self.field.dtype
+        )
+        grid[: self.k] = data
+        grid = grid.reshape(self.rows, self.cols, symbols)
+        row_parities = np.bitwise_xor.reduce(grid, axis=1)  # (rows, S)
+        col_parities = np.bitwise_xor.reduce(grid, axis=0)  # (cols, S)
+        self.stats.packets_encoded += self.k
+        self.stats.parities_produced += self.h
+        self.stats.symbols_multiplied += 2 * self.k
+        return np.concatenate([row_parities, col_parities]).astype(
+            self.field.dtype, copy=False
+        )
+
+    def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Peel missing data packets from row/column parities."""
+        out = {
+            i: np.asarray(rows[i], dtype=self.field.dtype)
+            for i in rows if i < self.k
+        }
+        missing = [i for i in range(self.k) if i not in rows]
+        if not missing:
+            return out
+        plan = self._peel_plan(frozenset(rows))
+        if plan is None:
+            raise DecodeError(
+                f"unrecoverable block: peeling stalls on grid "
+                f"{self.rows}x{self.cols} with data {sorted(missing)} missing"
+            )
+        values = dict(out)
+        symbols = len(next(iter(rows.values())))
+        operations = 0
+        for cell, sources in plan:
+            acc = np.zeros(symbols, dtype=self.field.dtype)
+            for source in sources:
+                vector = values.get(source)
+                if vector is None:
+                    vector = np.asarray(rows[source], dtype=self.field.dtype)
+                np.bitwise_xor(acc, vector, out=acc)
+                operations += 1
+            values[cell] = acc
+            out[cell] = acc
+        self.stats.packets_decoded += len(missing)
+        self.stats.symbols_multiplied += operations
+        return out

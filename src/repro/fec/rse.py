@@ -6,6 +6,13 @@ group* (TG) of ``k`` equal-length data packets is extended with ``h`` parity
 packets; a receiver that obtains **any** ``k`` of the ``n = k + h`` packets of
 the FEC block reconstructs all ``k`` data packets.
 
+:class:`RSECodec` is the reference (and default) implementation of the
+:class:`~repro.fec.code.ErasureCode` contract — the only MDS code in the
+registry with ``h > 1`` support; the cheap-decode alternatives live in
+``repro.fec.{xor,rect,lrc}``.  ``DecodeError``, ``CodecStats`` and
+``max_block_length`` moved to ``repro.fec.code`` and are re-exported here
+for compatibility.
+
 Design notes
 ------------
 * The code is *systematic*: the first ``k`` packets of a block are the data
@@ -32,13 +39,20 @@ True
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from functools import lru_cache
 from threading import Lock
 
 import numpy as np
 
 from repro import obs
+from repro.fec.code import (
+    CodecStats,
+    CodeGeometryError,
+    DecodeError,
+    ErasureCode,
+    max_block_length,
+)
+from repro.fec.registry import register_codec
 from repro.galois.field import GF256, GaloisField
 from repro.galois.matrix import invert, systematic_generator
 
@@ -46,60 +60,11 @@ __all__ = [
     "RSECodec",
     "DecodeError",
     "CodecStats",
+    "CodeGeometryError",
     "InverseCache",
     "default_inverse_cache",
     "max_block_length",
 ]
-
-
-class DecodeError(ValueError):
-    """Raised when a block cannot be decoded (fewer than ``k`` packets)."""
-
-
-def max_block_length(field: GaloisField) -> int:
-    """Longest FEC block ``n`` supported by ``field`` (``2^m - 1``)."""
-    return field.order - 1
-
-
-@dataclass
-class CodecStats:
-    """Cumulative operation counters, used by the Figure-1 benchmark.
-
-    Attributes
-    ----------
-    packets_encoded:
-        Number of *data* packets pushed through :meth:`RSECodec.encode`.
-    parities_produced:
-        Number of parity packets produced.
-    packets_decoded:
-        Number of *lost data* packets reconstructed by
-        :meth:`RSECodec.decode` (receiving all data costs nothing).
-    symbols_multiplied:
-        Constant-times-packet GF scale-accumulate operations actually
-        performed, i.e. one per *nonzero* coefficient met while encoding or
-        reconstructing (zero coefficients do no work and are not charged).
-    decode_cache_hits:
-        Decodes that reused a cached inverted submatrix for their erasure
-        pattern, skipping Gaussian elimination entirely.
-    decode_cache_misses:
-        Decodes that had to run Gaussian elimination (and populated the
-        cache for the next receiver with the same erasure pattern).
-    """
-
-    packets_encoded: int = 0
-    parities_produced: int = 0
-    packets_decoded: int = 0
-    symbols_multiplied: int = 0
-    decode_cache_hits: int = 0
-    decode_cache_misses: int = 0
-
-    def reset(self) -> None:
-        self.packets_encoded = 0
-        self.parities_produced = 0
-        self.packets_decoded = 0
-        self.symbols_multiplied = 0
-        self.decode_cache_hits = 0
-        self.decode_cache_misses = 0
 
 
 @lru_cache(maxsize=128)
@@ -169,7 +134,8 @@ def default_inverse_cache() -> InverseCache:
     return _DEFAULT_INVERSE_CACHE
 
 
-class RSECodec:
+@register_codec
+class RSECodec(ErasureCode):
     """Encoder/decoder for one ``(k, k + h)`` systematic RSE code.
 
     Parameters
@@ -188,6 +154,10 @@ class RSECodec:
     encode and decode any number of blocks.
     """
 
+    name = "rse"
+    is_mds = True
+    systematic = True
+
     def __init__(
         self,
         k: int,
@@ -195,22 +165,8 @@ class RSECodec:
         field: GaloisField = GF256,
         inverse_cache: InverseCache | None = None,
     ):
-        if k < 1:
-            raise ValueError(f"transmission group size k must be >= 1, got {k}")
-        if h < 0:
-            raise ValueError(f"parity count h must be >= 0, got {h}")
-        n = k + h
-        if n > max_block_length(field):
-            raise ValueError(
-                f"block length n={n} exceeds limit {max_block_length(field)} "
-                f"for GF(2^{field.m}); use a wider field"
-            )
-        self.k = k
-        self.h = h
-        self.n = n
-        self.field = field
-        self._symbol_bytes = field.dtype.itemsize
-        self.generator = _cached_generator(field, k, n)
+        super().__init__(k, h, field=field)
+        self.generator = _cached_generator(field, k, self.n)
         self.inverse_cache = (
             inverse_cache if inverse_cache is not None else _DEFAULT_INVERSE_CACHE
         )
@@ -218,7 +174,6 @@ class RSECodec:
         # parity coefficient (systematic generators are dense, but count
         # honestly rather than assuming h * k)
         self._parity_ops = int(np.count_nonzero(self.generator[self.k:]))
-        self.stats = CodecStats()
 
     def _observe_encode(self, n_blocks: int) -> None:
         """Registry-side mirror of one encode call (telemetry enabled)."""
@@ -230,88 +185,8 @@ class RSECodec:
         )
 
     # ------------------------------------------------------------------
-    # packet <-> symbol conversion
-    # ------------------------------------------------------------------
-    # Byte payloads map onto field symbols as in Section 2.2: m = 8 uses
-    # one byte per symbol, m = 16 two bytes, m = 4 packs two symbols per
-    # byte (nibbles).  Other widths support the symbol-level API only.
-
-    def _to_symbols(self, packet: bytes | bytearray | memoryview | np.ndarray) -> np.ndarray:
-        if isinstance(packet, np.ndarray):
-            arr = np.ascontiguousarray(packet, dtype=self.field.dtype)
-            if arr.size and int(arr.max()) >= self.field.order:
-                raise ValueError(
-                    f"symbol value exceeds GF(2^{self.field.m}) range"
-                )
-            return arr
-        raw = bytes(packet)
-        if self.field.m == 4:
-            octets = np.frombuffer(raw, dtype=np.uint8)
-            symbols = np.empty(2 * octets.size, dtype=np.uint8)
-            symbols[0::2] = octets >> 4
-            symbols[1::2] = octets & 0x0F
-            return symbols
-        if self.field.m not in (8, 16):
-            raise ValueError(
-                f"byte payloads are only supported for m in (4, 8, 16); "
-                f"use encode_symbols/decode_symbols for GF(2^{self.field.m})"
-            )
-        if len(raw) % self._symbol_bytes:
-            raise ValueError(
-                f"packet length {len(raw)} is not a multiple of the "
-                f"{self._symbol_bytes}-byte symbol size of GF(2^{self.field.m})"
-            )
-        return np.frombuffer(raw, dtype=self.field.dtype)
-
-    def _to_bytes(self, symbols: np.ndarray) -> bytes:
-        if self.field.m == 4:
-            symbols = symbols.astype(np.uint8, copy=False)
-            octets = (symbols[0::2] << 4) | symbols[1::2]
-            return octets.tobytes()
-        return symbols.astype(self.field.dtype, copy=False).tobytes()
-
-    # ------------------------------------------------------------------
     # encode
     # ------------------------------------------------------------------
-    def encode(self, data_packets: list[bytes]) -> list[bytes]:
-        """Produce the ``h`` parity packets for ``k`` equal-length packets.
-
-        The returned parities, appended to the data packets, form the FEC
-        block ``d_1 .. d_k, p_1 .. p_h`` of Section 2.1.
-        """
-        symbols = self.encode_symbols(self._stack(data_packets))
-        return [self._to_bytes(row) for row in symbols]
-
-    def _stack(self, data_packets: list[bytes]) -> np.ndarray:
-        if len(data_packets) != self.k:
-            raise ValueError(
-                f"expected exactly k={self.k} data packets, got {len(data_packets)}"
-            )
-        rows = [self._to_symbols(p) for p in data_packets]
-        lengths = {row.shape[0] for row in rows}
-        if len(lengths) != 1:
-            raise ValueError(
-                f"all packets in a transmission group must have equal length; "
-                f"saw symbol counts {sorted(lengths)}"
-            )
-        return np.vstack(rows)
-
-    def _check_symbols(self, data: np.ndarray, rows_axis: int) -> np.ndarray:
-        """Validate a symbol array's row count and value range."""
-        if data.shape[rows_axis] != self.k:
-            raise ValueError(
-                f"expected k={self.k} rows, got {data.shape[rows_axis]}"
-            )
-        # dtypes wider than the field (e.g. uint8 for GF(2^4)) can smuggle
-        # out-of-range symbols into the lookup tables; reject them here
-        if self.field.order <= np.iinfo(self.field.dtype).max:
-            data = np.ascontiguousarray(data, dtype=self.field.dtype)
-            if data.size and int(data.max()) >= self.field.order:
-                raise ValueError(
-                    f"symbol value exceeds GF(2^{self.field.m}) range"
-                )
-        return np.asarray(data, dtype=self.field.dtype)
-
     def encode_symbols(self, data: np.ndarray) -> np.ndarray:
         """Encode a ``(k, S)`` symbol matrix; returns the ``(h, S)`` parities.
 
@@ -351,16 +226,6 @@ class RSECodec:
             self._observe_encode(n_blocks)
         return parities
 
-    def encode_many(self, groups: list[list[bytes]]) -> list[list[bytes]]:
-        """Byte-level batch encode: parities for many equal-shape groups."""
-        if not groups:
-            return []
-        stacked = np.stack([self._stack(group) for group in groups])
-        parities = self.encode_blocks(stacked)
-        return [
-            [self._to_bytes(row) for row in block] for block in parities
-        ]
-
     def encode_symbols_scalar(self, data: np.ndarray) -> np.ndarray:
         """Reference scalar encode: the row-by-row loop the batched kernel
         replaced.  Kept for differential tests and benchmarks; bit-identical
@@ -384,43 +249,6 @@ class RSECodec:
     # ------------------------------------------------------------------
     # decode
     # ------------------------------------------------------------------
-    def decode(self, received: dict[int, bytes]) -> list[bytes]:
-        """Reconstruct the ``k`` data packets from any ``k`` received packets.
-
-        Parameters
-        ----------
-        received:
-            Mapping from block index (``0..n-1``; indices ``>= k`` are
-            parities) to packet payload.  At least ``k`` entries are needed.
-
-        Returns
-        -------
-        The ``k`` data packets, in order.
-
-        Raises
-        ------
-        DecodeError
-            If fewer than ``k`` distinct packets were supplied.
-        """
-        if not received:
-            raise DecodeError("no packets received")
-        indices = sorted(received)
-        if indices[0] < 0 or indices[-1] >= self.n:
-            raise ValueError(
-                f"packet index out of range for block length n={self.n}: {indices}"
-            )
-        if len(indices) < self.k:
-            raise DecodeError(
-                f"need at least k={self.k} packets to decode, got {len(indices)}"
-            )
-        rows = {i: self._to_symbols(p) for i, p in received.items()}
-        lengths = {row.shape[0] for row in rows.values()}
-        if len(lengths) != 1:
-            raise ValueError("received packets have inconsistent lengths")
-
-        decoded = self.decode_symbols(rows)
-        return [self._to_bytes(decoded[i]) for i in range(self.k)]
-
     def _decode_plan(
         self, rows: dict[int, np.ndarray]
     ) -> tuple[list[int], list[int], list[int]]:

@@ -1,0 +1,104 @@
+"""Plain XOR parity: the ``n = k + 1`` single-parity code.
+
+The cheapest possible FEC: one parity packet equal to the XOR of the ``k``
+data packets.  Any single loss in the block — data or parity — is
+recoverable, which the "Lightweight FEC" literature notes is the dominant
+case on real multicast trees; decode is ``k - 1`` XORs with no field
+multiplications at all.
+
+A single-parity code *is* MDS (any ``k`` of the ``k + 1`` packets decode:
+either all data arrived, or the one missing data packet is the XOR of
+everything else), so :attr:`~XORCodec.is_mds` is True; the limitation is
+purely that ``h`` cannot exceed 1 — :meth:`~XORCodec.validate_geometry`
+rejects anything else and :meth:`~XORCodec.nearest_h` clamps sweeps to 1.
+
+Over GF(2^m) addition *is* XOR, so the parity produced here is the
+coefficient-1 row ``p = d_1 + d_2 + ... + d_k`` — note this differs from
+RSE's ``h = 1`` parity, whose Vandermonde-derived systematic row is not
+all-ones; the two codes protect identically (single loss) but are not
+bit-compatible on the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec.code import CodeGeometryError, DecodeError, ErasureCode
+from repro.fec.registry import register_codec
+from repro.galois.field import GF256, GaloisField
+
+__all__ = ["XORCodec"]
+
+
+@register_codec
+class XORCodec(ErasureCode):
+    """Single XOR parity over a transmission group (``h`` must be 1).
+
+    Accounting: the parity costs ``k`` coefficient-1 accumulate operations;
+    reconstructing the single missing data packet costs ``k`` more (parity
+    plus the ``k - 1`` surviving data packets).
+    """
+
+    name = "xor"
+    is_mds = True
+    systematic = True
+
+    def __init__(self, k: int, h: int = 1, field: GaloisField = GF256):
+        super().__init__(k, h, field=field)
+
+    @classmethod
+    def validate_geometry(
+        cls, k: int, h: int, *, field: GaloisField = GF256, **extra: object
+    ) -> None:
+        super().validate_geometry(k, h, field=field, **extra)
+        if h != 1:
+            raise CodeGeometryError(
+                f"xor is a single-parity code: h must be 1, got {h}"
+            )
+
+    @classmethod
+    def nearest_h(cls, k: int, h: int) -> int:
+        return 1
+
+    def encode_symbols(self, data: np.ndarray) -> np.ndarray:
+        """The ``(1, S)`` XOR parity of a ``(k, S)`` symbol matrix."""
+        data = self._check_symbols(data, rows_axis=0)
+        parity = np.bitwise_xor.reduce(data, axis=0)
+        self.stats.packets_encoded += self.k
+        self.stats.parities_produced += 1
+        self.stats.symbols_multiplied += self.k
+        return parity[None, :].astype(self.field.dtype, copy=False)
+
+    def encode_blocks(self, data: np.ndarray) -> np.ndarray:
+        """Batched XOR parity for a ``(B, k, S)`` block batch."""
+        if data.ndim != 3:
+            raise ValueError(
+                f"expected a (B, k, S) symbol batch, got shape {data.shape}"
+            )
+        data = self._check_symbols(data, rows_axis=1)
+        parities = np.bitwise_xor.reduce(data, axis=1, keepdims=True)
+        blocks = data.shape[0]
+        self.stats.packets_encoded += blocks * self.k
+        self.stats.parities_produced += blocks
+        self.stats.symbols_multiplied += blocks * self.k
+        return parities.astype(self.field.dtype, copy=False)
+
+    def decode_symbols(self, rows: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Recover at most one missing data packet from the XOR parity."""
+        out = {i: rows[i] for i in rows if i < self.k}
+        missing = [i for i in range(self.k) if i not in rows]
+        if not missing:
+            return out
+        if len(missing) > 1 or self.k not in rows:
+            raise DecodeError(
+                f"unrecoverable block: xor parity repairs a single loss, "
+                f"missing data {missing} with "
+                f"{'a' if self.k in rows else 'no'} parity packet"
+            )
+        acc = np.array(rows[self.k], dtype=self.field.dtype, copy=True)
+        for i, row in out.items():
+            np.bitwise_xor(acc, np.asarray(row, dtype=self.field.dtype), out=acc)
+        out[missing[0]] = acc
+        self.stats.packets_decoded += 1
+        self.stats.symbols_multiplied += self.k
+        return out

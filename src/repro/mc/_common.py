@@ -117,15 +117,17 @@ class PayloadVerifier:
 
     The MC loops track only *which* packets each receiver got; passing a
     codec to a simulator additionally pushes real payloads through the
-    batched RSE paths: one reference block is encoded per verifier (via
-    :meth:`RSECodec.encode_blocks`), and every *distinct* erasure pattern
-    that lets a receiver decode is replayed through
-    :meth:`RSECodec.decode_symbols` and checked bit-for-bit against the
-    data.  Patterns are deduplicated here per verifier, and the codec's
-    :class:`InverseCache` deduplicates the Gaussian eliminations across
-    replications and simulator calls — across 10^6 simulated receivers the
-    same few patterns recur constantly, which is exactly the case the
-    inverse cache is built for.
+    codec's batched paths: one reference block is encoded per verifier (via
+    :meth:`~repro.fec.code.ErasureCode.encode_blocks`), and every *distinct*
+    erasure pattern the codec claims decodable (its honest
+    :meth:`~repro.fec.code.ErasureCode.decodable_mask`, which for non-MDS
+    codes is stricter than a ``>= k`` count) is replayed through
+    :meth:`~repro.fec.code.ErasureCode.decode_symbols` and checked
+    bit-for-bit against the data.  Patterns are deduplicated here per
+    verifier, and any codec-side plan cache (RSE's :class:`InverseCache`)
+    deduplicates the algebra across replications and simulator calls —
+    across 10^6 simulated receivers the same few patterns recur constantly,
+    which is exactly the case those caches are built for.
 
     Parameters
     ----------
@@ -147,8 +149,11 @@ class PayloadVerifier:
             0, codec.field.order, size=(1, codec.k, symbols)
         ).astype(codec.field.dtype)
         parities = codec.encode_blocks(self.data)
-        #: the full FEC block, data rows then parity rows: (n, symbols)
-        self.block = np.concatenate([self.data[0], parities[0]])
+        #: the full FEC block as transmitted, coded rows then parity rows:
+        #: (n, symbols).  For systematic codecs the coded rows are the data.
+        self.block = np.concatenate(
+            [codec.coded_symbols(self.data[0]), parities[0]]
+        )
         self.patterns_verified = 0
         self._seen: set[tuple[int, ...]] = set()
 
@@ -157,7 +162,7 @@ class PayloadVerifier:
 
         ``received`` is a boolean ``(R, n)`` (or ``(n,)``) matrix of
         per-receiver reception indicators over the first ``n <= codec.n``
-        packets of a block.  Patterns with at least ``k`` packets are
+        packets of a block.  Patterns the codec claims decodable are
         decoded and compared against the reference data; returns the
         number of *new* patterns verified.
 
@@ -175,7 +180,7 @@ class PayloadVerifier:
                 f"pattern covers {n} packets but the codec block is only "
                 f"n={self.codec.n}"
             )
-        decodable = received.sum(axis=1) >= self.codec.k
+        decodable = self.codec.decodable_mask(received)
         if not decodable.any():
             return 0
         fresh = 0

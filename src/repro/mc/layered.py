@@ -20,6 +20,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.fec.code import ErasureCode
+from repro.fec.registry import resolve_codec
 from repro.mc._common import (
     MCResult,
     PAPER_TIMING,
@@ -47,6 +49,7 @@ def _one_replication(
     timing: Timing,
     rng: np.random.Generator,
     verifier: PayloadVerifier | None = None,
+    codec: ErasureCode | None = None,
 ) -> float:
     n = k + h
     n_receivers = loss_model.n_receivers
@@ -58,7 +61,13 @@ def _one_replication(
         times = base + np.arange(n) * timing.packet_interval
         lost = sampler.sample(times)  # (R, n)
         received = ~lost
-        decodable = received.sum(axis=1) >= k  # (R,)
+        if codec is not None:
+            # codec-aware decodability: identical to the >= k count for MDS
+            # codes, stricter for non-MDS codes (rect/lrc patterns the code
+            # cannot actually repair don't count as recovered)
+            decodable = codec.decodable_mask(received)  # (R,)
+        else:
+            decodable = received.sum(axis=1) >= k  # (R,)
         if verifier is not None:
             # replay each distinct decodable pattern through the real
             # batched codec (cache-backed, so repeats cost a lookup)
@@ -82,6 +91,7 @@ def sample_chunk(
     k: int,
     h: int,
     verifier: PayloadVerifier | None = None,
+    codec: ErasureCode | str | None = None,
 ) -> np.ndarray:
     """Chunk-shaped kernel: one layered-FEC E[M] sample per rng in ``rngs``.
 
@@ -91,11 +101,19 @@ def sample_chunk(
     replication range was split.  The serial front-end reuses it with one
     shared generator repeated, preserving the legacy single-stream
     semantics (and numbers) exactly.
+
+    ``codec`` may be a registry name (the form that crosses the sharded
+    engine's process boundary), a live instance, or None for the ideal-MDS
+    count; when given and no ``verifier`` was supplied, one is built so the
+    chunk also payload-verifies every distinct decodable pattern.
     """
     _validate_geometry(k, h)
+    codec = resolve_codec(codec, k, h)
+    if codec is not None and verifier is None:
+        verifier = PayloadVerifier(codec, rng=np.random.default_rng(0x5EED))
     return np.array(
         [
-            _one_replication(loss_model, k, h, timing, rng, verifier)
+            _one_replication(loss_model, k, h, timing, rng, verifier, codec)
             for rng in rngs
         ],
         dtype=float,
@@ -109,7 +127,7 @@ def simulate_layered(
     replications: int = 200,
     timing: Timing = PAPER_TIMING,
     rng: np.random.Generator | int | None = None,
-    codec=None,
+    codec: ErasureCode | str | None = None,
 ) -> MCResult:
     """Estimate layered-FEC E[M] (transmissions per data packet).
 
@@ -124,24 +142,23 @@ def simulate_layered(
     timing:
         ``Delta`` and ``T`` of Figure 13 — only material under burst loss.
     codec:
-        Optional :class:`repro.fec.rse.RSECodec` with matching ``(k, h)``.
-        When given, every distinct decodable erasure pattern sampled by the
-        simulation is replayed through the codec's batched, cache-backed
-        decode path and checked against real payloads (see
-        :class:`repro.mc._common.PayloadVerifier`); the statistics are
-        unchanged.
+        Optional :class:`~repro.fec.code.ErasureCode` instance or registry
+        name (``"rse"``, ``"xor"``, ``"rect"``, ``"lrc"``) with matching
+        ``(k, h)``.  When given, per-receiver decodability uses the codec's
+        honest :meth:`~repro.fec.code.ErasureCode.decodable_mask` (identical
+        to the ideal-MDS ``>= k`` count for MDS codes — the default ``rse``
+        path is statistically unchanged — but stricter for ``rect``/``lrc``),
+        and every distinct decodable erasure pattern sampled is replayed
+        through the codec's decode path and checked against real payloads
+        (see :class:`repro.mc._common.PayloadVerifier`).
     """
     _validate_geometry(k, h)
     if replications < 1:
         raise ValueError("need at least one replication")
     rng = resolve_rng(rng)
+    codec = resolve_codec(codec, k, h)
     verifier = None
     if codec is not None:
-        if codec.k != k or codec.h != h:
-            raise ValueError(
-                f"codec geometry (k={codec.k}, h={codec.h}) does not match "
-                f"the simulated block (k={k}, h={h})"
-            )
         # dedicated payload RNG: drawing the reference block from the
         # simulation's stream would perturb the loss samples, making the
         # codec-verified run statistically different from the plain one
@@ -153,5 +170,6 @@ def simulate_layered(
         k=k,
         h=h,
         verifier=verifier,
+        codec=codec,
     )
     return summarize(samples)

@@ -104,7 +104,11 @@ SIMULATORS: dict[str, ShardedSimulator] = {
     spec.name: spec
     for spec in [
         ShardedSimulator("nofec", nofec.sample_chunk),
-        ShardedSimulator("layered", layered.sample_chunk, ("k", "h")),
+        # layered's optional codec is a registry *name* so the parameter
+        # survives the spawn boundary as plain data
+        ShardedSimulator(
+            "layered", layered.sample_chunk, ("k", "h"), ("codec",)
+        ),
         ShardedSimulator(
             "integrated_immediate",
             integrated.sample_chunk_immediate,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fec.block import BlockDecoder, BlockEncoder
+from repro.fec.code import ErasureCode
 from repro.fec.rse import RSECodec
 from repro.protocols.np_protocol import NPConfig, ReceiverStats, SenderStats
 from repro.protocols.packets import (
@@ -70,7 +71,7 @@ class Fec1Sender:
         network: MulticastNetwork,
         data: bytes,
         config: NPConfig = NPConfig(),
-        codec: RSECodec | None = None,
+        codec: ErasureCode | None = None,
         membership: GroupMembership | None = None,
     ):
         self.sim = sim
@@ -169,7 +170,7 @@ class Fec1Receiver:
         network: MulticastNetwork,
         n_groups: int,
         config: NPConfig = NPConfig(),
-        codec: RSECodec | None = None,
+        codec: ErasureCode | None = None,
         membership: GroupMembership | None = None,
         rng: np.random.Generator | None = None,
         on_complete=None,

@@ -19,12 +19,14 @@ the run.  Chaos faults are opt-in via the ``fault_plan`` argument.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
-from repro.fec.rse import InverseCache, RSECodec
+from repro.fec.registry import DEFAULT_CODEC, create_codec, get_codec
+from repro.fec.rse import InverseCache
 from repro.mc._common import resolve_rng
 from repro.obs.metrics import MetricRegistry
 from repro.protocols.adaptive import AdaptiveNPSender
@@ -85,6 +87,9 @@ class TransferReport:
     by_kind: dict[str, int] = field(default_factory=dict)
     peak_buffered_groups: int = 0
     peak_buffered_packets: int = 0
+    #: registry name of the erasure code the transfer ran with ("rse" for
+    #: journals written before the codec knob existed)
+    codec: str = "rse"
     #: GF(2^m) scale-accumulate operations performed by the shared codec
     #: (nonzero coefficients only; 0 for the no-FEC ``n2`` baseline)
     codec_symbols_multiplied: int = 0
@@ -199,6 +204,7 @@ def run_transfer(
     control_loss: float = 0.0,
     max_sim_time: float = 1_000_000.0,
     fault_plan: FaultPlan | None = None,
+    codec: str = DEFAULT_CODEC,
 ) -> TransferReport:
     """Simulate one complete transfer of ``data`` to all receivers.
 
@@ -220,6 +226,14 @@ def run_transfer(
         between the protocol machines and the network; the injector draws
         from its own seeded generator, so a plan that injects nothing
         leaves the transfer bit-identical to a plan-free run.
+    codec:
+        Registry name of the erasure code shared by sender and receivers
+        (default ``"rse"``; see :func:`repro.fec.registry.codec_names`).
+        The geometry is ``(config.k, config.h)``, so constrained codes need
+        a matching config (``xor`` wants ``h = 1``, ``rect`` wants
+        ``h = rows + cols``); an impossible pairing raises
+        :exc:`~repro.fec.code.CodeGeometryError`.  Ignored by the no-FEC
+        ``n2`` baseline.
 
     Raises
     ------
@@ -269,13 +283,21 @@ def run_transfer(
     )
     if fault_plan is not None:
         network = FaultInjector(sim, network, fault_plan)
-    # One shared codec instance: the generator matrix is cached anyway, and
+    # One shared codec instance: any generator matrix is cached anyway, and
     # sharing mirrors a real deployment where all parties agree on the code.
-    # The inverse cache is private to the transfer so the reported hit/miss
-    # counters are deterministic for a seed (the process-wide cache would
-    # leak warm entries from earlier transfers into this report).
+    # For codecs with a decode-plan cache (RSE's InverseCache) the cache is
+    # private to the transfer so the reported hit/miss counters are
+    # deterministic for a seed (the process-wide cache would leak warm
+    # entries from earlier transfers into this report).
+    codec_name = codec
+    codec_cls = get_codec(codec_name)
+    codec_kwargs = (
+        {"inverse_cache": InverseCache()}
+        if "inverse_cache" in inspect.signature(codec_cls.__init__).parameters
+        else {}
+    )
     codec = (
-        RSECodec(config.k, config.h, inverse_cache=InverseCache())
+        create_codec(codec_name, config.k, config.h, **codec_kwargs)
         if protocol != "n2"
         else None
     )
@@ -514,6 +536,7 @@ def run_transfer(
         by_kind=dict(network.stats.by_kind),
         peak_buffered_groups=int(buffered_groups),
         peak_buffered_packets=int(buffered_packets),
+        codec=codec_name,
         codec_symbols_multiplied=symbols_multiplied,
         decode_cache_hits=cache_hits,
         decode_cache_misses=cache_misses,

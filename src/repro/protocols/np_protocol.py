@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fec.block import BlockDecoder, BlockEncoder
+from repro.fec.code import ErasureCode
 from repro.fec.rse import RSECodec
 from repro.protocols.feedback import NakSlotter
 from repro.protocols.packets import (
@@ -175,7 +176,7 @@ class NPSender:
         network: MulticastNetwork,
         data: bytes,
         config: NPConfig = NPConfig(),
-        codec: RSECodec | None = None,
+        codec: ErasureCode | None = None,
     ):
         self.sim = sim
         self.network = network
@@ -411,7 +412,7 @@ class NPReceiver:
         network: MulticastNetwork,
         n_groups: int,
         config: NPConfig = NPConfig(),
-        codec: RSECodec | None = None,
+        codec: ErasureCode | None = None,
         rng: np.random.Generator | None = None,
         on_complete=None,
     ):

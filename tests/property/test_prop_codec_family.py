@@ -1,0 +1,174 @@
+"""Property tests for the non-RSE codec family (XOR, rectangular, LRC).
+
+Complements the code-agnostic conformance suite with per-code structure:
+generators are biased toward each code's *recoverable* region (single loss
+for XOR, peelable patterns for the grid, within-group losses for LRC), and
+each code gets explicit unrecoverable-pattern tests asserting
+``DecodeError`` — the honest-refusal half of the contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.code import CodeGeometryError, DecodeError
+from repro.fec.lrc import LRCCodec
+from repro.fec.rect import RectangularCodec
+from repro.fec.xor import XORCodec
+
+
+def _payload(rng, k, length=8):
+    return [rng.bytes(length) for _ in range(k)]
+
+
+class TestXOR:
+    @given(
+        k=st.integers(min_value=1, max_value=12),
+        missing=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_recovers_any_single_erasure(self, k, missing, seed):
+        missing %= k + 1  # any block index, data or the parity
+        rng = np.random.default_rng(seed)
+        codec = XORCodec(k)
+        data = _payload(rng, k)
+        block = codec.encode_block(data)
+        received = {i: block[i] for i in range(k + 1) if i != missing}
+        assert codec.decodable_from(received)
+        assert codec.decode(received) == data
+
+    @given(
+        k=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refuses_double_erasure(self, k, seed):
+        rng = np.random.default_rng(seed)
+        codec = XORCodec(k)
+        data = _payload(rng, k)
+        block = codec.encode_block(data)
+        lost = rng.choice(k + 1, size=2, replace=False)
+        received = {i: block[i] for i in range(k + 1) if i not in lost}
+        assert not codec.decodable_from(received)
+        with pytest.raises(DecodeError):
+            codec.decode(received)
+
+    @pytest.mark.parametrize("h", [0, 2, 5])
+    def test_geometry_locked_to_single_parity(self, h):
+        with pytest.raises(CodeGeometryError, match="single-parity"):
+            XORCodec(5, h)
+        assert XORCodec.nearest_h(5, h) == 1
+
+
+class TestRectangular:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        lost_row=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_a_full_data_row(self, seed, lost_row):
+        # k=6, h=5 resolves to a 2x3 grid: losing one entire data row is
+        # unrecoverable row-wise but peels column by column
+        rng = np.random.default_rng(seed)
+        codec = RectangularCodec(6, 5)
+        assert (codec.rows, codec.cols) == (2, 3)
+        data = _payload(rng, 6)
+        block = codec.encode_block(data)
+        lost = {lost_row * codec.cols + c for c in range(codec.cols)}
+        received = {i: block[i] for i in range(codec.n) if i not in lost}
+        assert codec.decodable_from(received)
+        assert codec.decode(received) == data
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        cols=st.permutations(range(3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refuses_four_corner_rectangle(self, seed, cols):
+        # two data cells in each of two columns stall peeling: every row
+        # and every column through them has two unknowns
+        rng = np.random.default_rng(seed)
+        codec = RectangularCodec(6, 5)
+        data = _payload(rng, 6)
+        block = codec.encode_block(data)
+        c1, c2 = cols[:2]
+        lost = {r * codec.cols + c for r in (0, 1) for c in (c1, c2)}
+        received = {i: block[i] for i in range(codec.n) if i not in lost}
+        assert len(received) >= codec.k
+        assert not codec.decodable_from(received)
+        with pytest.raises(DecodeError, match="peeling stalls"):
+            codec.decode(received)
+
+    def test_geometry_needs_a_feasible_split(self):
+        with pytest.raises(CodeGeometryError, match="no split"):
+            RectangularCodec(7, 3)
+        assert RectangularCodec.nearest_h(7, 3) == 6
+        RectangularCodec(7, 6)  # the clamped geometry constructs
+
+
+class TestLRC:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        in_group0=st.integers(min_value=0, max_value=3),
+        in_group1=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_recovers_one_loss_per_group(self, seed, in_group0, in_group1):
+        # k=8, h=3 -> 2 local groups of 4 + 1 global parity; one erasure
+        # per group repairs locally without touching the global row
+        rng = np.random.default_rng(seed)
+        codec = LRCCodec(8, 3)
+        assert codec.local_groups == 2
+        data = _payload(rng, 8)
+        block = codec.encode_block(data)
+        lost = {in_group0, 4 + in_group1}
+        received = {i: block[i] for i in range(codec.n) if i not in lost}
+        assert codec.decodable_from(received)
+        assert codec.decode(received) == data
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        group=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_two_losses_in_one_group_via_global(self, seed, group):
+        # two erasures in one group exceed its local parity but the global
+        # RS row supplies the second equation
+        rng = np.random.default_rng(seed)
+        codec = LRCCodec(8, 3)
+        data = _payload(rng, 8)
+        block = codec.encode_block(data)
+        base = group * 4
+        lost = {base, base + 2}
+        received = {i: block[i] for i in range(codec.n) if i not in lost}
+        assert codec.decodable_from(received)
+        assert codec.decode(received) == data
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        group=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refuses_three_losses_in_one_group(self, seed, group):
+        # three erasures in one group face only two covering equations
+        # (own local + one global): honest refusal, not silent corruption
+        rng = np.random.default_rng(seed)
+        codec = LRCCodec(8, 3)
+        data = _payload(rng, 8)
+        block = codec.encode_block(data)
+        base = group * 4
+        lost = {base, base + 1, base + 2}
+        received = {i: block[i] for i in range(codec.n) if i not in lost}
+        assert len(received) >= codec.k
+        assert not codec.decodable_from(received)
+        with pytest.raises(DecodeError):
+            codec.decode(received)
+
+    def test_geometry_needs_local_and_global(self):
+        with pytest.raises(CodeGeometryError, match="h >= 2"):
+            LRCCodec(8, 1)
+        assert LRCCodec.nearest_h(8, 1) == 2
+        with pytest.raises(CodeGeometryError):
+            LRCCodec(8, 4, local_groups=5)  # groups must leave a global row

@@ -1,0 +1,142 @@
+"""Unit tests for the erasure-code registry (repro.fec.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.fec import (
+    LRCCodec,
+    RSECodec,
+    RectangularCodec,
+    XORCodec,
+)
+from repro.fec.code import CodeGeometryError, ErasureCode
+from repro.fec.registry import (
+    DEFAULT_CODEC,
+    codec_names,
+    create_codec,
+    get_codec,
+    register_codec,
+    resolve_codec,
+    temporary_codec,
+)
+
+
+class TestLookup:
+    def test_all_shipped_codecs_registered(self):
+        assert codec_names() == ["lrc", "rect", "rse", "xor"]
+        assert DEFAULT_CODEC in codec_names()
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("rse", RSECodec),
+            ("xor", XORCodec),
+            ("rect", RectangularCodec),
+            ("lrc", LRCCodec),
+        ],
+    )
+    def test_get_codec_returns_the_class(self, name, cls):
+        assert get_codec(name) is cls
+        assert cls.name == name
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match=r"unknown codec 'nope'.*rse"):
+            get_codec("nope")
+        with pytest.raises(KeyError, match="unknown codec"):
+            create_codec("also-nope", 7, 3)
+
+
+class TestCreate:
+    def test_creates_at_geometry(self):
+        codec = create_codec("rse", 7, 3)
+        assert isinstance(codec, RSECodec)
+        assert (codec.k, codec.h, codec.n) == (7, 3, 10)
+
+    def test_forwards_constructor_kwargs(self):
+        codec = create_codec("lrc", 8, 4, local_groups=3)
+        assert codec.local_groups == 3
+
+    def test_geometry_validated_before_construction(self):
+        # every codec rejects impossible shapes with the uniform error type
+        with pytest.raises(CodeGeometryError):
+            create_codec("xor", 5, 2)
+        with pytest.raises(CodeGeometryError):
+            create_codec("rect", 7, 3)
+        with pytest.raises(CodeGeometryError):
+            create_codec("lrc", 8, 1)
+        with pytest.raises(CodeGeometryError, match="exceeds limit"):
+            create_codec("rse", 250, 10)
+        with pytest.raises(CodeGeometryError):
+            create_codec("rse", 0, 1)
+
+    def test_geometry_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            create_codec("xor", 5, 2)
+
+
+class TestResolve:
+    def test_none_passes_through(self):
+        assert resolve_codec(None, 7, 3) is None
+
+    def test_name_constructs(self):
+        codec = resolve_codec("xor", 7, 1)
+        assert isinstance(codec, XORCodec)
+
+    def test_matching_instance_passes_through(self):
+        codec = RSECodec(7, 3)
+        assert resolve_codec(codec, 7, 3) is codec
+
+    def test_mismatched_instance_rejected(self):
+        with pytest.raises(ValueError, match="does not match requested geometry"):
+            resolve_codec(RSECodec(7, 3), 7, 1)
+
+
+class _ToyCodec(ErasureCode):
+    name = "toy"
+    is_mds = True
+
+    def encode_symbols(self, data):
+        data = self._check_symbols(np.asarray(data), rows_axis=0)
+        return np.tile(
+            np.bitwise_xor.reduce(data, axis=0), (self.h, 1)
+        )
+
+    def decode_symbols(self, rows):
+        return {i: rows[i] for i in range(self.k)}
+
+
+class TestRegistration:
+    def test_temporary_codec_registers_and_restores(self):
+        before = codec_names()
+        with temporary_codec(_ToyCodec):
+            assert get_codec("toy") is _ToyCodec
+            assert "toy" in codec_names()
+        assert codec_names() == before
+
+    def test_temporary_codec_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with temporary_codec(_ToyCodec):
+                raise RuntimeError("boom")
+        assert "toy" not in codec_names()
+
+    def test_same_class_reregistration_is_noop(self):
+        assert register_codec(RSECodec) is RSECodec
+        assert get_codec("rse") is RSECodec
+
+    def test_name_collision_rejected(self):
+        class Impostor(_ToyCodec):
+            name = "rse"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec(Impostor)
+        with pytest.raises(ValueError, match="already registered"):
+            with temporary_codec(Impostor):
+                pass  # pragma: no cover
+        assert get_codec("rse") is RSECodec
+
+    def test_nameless_class_rejected(self):
+        class Nameless(_ToyCodec):
+            name = "abstract"
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_codec(Nameless)
