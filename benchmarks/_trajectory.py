@@ -1,0 +1,121 @@
+"""Perf-trajectory records: the committed ``BENCH_*.json`` files.
+
+The perf benchmarks assert budgets (pass/fail), but a bit tells future
+re-anchors nothing about *drift*.  Each perf module therefore also emits
+a machine-readable record into ``benchmarks/BENCH_<name>.json`` — an
+append-only history of the measured numbers, keyed by commit, so the
+performance curve across PRs is visible with ``git log -p`` or a one-line
+jq query.
+
+Schema (version 1)::
+
+    {
+      "bench": "codec_batch",
+      "schema": 1,
+      "history": [
+        {
+          "recorded": "2026-08-07T12:00:00+00:00",
+          "commit": "77add9f",
+          "host": {"cores": 8, "python": "3.11.9", "platform": "Linux"},
+          "metrics": {"encode_speedup_x": 6.31, ...}
+        }
+      ]
+    }
+
+Multiple tests in one module share one file: a record for the current
+commit is merged into (not duplicated) by later calls, so running the
+whole module produces a single entry with the union of the metrics.
+History is capped at :data:`MAX_HISTORY` entries, oldest dropped first.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+SCHEMA = 1
+MAX_HISTORY = 200
+
+
+def _current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown" if out.returncode == 0 else "unknown"
+
+
+def _host() -> dict:
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    return {
+        "cores": cores,
+        "python": platform.python_version(),
+        "platform": platform.system(),
+    }
+
+
+def _round(value):
+    """Trim floats so records diff cleanly across runs."""
+    if isinstance(value, float):
+        return round(value, 4)
+    return value
+
+
+def record_trajectory(name: str, metrics: dict) -> pathlib.Path:
+    """Merge ``metrics`` into the current commit's record of
+    ``BENCH_<name>.json`` and return the file's path."""
+    if not name.isidentifier():
+        raise ValueError(f"bench name must be identifier-like: {name!r}")
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    doc = {"bench": name, "schema": SCHEMA, "history": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if (
+            isinstance(loaded, dict)
+            and loaded.get("schema") == SCHEMA
+            and isinstance(loaded.get("history"), list)
+        ):
+            doc = loaded
+
+    commit = _current_commit()
+    history = doc["history"]
+    entry = None
+    if history and history[-1].get("commit") == commit:
+        entry = history[-1]
+    if entry is None:
+        entry = {
+            "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "commit": commit,
+            "host": _host(),
+            "metrics": {},
+        }
+        history.append(entry)
+    entry["metrics"].update(
+        {key: _round(value) for key, value in metrics.items()}
+    )
+    del history[:-MAX_HISTORY]
+
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    print(f"\n[trajectory] {path.name}: {json.dumps(entry['metrics'])}")
+    sys.stdout.flush()
+    return path

@@ -22,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._trajectory import record_trajectory
 from repro.experiments.series import FigureResult, Series
 from repro.fec.rse import InverseCache, RSECodec
 
@@ -132,6 +133,14 @@ def test_batched_encode_speedup(benchmark, record_figure):
     record_figure(result)
 
     aggregate = _aggregate_speedup(rates)
+    record_trajectory(
+        "codec_batch",
+        {
+            "encode_speedup_x": aggregate,
+            "encode_batched_pps_k100": rates[100][0],
+            "encode_scalar_pps_k100": rates[100][1],
+        },
+    )
     assert aggregate >= 5.0, f"aggregate encode speedup {aggregate:.2f}x < 5x"
     # the big-k end is where the kernel earns its keep; it must never lose
     assert rates[100][0] > rates[100][1]
@@ -157,6 +166,14 @@ def test_cached_decode_speedup(benchmark):
 
     aggregate = _aggregate_speedup(
         {k: (cached, scalar) for k, (cached, scalar, _codec) in rates.items()}
+    )
+    record_trajectory(
+        "codec_batch",
+        {
+            "decode_speedup_x": aggregate,
+            "decode_cached_pps_k100": rates[100][0],
+            "decode_scalar_pps_k100": rates[100][1],
+        },
     )
     assert aggregate >= 3.0, f"aggregate decode speedup {aggregate:.2f}x < 3x"
 

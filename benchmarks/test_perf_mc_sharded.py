@@ -24,6 +24,7 @@ import tracemalloc
 
 import pytest
 
+from benchmarks._trajectory import record_trajectory
 from repro.mc import run_sharded
 from repro.sim.loss import BernoulliLoss, FullBinaryTreeLoss
 
@@ -77,6 +78,14 @@ def test_jobs4_speedup_on_fig11_workload():
         serial.replications,
     )
     speedup = serial_time / parallel_time
+    record_trajectory(
+        "mc_sharded",
+        {
+            "jobs4_speedup_x": speedup,
+            "inline_seconds": serial_time,
+            "jobs4_seconds": parallel_time,
+        },
+    )
     print(
         f"\nfig11 workload: inline {serial_time:.1f}s, "
         f"jobs={JOBS} {parallel_time:.1f}s -> {speedup:.2f}x"
@@ -112,6 +121,13 @@ def test_streaming_memory_is_bounded_in_replications():
     print(
         f"\npeak: {small / 1e6:.2f} MB @ 256 reps, "
         f"{large / 1e6:.2f} MB @ {256 * 16} reps"
+    )
+    record_trajectory(
+        "mc_sharded",
+        {
+            "peak_mb_256_reps": small / 1e6,
+            "peak_mb_4096_reps": large / 1e6,
+        },
     )
     # a materialising implementation would grow ~16x here; the streaming
     # path re-uses one chunk buffer + an O(1) accumulator.  Allow 2x for

@@ -1,0 +1,134 @@
+"""Transport throughput: wire-codec frame rate and loopback goodput.
+
+Two budgets on the asyncio UDP transport (:mod:`repro.net`), plus a
+``BENCH_net_throughput.json`` trajectory record of the raw numbers:
+
+* **wire codec** — ``encode_frame``/``decode_frame`` on 1 KB data
+  packets must each sustain >= 20k frames/s.  At the paper's 1 KB
+  packets that is >= 20 MB/s of framing capacity, an order of magnitude
+  above what the loopback path needs, so framing is provably not the
+  transport's bottleneck.
+* **loopback goodput** — a clean (no chaos) 1 MB transfer over real UDP
+  sockets at the default pacing must complete at >= 1 MB/s end to end:
+  encode, socket send, receive, CRC check, decode, reassembly.  Pacing
+  stays on because it is what keeps the kernel's socket buffer from
+  overflowing — an unpaced blast loses ~30% of the stream to the
+  receive queue and the measurement becomes a NAK-timer benchmark.
+
+Run with ``pytest benchmarks/test_perf_net_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from benchmarks._trajectory import record_trajectory
+from repro.campaign.retry import RetryPolicy
+from repro.net import NetConfig, NetServer, fetch
+from repro.net.wire import decode_frame, encode_frame
+from repro.protocols.packets import DataPacket, checksum_of
+
+PACKET_SIZE = 1024  # the paper's 1 KB packets
+MIN_FRAME_RATE = 20_000.0
+MIN_GOODPUT = 1e6  # bytes/s over loopback, clean path
+REPEATS = 3
+
+#: 125 groups x k=8 x 1 KB = 1 MB, the acceptance scenario's 1000 data
+#: packets at full packet size; default pacing, but a snappy NAK timer so
+#: any stray kernel drop costs 0.1s instead of the deployment 0.25s
+CONFIG = NetConfig(
+    k=8,
+    h=16,
+    packet_size=PACKET_SIZE,
+    seed=0,
+    nak_retry=RetryPolicy(
+        retries=8, base_delay=0.1, backoff=1.6, max_delay=1.0, jitter=0.25
+    ),
+)
+N_GROUPS = 125
+
+
+def _frame_rate(fn, n: int, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n / best
+
+
+def test_wire_codec_frame_rate():
+    payload = bytes(range(256)) * (PACKET_SIZE // 256)
+    packets = [
+        DataPacket(tg, tg % 8, payload, checksum=checksum_of(payload))
+        for tg in range(512)
+    ]
+    frames = [encode_frame(packet, 1) for packet in packets]
+    assert decode_frame(frames[0]).packet == packets[0]
+
+    encode_rate = _frame_rate(
+        lambda: [encode_frame(packet, 1) for packet in packets], len(packets)
+    )
+    decode_rate = _frame_rate(
+        lambda: [decode_frame(frame) for frame in frames], len(frames)
+    )
+    print(
+        f"\nwire codec @ {PACKET_SIZE} B: encode {encode_rate:,.0f}/s, "
+        f"decode {decode_rate:,.0f}/s"
+    )
+    record_trajectory(
+        "net_throughput",
+        {
+            "encode_frames_per_s": encode_rate,
+            "decode_frames_per_s": decode_rate,
+        },
+    )
+    assert encode_rate >= MIN_FRAME_RATE
+    assert decode_rate >= MIN_FRAME_RATE
+
+
+def _loopback_transfer_seconds() -> float:
+    size = N_GROUPS * CONFIG.k * CONFIG.packet_size
+    data = np.random.default_rng(0xBE).bytes(size)
+
+    async def scenario() -> float:
+        server = NetServer(data, CONFIG)
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            start = loop.time()
+            result = await asyncio.wait_for(
+                fetch(host, port, config=CONFIG, deadline=60.0), timeout=90.0
+            )
+            elapsed = loop.time() - start
+        finally:
+            await server.close()
+        assert result.complete and result.data == data
+        return elapsed
+
+    return asyncio.run(scenario())
+
+
+def test_loopback_goodput():
+    best = min(_loopback_transfer_seconds() for _ in range(REPEATS))
+    size = N_GROUPS * CONFIG.k * CONFIG.packet_size
+    goodput = size / best
+    print(
+        f"\nloopback: {size / 1e6:.2f} MB in {best * 1e3:.0f}ms "
+        f"-> {goodput / 1e6:.2f} MB/s"
+    )
+    record_trajectory(
+        "net_throughput",
+        {
+            "goodput_mb_per_s": goodput / 1e6,
+            "transfer_bytes": size,
+            "transfer_seconds": best,
+        },
+    )
+    assert goodput >= MIN_GOODPUT, (
+        f"loopback goodput {goodput / 1e6:.2f} MB/s < "
+        f"{MIN_GOODPUT / 1e6:.0f} MB/s"
+    )

@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import time
 
+from benchmarks._trajectory import record_trajectory
 from repro import obs
 from repro.protocols.harness import run_transfer
 from repro.protocols.np_protocol import NPConfig
@@ -106,6 +107,14 @@ class TestDisabledOverhead:
             f"{overhead * 1e6:.0f}us over {transfer_time * 1e3:.0f}ms "
             f"({fraction:.4%})"
         )
+        record_trajectory(
+            "obs_overhead",
+            {
+                "disabled_fraction": fraction,
+                "span_cost_ns": span_cost * 1e9,
+                "guard_cost_ns": guard_cost * 1e9,
+            },
+        )
         assert fraction <= DISABLED_BUDGET
 
 
@@ -127,6 +136,14 @@ class TestEnabledOverhead:
         print(
             f"\nenabled {enabled * 1e3:.1f}ms vs disabled "
             f"{disabled * 1e3:.1f}ms -> x{ratio:.3f}"
+        )
+        record_trajectory(
+            "obs_overhead",
+            {
+                "enabled_ratio": ratio,
+                "disabled_transfer_ms": disabled * 1e3,
+                "enabled_transfer_ms": enabled * 1e3,
+            },
         )
         assert ratio <= 1.0 + ENABLED_BUDGET
 

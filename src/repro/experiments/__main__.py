@@ -13,6 +13,12 @@ Campaign mode (supervised, parallel, crash-safe; see
     python -m repro.experiments --all --jobs 4 --journal campaign.jsonl
     python -m repro.experiments --resume campaign.jsonl
 
+Transport mode (the real UDP transport; see :mod:`repro.net`) engages
+when the first positional is ``serve`` or ``fetch``::
+
+    python -m repro.experiments serve --bind 127.0.0.1:9000 --size 65536
+    python -m repro.experiments fetch --connect 127.0.0.1:9000 --out f.bin
+
 Each task then runs in its own spawned process with a wall-clock budget
 and a retry allowance; completed work is journaled so a killed campaign
 resumes where it stopped.  The exit status is 0 only when every requested
@@ -285,6 +291,13 @@ def _run_campaign(
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("serve", "fetch"):
+        # transport verbs (repro.net): serve a payload / fetch one
+        from repro.net.cli import main as net_main
+
+        return net_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
 

@@ -1,0 +1,319 @@
+"""Seeded chaos datagram proxy: socket-layer fault injection.
+
+The simulator's fault layer (:mod:`repro.resilience.faults`) mangles
+packets inside the event loop; this module does the same to *real UDP
+datagrams* so the transport's robustness is testable without a WAN.  A
+:class:`ChaosProxy` sits between receivers and a
+:class:`~repro.net.endpoints.NetServer`::
+
+    receiver  <->  proxy (listen)  <->  server (upstream)
+
+and applies seeded faults per direction — ``forward`` is
+server-to-receiver (data, polls, fins), ``backward`` is
+receiver-to-server (joins, NAKs, completes):
+
+* **loss** — the datagram vanishes;
+* **corrupt** — one byte is flipped (the frame CRC turns this into a
+  counted drop at the endpoint);
+* **duplicate** — the datagram is delivered twice;
+* **reorder** — the datagram is held back ``reorder_delay`` seconds so
+  later traffic overtakes it;
+* **jitter** — a uniform random extra delay;
+* **blackouts** — wall-clock windows (seconds since proxy start) during
+  which the direction is silently absorbed; a backward blackout is the
+  paper's nightmare scenario of a feedback channel going dark.
+
+Determinism: every fault decision comes from a :class:`FaultSchedule`
+seeded by ``(plan.seed, direction)`` that draws a *fixed* number of
+variates per datagram, so the fault verdict for the N-th datagram of a
+direction is a pure function of ``(seed, direction, N)`` — same seed,
+same schedule, regardless of which faults actually fire.  (End-to-end
+*timing* still belongs to the OS; tests assert schedule determinism
+directly and transfer-level invariants elsewhere.)
+
+The proxy is payload-agnostic: it never decodes frames, so it exercises
+the endpoints' strict decoders with genuine garbage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["ChaosPlan", "FaultDecision", "FaultSchedule", "ChaosProxy"]
+
+Address = tuple
+
+_DIRECTIONS = ("forward", "backward")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Fault mix for one proxy direction; all probabilities independent."""
+
+    seed: int = 0
+    loss: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    #: how long a reordered datagram is held back (seconds)
+    reorder_delay: float = 0.02
+    #: max uniform extra delay applied to every surviving datagram
+    jitter: float = 0.0
+    #: absolute silence windows, seconds since proxy start: ((lo, hi), ...)
+    blackouts: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "corrupt", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.reorder_delay < 0 or self.jitter < 0:
+            raise ValueError("delays must be >= 0")
+        for window in self.blackouts:
+            lo, hi = window
+            if not 0 <= lo < hi:
+                raise ValueError(f"bad blackout window {window}")
+
+    def in_blackout(self, elapsed: float) -> bool:
+        return any(lo <= elapsed < hi for lo, hi in self.blackouts)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The verdict for one datagram."""
+
+    drop: bool = False
+    #: byte position to flip, None for no corruption
+    corrupt_at: int | None = None
+    duplicate: bool = False
+    #: seconds to hold the datagram back (reorder + jitter)
+    delay: float = 0.0
+
+
+class FaultSchedule:
+    """Deterministic per-datagram fault decisions for one direction.
+
+    Draws exactly six variates per :meth:`decide` call whatever the
+    outcome, so decision ``N`` depends only on ``(plan.seed, direction,
+    N)`` — the property the determinism smoke test pins.
+    """
+
+    def __init__(self, plan: ChaosPlan, direction: str):
+        if direction not in _DIRECTIONS:
+            raise ValueError(f"direction must be one of {_DIRECTIONS}")
+        self.plan = plan
+        self.direction = direction
+        self.rng = np.random.default_rng(
+            [plan.seed, _DIRECTIONS.index(direction)]
+        )
+        self.ordinal = 0
+
+    def decide(self, size: int) -> FaultDecision:
+        """Verdict for the next datagram (of ``size`` bytes)."""
+        plan = self.plan
+        draws = self.rng.random(5)
+        position = int(self.rng.integers(0, max(1, size)))
+        self.ordinal += 1
+        if draws[0] < plan.loss:
+            return FaultDecision(drop=True)
+        delay = 0.0
+        if draws[2] < plan.reorder:
+            delay += plan.reorder_delay
+        if plan.jitter > 0:
+            delay += draws[4] * plan.jitter
+        return FaultDecision(
+            corrupt_at=position if draws[1] < plan.corrupt else None,
+            duplicate=draws[3] < plan.duplicate,
+            delay=delay,
+        )
+
+
+class _ListenProtocol(asyncio.DatagramProtocol):
+    """Receiver-facing socket: one for the whole proxy."""
+
+    def __init__(self, proxy: "ChaosProxy"):
+        self.proxy = proxy
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.proxy._from_client(data, addr)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-specific
+        pass
+
+
+class _UpstreamProtocol(asyncio.DatagramProtocol):
+    """Server-facing socket: one per client, so the server can tell
+    receivers apart by source address."""
+
+    def __init__(self, proxy: "ChaosProxy", client: Address):
+        self.proxy = proxy
+        self.client = client
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.proxy._from_upstream(data, self.client)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-specific
+        pass
+
+
+@dataclass
+class _ClientLeg:
+    transport: asyncio.DatagramTransport | None = None
+    #: datagrams that arrived while the upstream socket was still connecting
+    pending: list[bytes] = field(default_factory=list)
+
+
+class ChaosProxy:
+    """A lossy, corrupting, reordering UDP hop between fetchers and server.
+
+    Usage::
+
+        proxy = ChaosProxy(server_addr, forward=plan, backward=plan)
+        host, port = await proxy.start()
+        ...                        # receivers fetch from (host, port)
+        await proxy.close()        # fault counters in proxy.stats
+    """
+
+    def __init__(
+        self,
+        upstream: Address,
+        forward: ChaosPlan | None = None,
+        backward: ChaosPlan | None = None,
+    ):
+        self.upstream = tuple(upstream)
+        self.plans = {
+            "forward": forward or ChaosPlan(),
+            "backward": backward or ChaosPlan(),
+        }
+        self.schedules = {
+            direction: FaultSchedule(plan, direction)
+            for direction, plan in self.plans.items()
+        }
+        self.stats: dict[str, int] = {}
+        self._listen: asyncio.DatagramTransport | None = None
+        self._legs: dict[Address, _ClientLeg] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._handles: list[asyncio.TimerHandle] = []
+        self._started_at = 0.0
+
+    def _count(self, direction: str, fault: str) -> None:
+        key = f"{direction}.{fault}"
+        self.stats[key] = self.stats.get(key, 0) + 1
+        if obs.is_enabled() and fault != "forwarded":
+            obs.counter(
+                "chaos.injected", fault=fault, direction=direction
+            ).inc()
+
+    @property
+    def address(self) -> Address:
+        if self._listen is None:
+            raise RuntimeError("proxy not started")
+        return self._listen.get_extra_info("sockname")[:2]
+
+    async def start(self, bind: Address = ("127.0.0.1", 0)) -> Address:
+        loop = asyncio.get_running_loop()
+        self._listen, _ = await loop.create_datagram_endpoint(
+            lambda: _ListenProtocol(self), local_addr=tuple(bind)
+        )
+        self._started_at = loop.time()
+        return self.address
+
+    async def close(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        for leg in self._legs.values():
+            if leg.transport is not None:
+                leg.transport.close()
+        self._legs.clear()
+        if self._listen is not None:
+            self._listen.close()
+            self._listen = None
+
+    # -- traffic ----------------------------------------------------------
+    def _from_client(self, data: bytes, client: Address) -> None:
+        leg = self._legs.get(client)
+        if leg is None:
+            leg = self._legs[client] = _ClientLeg()
+            task = asyncio.get_running_loop().create_task(
+                self._connect_leg(client)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        self._inject(
+            "backward", data, lambda payload: self._send_upstream(client, payload)
+        )
+
+    async def _connect_leg(self, client: Address) -> None:
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UpstreamProtocol(self, client),
+            remote_addr=self.upstream,
+        )
+        leg = self._legs[client]
+        leg.transport = transport
+        for payload in leg.pending:
+            transport.sendto(payload)
+        leg.pending.clear()
+
+    def _send_upstream(self, client: Address, payload: bytes) -> None:
+        leg = self._legs.get(client)
+        if leg is None:
+            return
+        if leg.transport is None:
+            leg.pending.append(payload)
+        elif not leg.transport.is_closing():
+            leg.transport.sendto(payload)
+
+    def _from_upstream(self, data: bytes, client: Address) -> None:
+        self._inject(
+            "forward", data, lambda payload: self._send_client(client, payload)
+        )
+
+    def _send_client(self, client: Address, payload: bytes) -> None:
+        if self._listen is not None and not self._listen.is_closing():
+            self._listen.sendto(payload, client)
+
+    def _inject(self, direction: str, data: bytes, send) -> None:
+        loop = asyncio.get_running_loop()
+        plan = self.plans[direction]
+        if plan.in_blackout(loop.time() - self._started_at):
+            self._count(direction, "blackout")
+            return
+        decision = self.schedules[direction].decide(len(data))
+        if decision.drop:
+            self._count(direction, "dropped")
+            return
+        if decision.corrupt_at is not None and data:
+            self._count(direction, "corrupted")
+            flipped = bytearray(data)
+            flipped[decision.corrupt_at % len(data)] ^= 0xFF
+            data = bytes(flipped)
+        copies = 2 if decision.duplicate else 1
+        if decision.duplicate:
+            self._count(direction, "duplicated")
+        self._count(direction, "forwarded")
+        for _ in range(copies):
+            if decision.delay > 0:
+                self._count(direction, "delayed")
+                self._handles.append(
+                    loop.call_later(decision.delay, send, data)
+                )
+            else:
+                send(data)

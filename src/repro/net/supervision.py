@@ -1,0 +1,254 @@
+"""Robustness machinery for the UDP transport: pacing, deadlines, backoff.
+
+Three pieces, all deliberately sharing vocabulary with the rest of the
+repo so one mental model covers simulator, campaign and transport:
+
+* :class:`NetConfig` — every knob of a transfer session, validated at
+  construction like :class:`~repro.protocols.np_protocol.NPConfig`.
+* :class:`Pacer` — sender-side pacing/backpressure: the stream task must
+  ``await gate()`` before each frame, which bounds the burst size and
+  yields the event loop so feedback handlers run *during* the stream
+  (without it, a large transfer would starve ``datagram_received`` and
+  every NAK would look stale).
+* :class:`NakScheduler` — per-group NAK solicitation state on the
+  receiver: deadline, seeded exponential backoff with jitter, and a hard
+  retry budget, driven by the same
+  :class:`~repro.campaign.retry.RetryPolicy` the campaign supervisor uses.
+  When every outstanding group has exhausted its budget the transfer is
+  declared stalled (typed failure), never silently hung.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaign.retry import RetryPolicy
+
+__all__ = ["NetConfig", "Pacer", "NakScheduler", "GroupNakState"]
+
+#: the scheduler's scan period is derived from the retry base delay; this
+#: floor keeps a pathological policy from busy-spinning the event loop
+_MIN_TICK = 0.005
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Parameters of a real-socket transfer session.
+
+    FEC geometry (``k``, ``h``, ``packet_size``, ``codec``) mirrors
+    :class:`~repro.protocols.np_protocol.NPConfig`; the remaining knobs
+    bound the transport's patience:
+
+    ``pace_interval``/``pace_burst`` shape the sender's downstream rate:
+    at most ``pace_burst`` frames go out back-to-back, then the stream
+    task sleeps ``pace_interval * pace_burst`` seconds (an even spacing of
+    ``pace_interval`` per frame, amortized).  Even at ``pace_interval=0``
+    the gate yields the event loop every burst, so feedback is processed
+    mid-stream — that yield *is* the backpressure.
+
+    ``join_window`` is the sender's gathering window: joins with the same
+    group tag arriving within it share a session (the unicast fan-out
+    emulation of a multicast group).
+
+    ``nak_retry`` governs the receiver's NAK solicitation per group:
+    base deadline ``nak_retry.base_delay``, exponential backoff with
+    seeded jitter, at most ``nak_retry.retries`` re-NAKs after the first.
+    ``join_retry`` does the same for the initial join handshake.
+
+    ``member_timeout`` is the sender's degraded-completion deadline: an
+    incomplete receiver silent that long is ejected (told via
+    ``SessionFin("ejected")``) instead of stalling the whole session.
+    ``session_deadline`` bounds a session's total lifetime the same way.
+    ``max_rounds`` caps repair rounds per transmission group; on
+    exceedance the group is abandoned with a ``GroupAbort`` exactly like
+    the simulator's eject policy.
+    """
+
+    k: int = 8
+    h: int = 16
+    packet_size: int = 1024
+    codec: str = "rse"
+    seed: int = 0
+    pace_interval: float = 0.0002
+    pace_burst: int = 16
+    join_window: float = 0.05
+    #: sender-side NAK aggregation: the first NAK of a round opens this
+    #: window; repairs sized to the *max* shortfall seen in it are sent at
+    #: close (the real-socket analogue of the paper's NAK slot discipline)
+    nak_aggregation: float = 0.01
+    nak_retry: RetryPolicy = field(
+        default=RetryPolicy(
+            retries=8, base_delay=0.25, backoff=1.6, max_delay=2.0, jitter=0.25
+        )
+    )
+    join_retry: RetryPolicy = field(
+        default=RetryPolicy(
+            retries=4, base_delay=0.2, backoff=2.0, max_delay=2.0, jitter=0.25
+        )
+    )
+    member_timeout: float = 5.0
+    session_deadline: float = 60.0
+    max_rounds: int = 64
+    #: times a receiver re-sends SessionComplete (fire-and-forget ack)
+    complete_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not 0 <= self.h <= 0xFFFF:
+            raise ValueError(f"h must be in [0, 65535], got {self.h}")
+        if self.k > 0xFFFF:
+            raise ValueError(f"k must fit u16, got {self.k}")
+        if self.packet_size < 1:
+            raise ValueError(
+                f"packet_size must be >= 1, got {self.packet_size}"
+            )
+        if self.pace_interval < 0:
+            raise ValueError("pace_interval must be >= 0")
+        if self.pace_burst < 1:
+            raise ValueError("pace_burst must be >= 1")
+        if self.join_window < 0:
+            raise ValueError("join_window must be >= 0")
+        if self.nak_aggregation < 0:
+            raise ValueError("nak_aggregation must be >= 0")
+        if self.member_timeout <= 0:
+            raise ValueError("member_timeout must be positive")
+        if self.session_deadline <= 0:
+            raise ValueError("session_deadline must be positive")
+        if self.max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
+        if self.complete_repeats < 1:
+            raise ValueError("complete_repeats must be >= 1")
+
+
+class Pacer:
+    """Sender-side pacing gate: bounded bursts, mandatory loop yields."""
+
+    def __init__(self, interval: float, burst: int):
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.interval = interval
+        self.burst = burst
+        self._in_burst = 0
+        #: frames gated and sleeps taken, for the throughput benchmark
+        self.frames = 0
+        self.sleeps = 0
+
+    async def gate(self) -> None:
+        """Await before sending one frame."""
+        self.frames += 1
+        self._in_burst += 1
+        if self._in_burst < self.burst:
+            return
+        self._in_burst = 0
+        self.sleeps += 1
+        # interval == 0 still sleeps(0): the yield lets datagram_received
+        # callbacks (NAKs!) run between bursts — backpressure by fairness
+        await asyncio.sleep(self.interval * self.burst)
+
+
+@dataclass
+class GroupNakState:
+    """Solicitation state of one incomplete transmission group."""
+
+    attempts: int = 0
+    next_due: float = 0.0
+    exhausted: bool = False
+
+
+class NakScheduler:
+    """Deadline/backoff/budget bookkeeping for receiver-side NAKs.
+
+    The receiver's recovery ticker calls :meth:`due` each scan; the
+    scheduler answers with the groups whose deadline has passed and whose
+    budget is not yet dry, advancing their backoff schedule (jitter drawn
+    from a ``numpy`` generator seeded by the caller, so two runs with the
+    same seed draw identical backoff sequences).  :meth:`heard` resets a
+    group after any sign of life, mirroring the simulator watchdog.
+    """
+
+    def __init__(self, policy: RetryPolicy, rng: np.random.Generator):
+        self.policy = policy
+        self.rng = rng
+        self._groups: dict[int, GroupNakState] = {}
+        #: total re-NAK attempts granted (first NAK per poll not counted)
+        self.retries_granted = 0
+        #: groups whose budget ran dry at least once
+        self.exhaustions = 0
+
+    @property
+    def tick(self) -> float:
+        """Suggested scan period for the recovery ticker."""
+        return max(_MIN_TICK, self.policy.base_delay / 4.0)
+
+    def state(self, tg: int) -> GroupNakState:
+        group = self._groups.get(tg)
+        if group is None:
+            group = self._groups[tg] = GroupNakState()
+        return group
+
+    def arm(self, tg: int, now: float) -> None:
+        """Start (or restart) the deadline for ``tg`` without spending."""
+        group = self.state(tg)
+        group.next_due = now + self.policy.delay(1, self.rng)
+
+    def heard(self, tg: int, now: float) -> None:
+        """Any sign of life for ``tg``: reset its backoff schedule."""
+        group = self._groups.get(tg)
+        if group is None:
+            return
+        group.attempts = 0
+        group.exhausted = False
+        group.next_due = now + self.policy.delay(1, self.rng)
+
+    def forget(self, tg: int) -> None:
+        """The group is delivered or abandoned: stop soliciting."""
+        self._groups.pop(tg, None)
+
+    def due(self, candidates, now: float, limit: int) -> list[int]:
+        """Up to ``limit`` groups from ``candidates`` due for a re-NAK.
+
+        Each returned group's budget is spent by one attempt and its next
+        deadline pushed out by the seeded backoff.  Groups whose budget is
+        dry are marked ``exhausted`` and never returned again (until
+        :meth:`heard` revives them).
+        """
+        ready: list[int] = []
+        for tg in candidates:
+            if len(ready) >= limit:
+                break
+            group = self.state(tg)
+            if group.exhausted or group.next_due > now:
+                continue
+            if group.attempts >= self.policy.retries:
+                group.exhausted = True
+                self.exhaustions += 1
+                continue
+            group.attempts += 1
+            self.retries_granted += 1
+            # delay(attempt) is the wait *after* attempt N: attempts == 1
+            # maps to the second interval of the schedule, and so on
+            group.next_due = now + self.policy.delay(
+                group.attempts + 1, self.rng
+            )
+            ready.append(tg)
+        return ready
+
+    def all_exhausted(self, candidates) -> bool:
+        """True when every candidate group's retry budget is dry."""
+        candidates = list(candidates)
+        if not candidates:
+            return False
+        return all(self.state(tg).exhausted for tg in candidates)
+
+    @property
+    def max_attempts_spent(self) -> int:
+        """Largest per-group attempt count (for budget assertions)."""
+        if not self._groups:
+            return 0
+        return max(group.attempts for group in self._groups.values())

@@ -1,0 +1,374 @@
+"""Byte-level wire codec for every `repro.protocols.packets` type.
+
+Frame layout (network byte order)::
+
+    offset  size  field
+    0       2     magic  b"PB"          (parity-based)
+    2       1     version (currently 1)
+    3       1     packet-type discriminator
+    4       8     session id (uint64)
+    12      ...   type-specific body
+    -4      4     CRC-32 over everything before it (header + body)
+
+The decoder is *strict by construction*: any frame that is truncated,
+carries the wrong magic, an unsupported version, an unknown type, a CRC
+mismatch, or a body that does not parse to exactly the declared shape is
+rejected with a typed :class:`FrameError` naming the reason — never a bare
+``struct.error``/``IndexError``/``UnicodeDecodeError``.  The fuzz suite in
+``tests/property/test_prop_wire.py`` holds the codec to that contract over
+arbitrary byte strings.
+
+Checksum semantics at the frame boundary: the whole-frame CRC subsumes the
+per-packet checksums, so bodies do not carry them.  ``decode_frame``
+re-stamps — payload packets get ``checksum_of(payload)``, control packets
+auto-stamp at construction — so a decoded packet always verifies intact
+(frames that were damaged on the wire never decode at all).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.protocols.layered import SlotNak
+from repro.protocols.packets import (
+    DataPacket,
+    GroupAbort,
+    Nak,
+    ParityPacket,
+    Poll,
+    Retransmission,
+    SelectiveNak,
+    SessionAnnounce,
+    SessionComplete,
+    SessionFin,
+    SessionJoin,
+    checksum_of,
+)
+
+__all__ = [
+    "FrameError",
+    "Frame",
+    "MAGIC",
+    "VERSION",
+    "MAX_SESSION_ID",
+    "encode_frame",
+    "decode_frame",
+    "frame_kind",
+    "wire_types",
+]
+
+MAGIC = b"PB"
+VERSION = 1
+
+_HEADER = struct.Struct("!2sBBQ")  # magic, version, type, session id
+_CRC = struct.Struct("!I")
+_MIN_FRAME = _HEADER.size + _CRC.size
+
+MAX_SESSION_ID = 2**64 - 1
+#: codec registry names are short; anything longer is a malformed frame
+_MAX_CODEC_NAME = 64
+
+
+class FrameError(ValueError):
+    """A frame could not be encoded or decoded; ``reason`` says why.
+
+    Decode reasons: ``truncated``, ``bad_magic``, ``bad_version``,
+    ``crc_mismatch``, ``unknown_type``, ``malformed``.  Encode reasons:
+    ``unencodable`` (unknown packet class), ``overflow`` (a field exceeds
+    its wire width).
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded frame: the session id and the packet it carried."""
+
+    session_id: int
+    packet: Any
+
+
+# ----------------------------------------------------------------------
+# per-type body codecs
+# ----------------------------------------------------------------------
+_U32 = struct.Struct("!I")
+_DATA = struct.Struct("!III")  # tg, index, generation
+_PARITY = struct.Struct("!II")  # tg, index
+_POLL = struct.Struct("!III")  # tg, sent, round
+_NAK = struct.Struct("!III")  # tg, needed, round
+_SNAK = struct.Struct("!IIH")  # tg, round, count (then count * u32)
+_ABORT = struct.Struct("!II")  # tg, round
+_JOIN = struct.Struct("!IQ")  # group, nonce
+_ANNOUNCE = struct.Struct("!HHIIQ")  # k, h, packet_size, n_groups, length
+_COMPLETE = struct.Struct("!II")  # delivered, failed
+_FIN = struct.Struct("!B")  # reason code
+
+
+def _pack(fmt: struct.Struct, *values: int) -> bytes:
+    try:
+        return fmt.pack(*values)
+    except struct.error as exc:
+        raise FrameError("overflow", str(exc)) from exc
+
+
+def _exact(fmt: struct.Struct, body: bytes) -> tuple:
+    if len(body) != fmt.size:
+        raise FrameError(
+            "malformed", f"body is {len(body)} bytes, expected {fmt.size}"
+        )
+    return fmt.unpack(body)
+
+
+def _prefix(fmt: struct.Struct, body: bytes) -> tuple:
+    if len(body) < fmt.size:
+        raise FrameError(
+            "malformed", f"body is {len(body)} bytes, needs >= {fmt.size}"
+        )
+    return fmt.unpack_from(body)
+
+
+def _encode_data(p: DataPacket) -> bytes:
+    return _pack(_DATA, p.tg, p.index, p.generation) + p.payload
+
+
+def _decode_data(body: bytes) -> DataPacket:
+    tg, index, generation = _prefix(_DATA, body)
+    payload = body[_DATA.size:]
+    return DataPacket(tg, index, payload, generation, checksum_of(payload))
+
+
+def _encode_parity(p: ParityPacket) -> bytes:
+    return _pack(_PARITY, p.tg, p.index) + p.payload
+
+
+def _decode_parity(body: bytes) -> ParityPacket:
+    tg, index = _prefix(_PARITY, body)
+    payload = body[_PARITY.size:]
+    return ParityPacket(tg, index, payload, checksum_of(payload))
+
+
+def _encode_retransmission(p: Retransmission) -> bytes:
+    return _pack(_PARITY, p.tg, p.index) + p.payload
+
+
+def _decode_retransmission(body: bytes) -> Retransmission:
+    tg, index = _prefix(_PARITY, body)
+    payload = body[_PARITY.size:]
+    return Retransmission(tg, index, payload, checksum_of(payload))
+
+
+def _encode_poll(p: Poll) -> bytes:
+    return _pack(_POLL, p.tg, p.sent, p.round)
+
+
+def _decode_poll(body: bytes) -> Poll:
+    return Poll(*_exact(_POLL, body))
+
+
+def _encode_nak(p: Nak) -> bytes:
+    return _pack(_NAK, p.tg, p.needed, p.round)
+
+
+def _decode_nak(body: bytes) -> Nak:
+    return Nak(*_exact(_NAK, body))
+
+
+def _encode_selective_nak(p: SelectiveNak) -> bytes:
+    head = _pack(_SNAK, p.tg, p.round, len(p.missing))
+    return head + b"".join(_pack(_U32, index) for index in p.missing)
+
+
+def _decode_selective_nak(body: bytes) -> SelectiveNak:
+    tg, round_index, count = _prefix(_SNAK, body)
+    rest = body[_SNAK.size:]
+    if len(rest) != count * _U32.size:
+        raise FrameError(
+            "malformed",
+            f"selective NAK declares {count} indices, carries "
+            f"{len(rest)} trailing bytes",
+        )
+    missing = tuple(
+        _U32.unpack_from(rest, offset)[0]
+        for offset in range(0, len(rest), _U32.size)
+    )
+    return SelectiveNak(tg, missing, round_index)
+
+
+def _encode_slot_nak(p: SlotNak) -> bytes:
+    head = _pack(_SNAK, p.block, p.round, len(p.slots))
+    return head + b"".join(_pack(_U32, slot) for slot in p.slots)
+
+
+def _decode_slot_nak(body: bytes) -> SlotNak:
+    block, round_index, count = _prefix(_SNAK, body)
+    rest = body[_SNAK.size:]
+    if len(rest) != count * _U32.size:
+        raise FrameError(
+            "malformed",
+            f"slot NAK declares {count} slots, carries {len(rest)} "
+            f"trailing bytes",
+        )
+    slots = tuple(
+        _U32.unpack_from(rest, offset)[0]
+        for offset in range(0, len(rest), _U32.size)
+    )
+    return SlotNak(block, slots, round_index)
+
+
+def _encode_abort(p: GroupAbort) -> bytes:
+    return _pack(_ABORT, p.tg, p.round)
+
+
+def _decode_abort(body: bytes) -> GroupAbort:
+    return GroupAbort(*_exact(_ABORT, body))
+
+
+def _encode_join(p: SessionJoin) -> bytes:
+    return _pack(_JOIN, p.group, p.nonce)
+
+
+def _decode_join(body: bytes) -> SessionJoin:
+    group, nonce = _exact(_JOIN, body)
+    return SessionJoin(group=group, nonce=nonce)
+
+
+def _encode_announce(p: SessionAnnounce) -> bytes:
+    try:
+        name = p.codec.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise FrameError("overflow", f"codec name {p.codec!r}") from exc
+    if len(name) > _MAX_CODEC_NAME:
+        raise FrameError("overflow", f"codec name {p.codec!r} too long")
+    return (
+        _pack(_ANNOUNCE, p.k, p.h, p.packet_size, p.n_groups, p.total_length)
+        + name
+    )
+
+
+def _decode_announce(body: bytes) -> SessionAnnounce:
+    k, h, packet_size, n_groups, total_length = _prefix(_ANNOUNCE, body)
+    name = body[_ANNOUNCE.size:]
+    if len(name) > _MAX_CODEC_NAME:
+        raise FrameError("malformed", "codec name too long")
+    try:
+        codec = name.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FrameError("malformed", "codec name not ascii") from exc
+    return SessionAnnounce(
+        k=k,
+        h=h,
+        packet_size=packet_size,
+        n_groups=n_groups,
+        total_length=total_length,
+        codec=codec,
+    )
+
+
+def _encode_complete(p: SessionComplete) -> bytes:
+    return _pack(_COMPLETE, p.delivered, p.failed)
+
+
+def _decode_complete(body: bytes) -> SessionComplete:
+    delivered, failed = _exact(_COMPLETE, body)
+    return SessionComplete(delivered=delivered, failed=failed)
+
+
+def _encode_fin(p: SessionFin) -> bytes:
+    return _pack(_FIN, SessionFin.REASONS.index(p.reason))
+
+
+def _decode_fin(body: bytes) -> SessionFin:
+    (code,) = _exact(_FIN, body)
+    if code >= len(SessionFin.REASONS):
+        raise FrameError("malformed", f"unknown fin reason code {code}")
+    return SessionFin(SessionFin.REASONS[code])
+
+
+#: type discriminator -> (packet class, encoder, decoder)
+_TYPES: dict[int, tuple[type, Callable, Callable]] = {
+    1: (DataPacket, _encode_data, _decode_data),
+    2: (ParityPacket, _encode_parity, _decode_parity),
+    3: (Retransmission, _encode_retransmission, _decode_retransmission),
+    4: (Poll, _encode_poll, _decode_poll),
+    5: (Nak, _encode_nak, _decode_nak),
+    6: (SelectiveNak, _encode_selective_nak, _decode_selective_nak),
+    7: (GroupAbort, _encode_abort, _decode_abort),
+    8: (SlotNak, _encode_slot_nak, _decode_slot_nak),
+    9: (SessionJoin, _encode_join, _decode_join),
+    10: (SessionAnnounce, _encode_announce, _decode_announce),
+    11: (SessionComplete, _encode_complete, _decode_complete),
+    12: (SessionFin, _encode_fin, _decode_fin),
+}
+
+_TYPE_OF_CLASS = {cls: type_id for type_id, (cls, _, _) in _TYPES.items()}
+_KIND_OF_CLASS = {
+    DataPacket: "data",
+    ParityPacket: "parity",
+    Retransmission: "retransmission",
+    Poll: "poll",
+    Nak: "nak",
+    SelectiveNak: "nak",
+    SlotNak: "nak",
+    GroupAbort: "abort",
+    SessionJoin: "join",
+    SessionAnnounce: "announce",
+    SessionComplete: "complete",
+    SessionFin: "fin",
+}
+
+
+def wire_types() -> tuple[type, ...]:
+    """Every packet class the codec can carry (for conformance tests)."""
+    return tuple(cls for cls, _, _ in _TYPES.values())
+
+
+def frame_kind(packet: Any) -> str:
+    """Short metric label for a packet (``data``, ``nak``, ``fin``, ...)."""
+    return _KIND_OF_CLASS.get(type(packet), "unknown")
+
+
+def encode_frame(packet: Any, session_id: int = 0) -> bytes:
+    """Serialize ``packet`` into a self-delimiting, CRC-protected frame."""
+    if not 0 <= session_id <= MAX_SESSION_ID:
+        raise FrameError("overflow", f"session id {session_id}")
+    type_id = _TYPE_OF_CLASS.get(type(packet))
+    if type_id is None:
+        raise FrameError(
+            "unencodable", f"no wire mapping for {type(packet).__name__}"
+        )
+    _, encoder, _ = _TYPES[type_id]
+    head = _HEADER.pack(MAGIC, VERSION, type_id, session_id)
+    frame = head + encoder(packet)
+    return frame + _CRC.pack(zlib.crc32(frame))
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse one frame; raises :class:`FrameError` on anything suspect."""
+    if len(data) < _MIN_FRAME:
+        raise FrameError("truncated", f"{len(data)} bytes < {_MIN_FRAME}")
+    magic, version, type_id, session_id = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameError("bad_magic", repr(magic))
+    if version != VERSION:
+        raise FrameError("bad_version", str(version))
+    (stored_crc,) = _CRC.unpack_from(data, len(data) - _CRC.size)
+    if zlib.crc32(data[: -_CRC.size]) != stored_crc:
+        raise FrameError("crc_mismatch", f"stored {stored_crc:#010x}")
+    entry = _TYPES.get(type_id)
+    if entry is None:
+        raise FrameError("unknown_type", str(type_id))
+    _, _, decoder = entry
+    body = data[_HEADER.size: -_CRC.size]
+    try:
+        packet = decoder(body)
+    except FrameError:
+        raise
+    except Exception as exc:  # defensive: decoder bugs stay typed
+        raise FrameError("malformed", f"{type(exc).__name__}: {exc}") from exc
+    return Frame(session_id, packet)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.protocols.np_protocol import NPConfig, NPSender
-from repro.protocols.packets import Nak
+from repro.protocols.packets import Nak, control_intact
 
 __all__ = ["AdaptiveParityController", "AdaptiveNPSender"]
 
@@ -183,6 +183,11 @@ class AdaptiveNPSender(NPSender):
             self.controller.observe_silence()
 
     def on_feedback(self, packet) -> None:
+        if isinstance(packet, Nak) and not control_intact(packet):
+            # corrupt NAKs must not steer the AIMD controller either;
+            # super() would drop them, but only after this pre-processing
+            self.stats.control_corrupt_discarded += 1
+            return
         if isinstance(packet, Nak) and packet.round == 1:
             if (
                 0 <= packet.tg < self.n_groups

@@ -27,7 +27,13 @@ from repro.fec.code import ErasureCode
 from repro.fec.rse import RSECodec
 from repro.protocols.feedback import NakSlotter
 from repro.protocols.np_protocol import NPConfig, ReceiverStats, SenderStats
-from repro.protocols.packets import Poll, checksum_of, payload_intact
+from repro.protocols.packets import (
+    Poll,
+    _AutoControlChecksum,
+    checksum_of,
+    control_intact,
+    payload_intact,
+)
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import MulticastNetwork
 
@@ -60,12 +66,13 @@ class BlockParity:
 
 
 @dataclass(frozen=True)
-class SlotNak:
+class SlotNak(_AutoControlChecksum):
     """RM-layer NAK naming the block slots still needed."""
 
     block: int
     slots: tuple[int, ...]
     round: int
+    checksum: int | None = None
 
     @property
     def needed(self) -> int:
@@ -225,6 +232,10 @@ class LayeredSender:
     def on_feedback(self, packet) -> None:
         if not isinstance(packet, SlotNak):
             return
+        if not control_intact(packet):
+            # untrustworthy slot list: drop, don't resolve wrong originals
+            self.stats.control_corrupt_discarded += 1
+            return
         self.stats.naks_received += 1
         block_id = packet.block
         slots = self._blocks.get(block_id)
@@ -338,6 +349,11 @@ class LayeredReceiver:
             for slot, orig in enumerate(packet.composition):
                 self._learn(packet.block, slot, orig)
             self._try_decode(packet.block)
+        elif isinstance(packet, (Poll, SlotNak)) and not control_intact(
+            packet
+        ):
+            # corrupt control: fields are untrustworthy, drop outright
+            self.stats.control_corrupt_discarded += 1
         elif isinstance(packet, Poll):
             self._on_poll(packet)
         elif isinstance(packet, SlotNak):

@@ -28,6 +28,7 @@ from repro.protocols.packets import (
     Retransmission,
     SelectiveNak,
     checksum_of,
+    control_intact,
     payload_intact,
 )
 from repro.sim.engine import EventHandle, Simulator
@@ -136,6 +137,10 @@ class N2Sender:
     def on_feedback(self, packet) -> None:
         if not isinstance(packet, SelectiveNak):
             return
+        if not control_intact(packet):
+            # untrustworthy sequence numbers: drop, don't retransmit wrongly
+            self.stats.control_corrupt_discarded += 1
+            return
         self.stats.naks_received += 1
         tg = packet.tg
         if tg < 0 or tg >= self.n_groups or not packet.missing:
@@ -215,6 +220,11 @@ class N2Receiver:
                 self.stats.corrupt_discarded += 1
                 return
             self._on_payload(packet.tg, packet.index, packet.payload)
+        elif isinstance(packet, (Poll, SelectiveNak)) and not control_intact(
+            packet
+        ):
+            # corrupt control: fields are untrustworthy, drop outright
+            self.stats.control_corrupt_discarded += 1
         elif isinstance(packet, Poll):
             self._on_poll(packet)
         elif isinstance(packet, SelectiveNak):

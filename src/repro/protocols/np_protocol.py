@@ -44,6 +44,7 @@ from repro.protocols.packets import (
     ParityPacket,
     Poll,
     checksum_of,
+    control_intact,
     payload_intact,
 )
 from repro.sim.engine import EventHandle, Simulator
@@ -161,6 +162,8 @@ class SenderStats:
     rounds_served: int = 0
     parities_encoded: int = 0
     groups_abandoned: int = 0
+    #: control packets (NAKs) dropped for a failed control checksum
+    control_corrupt_discarded: int = 0
 
     @property
     def total_payload_sent(self) -> int:
@@ -292,6 +295,12 @@ class NPSender:
     def on_feedback(self, packet) -> None:
         if not isinstance(packet, Nak):
             return
+        if not control_intact(packet):
+            # a corrupted NAK must be dropped, not acted on: its tg/needed
+            # fields are untrustworthy (the watchdog keeps the real
+            # solicitation alive)
+            self.stats.control_corrupt_discarded += 1
+            return
         self.stats.naks_received += 1
         tg, needed, round_index = packet.tg, packet.needed, packet.round
         if tg < 0 or tg >= self.n_groups or needed < 1:
@@ -399,6 +408,9 @@ class ReceiverStats:
     crashes: int = 0
     #: groups the sender abandoned under its round cap
     groups_failed: int = 0
+    #: control packets (polls, overheard NAKs, aborts) dropped for a
+    #: failed control checksum
+    control_corrupt_discarded: int = 0
     #: simulated time of the last accepted (new, intact) payload packet
     last_progress_time: float = 0.0
 
@@ -478,12 +490,20 @@ class NPReceiver:
     def on_packet(self, packet) -> None:
         if isinstance(packet, (DataPacket, ParityPacket)):
             self._on_payload(packet)
-        elif isinstance(packet, Poll):
-            self._on_poll(packet)
-        elif isinstance(packet, Nak):
-            self.slotter.overheard(packet.tg, packet.round, packet.needed)
-        elif isinstance(packet, GroupAbort):
-            self._on_abort(packet)
+        elif isinstance(packet, (Poll, Nak, GroupAbort)):
+            # control packets carry no payload to demote to an erasure: a
+            # failed control checksum means the fields cannot be trusted
+            # (acting on a corrupt GroupAbort would kill a healthy group),
+            # so the packet is dropped outright
+            if not control_intact(packet):
+                self.stats.control_corrupt_discarded += 1
+                return
+            if isinstance(packet, Poll):
+                self._on_poll(packet)
+            elif isinstance(packet, Nak):
+                self.slotter.overheard(packet.tg, packet.round, packet.needed)
+            else:
+                self._on_abort(packet)
 
     def _on_payload(self, packet) -> None:
         self.stats.packets_received += 1

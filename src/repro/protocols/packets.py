@@ -11,10 +11,22 @@ mismatch discards the packet, demoting corruption to an erasure the FEC
 machinery already knows how to repair.  ``checksum=None`` (the default)
 means "unverifiable" and is accepted, keeping hand-built packets in tests
 and third-party senders working.
+
+Control packets (polls, NAKs, aborts, session control) are different: a
+corrupted control packet cannot be demoted to an erasure — it would be
+*acted on* (a flipped ``tg`` in a NAK solicits repairs for the wrong
+group; a flipped ``tg`` in a :class:`GroupAbort` kills a healthy one).
+They therefore carry a CRC-32 over their semantic fields, stamped
+automatically at construction, and every state machine drops a control
+packet whose checksum fails to verify (:func:`control_intact`).  Because
+stamping happens in ``__post_init__``, call sites never change — but a
+field-tampered copy (``dataclasses.replace`` carries the stale checksum)
+or a bit-flipped wire frame is detected and dropped.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from dataclasses import dataclass
 
@@ -26,8 +38,14 @@ __all__ = [
     "SelectiveNak",
     "Retransmission",
     "GroupAbort",
+    "SessionJoin",
+    "SessionAnnounce",
+    "SessionComplete",
+    "SessionFin",
     "checksum_of",
     "payload_intact",
+    "control_checksum_of",
+    "control_intact",
 ]
 
 
@@ -42,6 +60,48 @@ def payload_intact(packet) -> bool:
     if checksum is None:
         return True
     return zlib.crc32(packet.payload) == checksum
+
+
+def control_checksum_of(packet) -> int:
+    """CRC-32 over a control packet's semantic fields (all but ``checksum``).
+
+    The encoding is the ``repr`` of the type name plus the sorted field
+    values — deterministic across processes for the int/str/tuple fields
+    control packets carry, and independent of the stored checksum itself.
+    """
+    fields = tuple(
+        (f.name, getattr(packet, f.name))
+        for f in dataclasses.fields(packet)
+        if f.name != "checksum"
+    )
+    return zlib.crc32(repr((type(packet).__name__, fields)).encode("utf-8"))
+
+
+def control_intact(packet) -> bool:
+    """True unless ``packet``'s control checksum fails to verify.
+
+    Packets without a ``checksum`` field (or with ``None``, e.g. rebuilt by
+    old journals) are accepted as unverifiable, mirroring
+    :func:`payload_intact`.
+    """
+    checksum = getattr(packet, "checksum", None)
+    if checksum is None:
+        return True
+    return control_checksum_of(packet) == checksum
+
+
+class _AutoControlChecksum:
+    """Mixin: stamp ``checksum`` from the semantic fields at construction.
+
+    A frozen dataclass inheriting this gets a valid checksum for free when
+    built normally, while ``dataclasses.replace(pkt, field=...)`` carries
+    the *old* checksum into the new field set — exactly the
+    corruption-to-drop semantics the receivers enforce.
+    """
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            object.__setattr__(self, "checksum", control_checksum_of(self))
 
 
 @dataclass(frozen=True)
@@ -70,7 +130,7 @@ class ParityPacket:
 
 
 @dataclass(frozen=True)
-class Poll:
+class Poll(_AutoControlChecksum):
     """Sender's end-of-round poll ``POLL(i, s)`` (Section 5.1).
 
     ``sent`` is the number of packets transmitted for the group in the round
@@ -81,10 +141,11 @@ class Poll:
     tg: int
     sent: int
     round: int
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
-class Nak:
+class Nak(_AutoControlChecksum):
     """Receiver feedback ``NAK(i, l)``: ``needed`` packets still missing.
 
     Protocol NP's key property: the NAK carries only a *count*, never
@@ -94,10 +155,11 @@ class Nak:
     tg: int
     needed: int
     round: int
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)
-class SelectiveNak:
+class SelectiveNak(_AutoControlChecksum):
     """Per-packet feedback used by the non-FEC baseline N2.
 
     Carries the explicit sequence numbers (block indices) of the missing
@@ -107,6 +169,7 @@ class SelectiveNak:
     tg: int
     missing: tuple[int, ...]
     round: int
+    checksum: int | None = None
 
     @property
     def needed(self) -> int:
@@ -124,7 +187,7 @@ class Retransmission:
 
 
 @dataclass(frozen=True)
-class GroupAbort:
+class GroupAbort(_AutoControlChecksum):
     """Sender control packet: group ``tg`` was abandoned under the round cap.
 
     The graceful-degradation fallback (the paper's own: eject receivers
@@ -136,3 +199,76 @@ class GroupAbort:
 
     tg: int
     round: int
+    checksum: int | None = None
+
+
+# ----------------------------------------------------------------------
+# session control (the real transport, repro.net)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionJoin(_AutoControlChecksum):
+    """Receiver -> sender: request membership in a transfer session.
+
+    ``group`` tags receivers that want to share one session (the unicast
+    fan-out emulation of a multicast group): joins with the same tag
+    arriving within the sender's gathering window land in the same
+    session.  ``nonce`` distinguishes a restarted receiver from a
+    duplicated join frame.
+    """
+
+    group: int = 0
+    nonce: int = 0
+    checksum: int | None = None
+
+
+@dataclass(frozen=True)
+class SessionAnnounce(_AutoControlChecksum):
+    """Sender -> receiver: transfer metadata, the reply to a join.
+
+    Everything a receiver needs to run its side of the recovery loop:
+    the FEC geometry, the number of transmission groups, the true byte
+    length (the tail group is zero-padded) and the erasure-code registry
+    name the parities were produced with.
+    """
+
+    k: int
+    h: int
+    packet_size: int
+    n_groups: int
+    total_length: int
+    codec: str = "rse"
+    checksum: int | None = None
+
+
+@dataclass(frozen=True)
+class SessionComplete(_AutoControlChecksum):
+    """Receiver -> sender: every group is delivered (or sender-abandoned)."""
+
+    delivered: int
+    failed: int = 0
+    checksum: int | None = None
+
+
+@dataclass(frozen=True)
+class SessionFin(_AutoControlChecksum):
+    """Sender -> receiver: the session is over.
+
+    ``reason`` is one of ``"complete"`` (the receiver finished and this is
+    the acknowledgement), ``"ejected"`` (the degraded-completion policy
+    gave up on this receiver) or ``"aborted"`` (the whole session was torn
+    down, e.g. the server is shutting down).
+    """
+
+    reason: str = "complete"
+    checksum: int | None = None
+
+    #: wire codes for :mod:`repro.net.wire`
+    REASONS = ("complete", "ejected", "aborted")
+
+    def __post_init__(self) -> None:
+        if self.reason not in self.REASONS:
+            raise ValueError(
+                f"unknown fin reason {self.reason!r}; expected one of "
+                f"{self.REASONS}"
+            )
+        super().__post_init__()

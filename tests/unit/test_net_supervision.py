@@ -1,0 +1,262 @@
+"""Unit tests: transport supervision (pacing, NAK budget) and chaos
+schedule determinism."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.campaign.retry import RetryPolicy
+from repro.net.chaos import ChaosPlan, ChaosProxy, FaultSchedule
+from repro.net.supervision import NakScheduler, NetConfig, Pacer
+
+
+class TestNetConfig:
+    def test_defaults_validate(self):
+        config = NetConfig()
+        assert config.k == 8 and config.h == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"h": -1},
+            {"h": 2**16},
+            {"packet_size": 0},
+            {"pace_interval": -0.1},
+            {"pace_burst": 0},
+            {"join_window": -1.0},
+            {"nak_aggregation": -0.01},
+            {"member_timeout": 0.0},
+            {"session_deadline": -5.0},
+            {"max_rounds": -1},
+            {"complete_repeats": 0},
+        ],
+        ids=lambda kw: next(iter(kw.items()))[0],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetConfig(**kwargs)
+
+
+class TestPacer:
+    def test_yields_every_burst(self):
+        async def run():
+            pacer = Pacer(interval=0.0, burst=4)
+            for _ in range(10):
+                await pacer.gate()
+            return pacer
+
+        pacer = asyncio.run(run())
+        assert pacer.frames == 10
+        assert pacer.sleeps == 2  # after frames 4 and 8
+
+    def test_interval_paces_wall_clock(self):
+        async def run():
+            loop = asyncio.get_running_loop()
+            pacer = Pacer(interval=0.005, burst=2)
+            start = loop.time()
+            for _ in range(8):
+                await pacer.gate()
+            return loop.time() - start
+
+        # 4 bursts -> 4 sleeps of 2 * 5ms = at least ~40ms of pacing
+        assert asyncio.run(run()) >= 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pacer(interval=-1.0, burst=1)
+        with pytest.raises(ValueError):
+            Pacer(interval=0.0, burst=0)
+
+
+class TestNakScheduler:
+    def policy(self, retries=3):
+        return RetryPolicy(
+            retries=retries, base_delay=1.0, backoff=2.0, max_delay=8.0,
+            jitter=0.0,
+        )
+
+    def scheduler(self, retries=3, seed=0):
+        return NakScheduler(self.policy(retries), np.random.default_rng(seed))
+
+    def test_armed_group_not_due_before_deadline(self):
+        scheduler = self.scheduler()
+        scheduler.arm(0, now=10.0)
+        assert scheduler.due([0], now=10.5, limit=8) == []
+        assert scheduler.due([0], now=11.5, limit=8) == [0]
+
+    def test_unknown_group_is_immediately_due(self):
+        # a group the stream never reached has next_due 0: first scan fires
+        scheduler = self.scheduler()
+        assert scheduler.due([5], now=100.0, limit=8) == [5]
+
+    def test_backoff_grows_and_budget_exhausts(self):
+        scheduler = self.scheduler(retries=2)
+        now = 0.0
+        fired = []
+        for _ in range(40):
+            fired += scheduler.due([0], now=now, limit=8)
+            now += 0.5
+        assert len(fired) == 2  # the budget, exactly
+        assert scheduler.exhaustions == 1
+        assert scheduler.all_exhausted([0])
+        assert not scheduler.all_exhausted([])  # vacuous case is False
+
+    def test_heard_revives_an_exhausted_group(self):
+        scheduler = self.scheduler(retries=1)
+        assert scheduler.due([0], now=0.0, limit=8) == [0]
+        assert scheduler.due([0], now=50.0, limit=8) == []
+        assert scheduler.all_exhausted([0])
+        scheduler.heard(0, now=50.0)
+        assert not scheduler.all_exhausted([0])
+        assert scheduler.due([0], now=60.0, limit=8) == [0]
+
+    def test_batch_limit(self):
+        scheduler = self.scheduler()
+        due = scheduler.due(range(100), now=5.0, limit=7)
+        assert len(due) == 7
+
+    def test_same_seed_same_backoff_schedule(self):
+        jittery = RetryPolicy(
+            retries=5, base_delay=0.5, backoff=2.0, max_delay=8.0, jitter=0.5
+        )
+
+        def schedule(seed):
+            scheduler = NakScheduler(jittery, np.random.default_rng(seed))
+            deadlines = []
+            now = 0.0
+            for _ in range(200):
+                if scheduler.due([0], now=now, limit=1):
+                    deadlines.append(scheduler.state(0).next_due)
+                now += 0.05
+            return deadlines
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_forget_stops_solicitation(self):
+        scheduler = self.scheduler()
+        assert scheduler.due([0], now=0.0, limit=8) == [0]
+        scheduler.forget(0)
+        assert scheduler.max_attempts_spent == 0
+
+
+class TestChaosPlan:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(loss=1.5)
+        with pytest.raises(ValueError):
+            ChaosPlan(corrupt=-0.1)
+        with pytest.raises(ValueError):
+            ChaosPlan(blackouts=((2.0, 1.0),))
+        with pytest.raises(ValueError):
+            ChaosPlan(jitter=-1.0)
+
+    def test_blackout_windows(self):
+        plan = ChaosPlan(blackouts=((1.0, 2.0), (5.0, 6.0)))
+        assert not plan.in_blackout(0.5)
+        assert plan.in_blackout(1.0)
+        assert plan.in_blackout(1.999)
+        assert not plan.in_blackout(2.0)
+        assert plan.in_blackout(5.5)
+
+
+class TestFaultScheduleDeterminism:
+    """Same seed => same fault schedule: the CI determinism smoke."""
+
+    PLAN = ChaosPlan(
+        seed=42, loss=0.2, corrupt=0.1, duplicate=0.1, reorder=0.2,
+        jitter=0.005,
+    )
+
+    def decisions(self, plan, direction, n=500):
+        schedule = FaultSchedule(plan, direction)
+        return [schedule.decide(100 + (i % 7)) for i in range(n)]
+
+    def test_same_seed_same_schedule(self):
+        first = self.decisions(self.PLAN, "forward")
+        second = self.decisions(self.PLAN, "forward")
+        assert first == second
+
+    def test_directions_draw_independent_streams(self):
+        assert self.decisions(self.PLAN, "forward") != self.decisions(
+            self.PLAN, "backward"
+        )
+
+    def test_different_seed_different_schedule(self):
+        import dataclasses
+
+        other = dataclasses.replace(self.PLAN, seed=43)
+        assert self.decisions(self.PLAN, "forward") != self.decisions(
+            other, "forward"
+        )
+
+    def test_fault_rates_track_probabilities(self):
+        decisions = self.decisions(self.PLAN, "forward", n=4000)
+        drops = sum(d.drop for d in decisions) / len(decisions)
+        assert 0.15 < drops < 0.25
+        survivors = [d for d in decisions if not d.drop]
+        corrupts = sum(d.corrupt_at is not None for d in survivors)
+        assert 0.05 < corrupts / len(survivors) < 0.15
+
+    def test_decision_stream_independent_of_outcomes(self):
+        # the verdict for datagram N must not depend on earlier datagram
+        # *sizes* either — only on (seed, direction, N)
+        schedule_a = FaultSchedule(self.PLAN, "forward")
+        schedule_b = FaultSchedule(self.PLAN, "forward")
+        for i in range(200):
+            a = schedule_a.decide(50)
+            b = schedule_b.decide(5000)
+            assert a.drop == b.drop
+            assert a.duplicate == b.duplicate
+            assert (a.corrupt_at is None) == (b.corrupt_at is None)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(self.PLAN, "sideways")
+
+
+class TestChaosProxyUnit:
+    def test_stats_count_faults(self):
+        async def run():
+            # loss=1.0: everything a client sends is eaten
+            proxy = ChaosProxy(
+                ("127.0.0.1", 9), backward=ChaosPlan(seed=1, loss=1.0)
+            )
+            await proxy.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=proxy.address
+            )
+            for _ in range(5):
+                transport.sendto(b"payload")
+            await asyncio.sleep(0.1)
+            transport.close()
+            await proxy.close()
+            return dict(proxy.stats)
+
+        stats = asyncio.run(run())
+        assert stats.get("backward.dropped") == 5
+        assert "backward.forwarded" not in stats
+
+    def test_blackout_absorbs_direction(self):
+        async def run():
+            proxy = ChaosProxy(
+                ("127.0.0.1", 9),
+                backward=ChaosPlan(seed=1, blackouts=((0.0, 999.0),)),
+            )
+            await proxy.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=proxy.address
+            )
+            for _ in range(3):
+                transport.sendto(b"nak")
+            await asyncio.sleep(0.1)
+            transport.close()
+            await proxy.close()
+            return dict(proxy.stats)
+
+        stats = asyncio.run(run())
+        assert stats.get("backward.blackout") == 3
