@@ -35,6 +35,7 @@ __all__ = [
     "sweep_grid_tasks",
     "SWEEP_GRIDS",
     "em_bound_cell",
+    "failure_em_cell",
     "execute_task",
     "serialize_result",
     "deserialize_result",
@@ -232,6 +233,30 @@ def codec_em_cell(
     )
 
 
+def failure_em_cell(
+    failure: str = "weibull",
+    protocol: str = "np",
+    receivers: tuple[int, ...] = (4, 8),
+    replications: int = 3,
+    seed: int = 0,
+):
+    """One cell of the ``failure_em`` sweep: E[M] under one churn world.
+
+    Thin campaign wrapper over
+    :func:`repro.experiments.figures_failure.failure_em` (imported
+    lazily, like every cell, so workers pay only for what they run).
+    """
+    from repro.experiments.figures_failure import failure_em
+
+    return failure_em(
+        failure=failure,
+        protocol=protocol,
+        receivers=receivers,
+        replications=replications,
+        seed=seed,
+    )
+
+
 #: grid name -> list of (cell task id suffix, target, kwargs)
 SWEEP_GRIDS: dict[str, list[tuple[str, str, dict]]] = {
     "em_bound": [
@@ -253,6 +278,17 @@ SWEEP_GRIDS: dict[str, list[tuple[str, str, dict]]] = {
             {"codec": codec, "k": 7, "h": 3},
         )
         for codec in ("rse", "xor", "rect", "lrc")
+    ],
+    # every availability world crossed with both churned protocols: one
+    # resumable campaign sweeps the whole correlated-failure matrix
+    "failure_em": [
+        (
+            f"{failure}_{protocol}",
+            "repro.campaign.tasks:failure_em_cell",
+            {"failure": failure, "protocol": protocol},
+        )
+        for failure in ("weibull", "piecewise", "gfs", "trace")
+        for protocol in ("np", "layered")
     ],
 }
 

@@ -122,6 +122,16 @@ def _build_parser() -> argparse.ArgumentParser:
         f"{{{', '.join(codec_names())}}}; non-default codecs clamp h onto "
         "their supported geometry (default: rse)",
     )
+    from repro.sim.failure import GENERATOR_NAMES
+
+    mc.add_argument(
+        "--failure",
+        choices=GENERATOR_NAMES,
+        metavar="WORLD",
+        help="availability world for the correlated-failure figure "
+        f"(fail01): one of {{{', '.join(GENERATOR_NAMES)}}} "
+        "(default: weibull)",
+    )
     observability = parser.add_argument_group(
         "observability (repro.obs; see DESIGN.md section 12)"
     )
@@ -152,6 +162,8 @@ def _mc_kwargs(args: argparse.Namespace) -> dict:
         kwargs["replications"] = args.mc_replications
     if args.codec is not None:
         kwargs["codec"] = args.codec
+    if args.failure is not None:
+        kwargs["failure"] = args.failure
     return kwargs
 
 

@@ -11,7 +11,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import obs
-from repro.experiments import ablations, figures_analysis, figures_codec, figures_mc
+from repro.experiments import (
+    ablations,
+    figures_analysis,
+    figures_codec,
+    figures_failure,
+    figures_mc,
+)
 from repro.experiments.series import FigureResult
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -192,6 +198,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             "extension",
             ablations.abl_latency,
             "FEC1 is the latency floor; N2 model is a strict lower bound",
+        ),
+        Experiment(
+            "fail01",
+            "Correlated domain outages vs independent loss of equal mean",
+            "extension",
+            figures_failure.fail01,
+            "correlated E[M] below the rate-matched independent curve: "
+            "domain-scoped losses share repairs",
         ),
     ]
 }

@@ -21,7 +21,11 @@ receiver-to-server (joins, NAKs, completes):
 * **jitter** — a uniform random extra delay;
 * **blackouts** — wall-clock windows (seconds since proxy start) during
   which the direction is silently absorbed; a backward blackout is the
-  paper's nightmare scenario of a feedback channel going dark.
+  paper's nightmare scenario of a feedback channel going dark;
+* **member churn** — per-member eclipse windows (:class:`MemberChurn`):
+  both directions of one client leg go dark while that member's
+  availability schedule says its machine (or rack) is down, the
+  socket-layer realisation of :mod:`repro.sim.failure` schedules.
 
 Determinism: every fault decision comes from a :class:`FaultSchedule`
 seeded by ``(plan.seed, direction)`` that draws a *fixed* number of
@@ -44,7 +48,13 @@ import numpy as np
 
 from repro import obs
 
-__all__ = ["ChaosPlan", "FaultDecision", "FaultSchedule", "ChaosProxy"]
+__all__ = [
+    "ChaosPlan",
+    "FaultDecision",
+    "FaultSchedule",
+    "MemberChurn",
+    "ChaosProxy",
+]
 
 Address = tuple
 
@@ -81,6 +91,42 @@ class ChaosPlan:
 
     def in_blackout(self, elapsed: float) -> bool:
         return any(lo <= elapsed < hi for lo, hi in self.blackouts)
+
+
+@dataclass(frozen=True)
+class MemberChurn:
+    """Per-member eclipse windows: the proxy's availability-churn mode.
+
+    Direction blackouts (:attr:`ChaosPlan.blackouts`) silence a whole
+    direction; ``MemberChurn`` instead eclipses *individual members* —
+    both directions of one client leg go dark during that member's
+    windows, which is what a receiver's machine (or its rack) being down
+    looks like from the network.  ``windows[i]`` are the ``(lo, hi)``
+    wall-clock windows (seconds since proxy start) of the ``i``-th client
+    leg in arrival order; members beyond the tuple are never eclipsed.
+    Build the windows from an availability schedule with
+    :func:`repro.sim.failure.member_blackout_windows`.
+    """
+
+    windows: tuple[tuple[tuple[float, float], ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        normalised = tuple(
+            tuple((float(lo), float(hi)) for lo, hi in member)
+            for member in self.windows
+        )
+        object.__setattr__(self, "windows", normalised)
+        for member in self.windows:
+            for lo, hi in member:
+                if not 0 <= lo < hi:
+                    raise ValueError(f"bad churn window ({lo}, {hi})")
+
+    def in_blackout(self, member: int, elapsed: float) -> bool:
+        if not 0 <= member < len(self.windows):
+            return False
+        return any(
+            lo <= elapsed < hi for lo, hi in self.windows[member]
+        )
 
 
 @dataclass(frozen=True)
@@ -171,6 +217,8 @@ class _UpstreamProtocol(asyncio.DatagramProtocol):
 
 @dataclass
 class _ClientLeg:
+    #: arrival order of this client, indexing :attr:`MemberChurn.windows`
+    index: int = 0
     transport: asyncio.DatagramTransport | None = None
     #: datagrams that arrived while the upstream socket was still connecting
     pending: list[bytes] = field(default_factory=list)
@@ -192,8 +240,10 @@ class ChaosProxy:
         upstream: Address,
         forward: ChaosPlan | None = None,
         backward: ChaosPlan | None = None,
+        churn: MemberChurn | None = None,
     ):
         self.upstream = tuple(upstream)
+        self.churn = churn
         self.plans = {
             "forward": forward or ChaosPlan(),
             "backward": backward or ChaosPlan(),
@@ -247,15 +297,27 @@ class ChaosProxy:
             self._listen = None
 
     # -- traffic ----------------------------------------------------------
+    def _eclipsed(self, leg: _ClientLeg, direction: str) -> bool:
+        """Is this member inside one of its churn windows right now?"""
+        if self.churn is None:
+            return False
+        elapsed = asyncio.get_running_loop().time() - self._started_at
+        if not self.churn.in_blackout(leg.index, elapsed):
+            return False
+        self._count(direction, "member_blackout")
+        return True
+
     def _from_client(self, data: bytes, client: Address) -> None:
         leg = self._legs.get(client)
         if leg is None:
-            leg = self._legs[client] = _ClientLeg()
+            leg = self._legs[client] = _ClientLeg(index=len(self._legs))
             task = asyncio.get_running_loop().create_task(
                 self._connect_leg(client)
             )
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
+        if self._eclipsed(leg, "backward"):
+            return
         self._inject(
             "backward", data, lambda payload: self._send_upstream(client, payload)
         )
@@ -282,6 +344,9 @@ class ChaosProxy:
             leg.transport.sendto(payload)
 
     def _from_upstream(self, data: bytes, client: Address) -> None:
+        leg = self._legs.get(client)
+        if leg is not None and self._eclipsed(leg, "forward"):
+            return
         self._inject(
             "forward", data, lambda payload: self._send_client(client, payload)
         )

@@ -175,11 +175,12 @@ class NetServer:
         if not control_intact(join):
             return
         # a rejoin from a member of a live session is a lost-announce
-        # retry, not a new session
+        # retry (or a churn revival), not a new session; only a refused
+        # add (session already DONE) falls through to a fresh session
         for session in self.sessions.values():
             if addr in session.members and session.group == join.group:
-                session.add_member(addr, join)
-                return
+                if session.add_member(addr, join):
+                    return
         session = self._gathering.get(join.group)
         if session is not None and session.state == "gathering":
             session.add_member(addr, join)
@@ -237,6 +238,9 @@ class FetchResult:
     frames_received: int
     frame_errors: int
     duration: float
+    #: times this receiver rejoined the session after being ejected
+    #: (blackout churn survived); 0 unless ``config.rejoin_attempts`` > 0
+    rejoins: int = 0
 
     @property
     def complete(self) -> bool:
@@ -254,6 +258,7 @@ class FetchResult:
             "frames_received": self.frames_received,
             "frame_errors": self.frame_errors,
             "duration": self.duration,
+            "rejoins": self.rejoins,
             "complete": self.complete,
         }
 
@@ -284,6 +289,7 @@ class _ReceiverProtocol(asyncio.DatagramProtocol):
         self.frames_received = 0
         self.frame_errors = 0
         self.control_corrupt_discarded = 0
+        self.rejoins = 0
 
     # -- plumbing ---------------------------------------------------------
     def connection_made(self, transport) -> None:
@@ -445,6 +451,26 @@ class _ReceiverProtocol(asyncio.DatagramProtocol):
         candidates = self._candidates(now)
         return bool(candidates) and self.scheduler.all_exhausted(candidates)
 
+    def rejoin(self, now: float) -> None:
+        """Re-enter the session after an ejection (churn recovery).
+
+        The decoders keep everything received before the blackout, so
+        recovery resumes from the retained :class:`BlockDecoder` state —
+        only the still-missing groups are re-solicited, never the whole
+        transfer.  The NAK budget of those groups is reset: the ejection
+        was the *network's* fault, not evidence the sender is gone.
+        """
+        self.rejoins += 1
+        if obs.is_enabled():
+            obs.counter("net.rejoins").inc()
+        self.done.clear()
+        self.fin_reason = None
+        for tg in self.missing_groups():
+            if tg not in self.abandoned:
+                self.scheduler.state(tg)  # ensure tracked, then reset
+                self.scheduler.heard(tg, now)
+        self.send(SessionJoin(group=self.group, nonce=self.nonce))
+
     def _check_done(self) -> None:
         if self.announce is None:
             return
@@ -513,6 +539,7 @@ async def fetch(
         frames_received=protocol.frames_received,
         frame_errors=protocol.frame_errors,
         duration=duration,
+        rejoins=protocol.rejoins,
     )
 
 
@@ -580,33 +607,47 @@ async def _recover(
     start: float,
     deadline: float,
 ) -> None:
-    """Drive the NAK watchdog until delivery, ejection or exhaustion."""
+    """Drive the NAK watchdog until delivery, ejection or exhaustion.
+
+    An ``ejected`` fin is terminal only once ``config.rejoin_attempts``
+    is spent: until then the receiver re-joins the live session and
+    resumes from its retained decoder state — the sender revives the
+    member and serves repairs for whatever is still missing.
+    """
     loop = asyncio.get_running_loop()
     tick = protocol.scheduler.tick
-    while not protocol.done.is_set():
-        now = loop.time()
-        if now - start > deadline:
-            raise TransferTimeout(
-                f"net fetch: deadline of {deadline}s elapsed with "
-                f"{len(protocol.missing_groups())} groups missing",
-                _stall_report(protocol, config, start),
-            )
-        protocol.solicit(now)
-        if protocol.budget_exhausted(now):
+    rejoins_left = config.rejoin_attempts
+    while True:
+        while not protocol.done.is_set():
+            now = loop.time()
+            if now - start > deadline:
+                raise TransferTimeout(
+                    f"net fetch: deadline of {deadline}s elapsed with "
+                    f"{len(protocol.missing_groups())} groups missing",
+                    _stall_report(protocol, config, start),
+                )
+            protocol.solicit(now)
+            if protocol.budget_exhausted(now):
+                raise TransferStalled(
+                    "net fetch: NAK retry budget exhausted with the stream "
+                    "silent",
+                    _stall_report(protocol, config, start),
+                )
+            try:
+                await asyncio.wait_for(protocol.done.wait(), timeout=tick)
+            except asyncio.TimeoutError:
+                pass
+        if protocol.fin_reason == "ejected" and rejoins_left > 0:
+            rejoins_left -= 1
+            protocol.rejoin(loop.time())
+            continue
+        if protocol.fin_reason in ("ejected", "aborted"):
             raise TransferStalled(
-                "net fetch: NAK retry budget exhausted with the stream "
-                "silent",
+                f"net fetch: sender closed the session "
+                f"({protocol.fin_reason})",
                 _stall_report(protocol, config, start),
             )
-        try:
-            await asyncio.wait_for(protocol.done.wait(), timeout=tick)
-        except asyncio.TimeoutError:
-            pass
-    if protocol.fin_reason in ("ejected", "aborted"):
-        raise TransferStalled(
-            f"net fetch: sender closed the session ({protocol.fin_reason})",
-            _stall_report(protocol, config, start),
-        )
+        return
 
 
 async def _complete(protocol: _ReceiverProtocol, config: NetConfig) -> None:

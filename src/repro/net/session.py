@@ -74,6 +74,8 @@ class MemberState:
     last_heard: float
     complete: bool = False
     ejected: bool = False
+    #: last time we re-told an ejected member its fate (rate limiter)
+    last_fin: float = -1.0
 
     @property
     def active(self) -> bool:
@@ -101,6 +103,8 @@ class SessionReport:
     repolls: int
     control_corrupt_discarded: int
     duration: float
+    #: ejected members readmitted after a rejoin (churn survivors)
+    revived: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -119,6 +123,7 @@ class SessionReport:
             "repolls": self.repolls,
             "control_corrupt_discarded": self.control_corrupt_discarded,
             "duration": self.duration,
+            "revived": self.revived,
         }
 
 
@@ -178,6 +183,10 @@ class SenderSession:
         self.stale_naks = 0
         self.repolls = 0
         self.control_corrupt_discarded = 0
+        self.revived = 0
+        #: when every member first became settled (complete/ejected) while
+        #: ejected-incomplete members remain — starts the revive grace
+        self._settled_at: float | None = None
 
     # ------------------------------------------------------------------
     # membership
@@ -205,10 +214,23 @@ class SenderSession:
 
         A duplicate join from a known address is always answered with a
         fresh announce — join replies are datagrams too and can be lost.
+        A known member that was *ejected* (silent past ``member_timeout``,
+        e.g. its rack was dark) is revived while the session still runs:
+        it resumes receiving repairs from wherever its decoder left off.
+        Once the session is DONE the join is refused so the server can
+        spawn a fresh session for the stray instead.
         """
         timestamp = self.now()
         member = self.members.get(addr)
         if member is not None:
+            if member.ejected:
+                if self.state == DONE:
+                    return False
+                member.ejected = False
+                self.revived += 1
+                self._settled_at = None  # an active member again
+                if obs.is_enabled():
+                    obs.counter("net.members_revived").inc()
             member.last_heard = timestamp
             self.send(self.announce(), addr)
             return True
@@ -238,6 +260,16 @@ class SenderSession:
         if isinstance(packet, Nak):
             if not control_intact(packet):
                 self.control_corrupt_discarded += 1
+                return
+            if member.ejected:
+                # a NAK from an ejected member means it never learned its
+                # fate (the fins were eaten by the same blackout that got
+                # it ejected): re-tell it, rate-limited, so its rejoin
+                # logic can fire instead of NAK-ing into the void
+                timestamp = self.now()
+                if timestamp - member.last_fin >= self.config.nak_aggregation:
+                    member.last_fin = timestamp
+                    self.send(SessionFin("ejected"), addr)
                 return
             self._on_nak(packet)
         elif isinstance(packet, SessionComplete):
@@ -418,9 +450,20 @@ class SenderSession:
             not member.active for member in self.members.values()
         ):
             ejected = sum(1 for m in self.members.values() if m.ejected)
+            if ejected and self.config.revive_window > 0:
+                # hold the session open so an eclipsed member can rejoin
+                # and resume; the grace runs from the settle instant and
+                # is still bounded by session_deadline in _drain
+                if self._settled_at is None:
+                    self._settled_at = self.now()
+                    return
+                if self.now() - self._settled_at < self.config.revive_window:
+                    return
             abandoned = any(group.abandoned for group in self._groups)
             outcome = "degraded" if (ejected or abandoned) else "complete"
             self._finish(outcome)
+        else:
+            self._settled_at = None
 
     def _finish(self, outcome: str) -> None:
         self.state = DONE
@@ -442,6 +485,7 @@ class SenderSession:
             repolls=self.repolls,
             control_corrupt_discarded=self.control_corrupt_discarded,
             duration=self.now() - self._started_at,
+            revived=self.revived,
         )
         if obs.is_enabled():
             obs.counter("net.sessions", outcome=outcome).inc()

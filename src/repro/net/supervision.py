@@ -94,6 +94,16 @@ class NetConfig:
     max_rounds: int = 64
     #: times a receiver re-sends SessionComplete (fire-and-forget ack)
     complete_repeats: int = 3
+    #: times a receiver that learns it was ejected (``SessionFin``
+    #: "ejected" after a blackout) re-joins the live session and resumes
+    #: recovery from its retained ``BlockDecoder`` state instead of
+    #: failing; 0 keeps the pre-churn behaviour (eject is final)
+    rejoin_attempts: int = 0
+    #: sender-side revive grace: a session whose only unfinished members
+    #: are *ejected* lingers this long (bounded by ``session_deadline``)
+    #: before finishing, so a member eclipsed by a blackout can rejoin the
+    #: same session and resume from its decoder state; 0 finishes eagerly
+    revive_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -122,6 +132,14 @@ class NetConfig:
             raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
         if self.complete_repeats < 1:
             raise ValueError("complete_repeats must be >= 1")
+        if self.rejoin_attempts < 0:
+            raise ValueError(
+                f"rejoin_attempts must be >= 0, got {self.rejoin_attempts}"
+            )
+        if self.revive_window < 0:
+            raise ValueError(
+                f"revive_window must be >= 0, got {self.revive_window}"
+            )
 
 
 class Pacer:

@@ -157,6 +157,16 @@ def _missing_of(receiver) -> tuple[int, ...]:
     return tuple(probe()) if callable(probe) else ()
 
 
+def _by_domain(receivers: set[int] | tuple[int, ...], domains) -> dict:
+    """Group receiver ids by their leaf failure domain (sorted both ways)."""
+    grouped: dict[str, list[int]] = {}
+    for receiver_id in sorted(receivers):
+        grouped.setdefault(domains.domain_of(receiver_id), []).append(
+            receiver_id
+        )
+    return {domain: tuple(ids) for domain, ids in sorted(grouped.items())}
+
+
 def _stall_report(
     protocol: str,
     sim: Simulator,
@@ -166,6 +176,7 @@ def _stall_report(
     stats_injected: dict[str, int],
     seed: int | None,
     fault_plan: FaultPlan | None,
+    domains=None,
 ) -> StallReport:
     """Snapshot everything a liveness-failure post-mortem needs."""
     stalls = tuple(
@@ -190,6 +201,9 @@ def _stall_report(
         injected_faults=dict(stats_injected),
         seed=seed,
         fault_plan=fault_plan,
+        stalled_by_domain=(
+            {} if domains is None else _by_domain(pending, domains)
+        ),
     )
 
 
@@ -205,6 +219,7 @@ def run_transfer(
     max_sim_time: float = 1_000_000.0,
     fault_plan: FaultPlan | None = None,
     codec: str = DEFAULT_CODEC,
+    domains=None,
 ) -> TransferReport:
     """Simulate one complete transfer of ``data`` to all receivers.
 
@@ -226,6 +241,12 @@ def run_transfer(
         between the protocol machines and the network; the injector draws
         from its own seeded generator, so a plan that injects nothing
         leaves the transfer bit-identical to a plan-free run.
+    domains:
+        Optional :class:`repro.sim.failure.DomainTree` attributing
+        receivers to failure domains; stall reports and the degraded
+        summary then also group stragglers/ejections per leaf domain.
+        Defaults to the tree of the loss model itself when the loss model
+        is a :class:`~repro.sim.failure.DomainOutageLoss`.
     codec:
         Registry name of the erasure code shared by sender and receivers
         (default ``"rse"``; see :func:`repro.fec.registry.codec_names`).
@@ -270,6 +291,18 @@ def run_transfer(
     if (feedback_loss > 0.0 or control_loss > 0.0) and config.nak_watchdog <= 0.0:
         raise ValueError(
             "lossy feedback/control requires a nak_watchdog for liveness"
+        )
+    if domains is None:
+        # correlated-churn models carry their own domain tree; pick it up
+        # so per-domain accounting needs no extra plumbing at call sites
+        # (the domain_of probe keeps TreeLoss's networkx graph out)
+        candidate = getattr(loss_model, "tree", None)
+        if hasattr(candidate, "domain_of"):
+            domains = candidate
+    if domains is not None and domains.n_receivers != loss_model.n_receivers:
+        raise ValueError(
+            f"domain tree has {domains.n_receivers} receivers but the loss "
+            f"model has {loss_model.n_receivers}"
         )
     # keep the integer seed (if one was passed) so stall reports can name it
     seed = int(rng) if isinstance(rng, (int, np.integer)) else None
@@ -334,7 +367,7 @@ def run_transfer(
     def diagnose() -> StallReport:
         return _stall_report(
             protocol, sim, receivers, pending, sender,
-            network.stats.injected, seed, fault_plan,
+            network.stats.injected, seed, fault_plan, domains,
         )
 
     queue_drained = False
@@ -422,6 +455,10 @@ def run_transfer(
         degraded=bool(ejected),
         abandoned_groups=tuple(sorted(abandoned)),
         ejected_receivers=ejected,
+        ejected_by_domain=(
+            {} if domains is None or not ejected
+            else _by_domain(ejected, domains)
+        ),
     )
     # ------------------------------------------------------------------
     # Registry-backed measurement (repro.obs): every count on the report
@@ -479,6 +516,9 @@ def run_transfer(
     )
     events = count("transfer.events_dispatched", sim.events_dispatched)
     count("transfer.watchdog_retries", resilience.watchdog_retries)
+    count("transfer.crashes", resilience.crashes)
+    for domain, domain_ejected in resilience.ejected_by_domain.items():
+        count("churn.ejected", len(domain_ejected), domain=domain)
     for kind, kind_count in sorted(network.stats.by_kind.items()):
         count("transfer.wire_packets", kind_count, kind=kind)
     symbols_multiplied = count(

@@ -93,6 +93,9 @@ class StallReport:
     seed: int | None = None
     #: the fault plan in force (None for a fault-free run)
     fault_plan: "FaultPlan | None" = None
+    #: failure-domain path -> stalled receivers under it (empty when the
+    #: run had no domain tree attached)
+    stalled_by_domain: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         """Self-contained JSON form: carries the replay ``(seed, plan)``."""
@@ -108,6 +111,10 @@ class StallReport:
             "fault_plan": (
                 None if self.fault_plan is None else self.fault_plan.to_json()
             ),
+            "stalled_by_domain": {
+                domain: list(receivers)
+                for domain, receivers in self.stalled_by_domain.items()
+            },
         }
 
     @classmethod
@@ -127,6 +134,12 @@ class StallReport:
             injected_faults=dict(data.get("injected_faults", {})),
             seed=data.get("seed"),
             fault_plan=None if plan is None else FaultPlan.from_json(plan),
+            stalled_by_domain={
+                domain: tuple(receivers)
+                for domain, receivers in data.get(
+                    "stalled_by_domain", {}
+                ).items()
+            },
         )
 
     def summary(self) -> str:
@@ -137,6 +150,16 @@ class StallReport:
             f"{self.pending_events} pending)",
         ]
         lines.extend("  " + stall.summary() for stall in self.receivers)
+        if self.stalled_by_domain:
+            lines.append(
+                "  stalled by domain: "
+                + ", ".join(
+                    f"{domain}={list(receivers)}"
+                    for domain, receivers in sorted(
+                        self.stalled_by_domain.items()
+                    )
+                )
+            )
         if self.abandoned_groups:
             lines.append(f"  abandoned groups: {list(self.abandoned_groups)}")
         if self.injected_faults:
@@ -168,6 +191,9 @@ class ResilienceSummary:
     degraded: bool = False
     abandoned_groups: tuple[int, ...] = ()
     ejected_receivers: tuple[int, ...] = ()
+    #: failure-domain path -> ejected receivers under it (empty unless the
+    #: transfer ran under a domain tree and degraded)
+    ejected_by_domain: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -182,6 +208,10 @@ class ResilienceSummary:
             "degraded": self.degraded,
             "abandoned_groups": list(self.abandoned_groups),
             "ejected_receivers": list(self.ejected_receivers),
+            "ejected_by_domain": {
+                domain: list(receivers)
+                for domain, receivers in self.ejected_by_domain.items()
+            },
         }
 
     @classmethod
@@ -199,4 +229,10 @@ class ResilienceSummary:
             degraded=bool(data.get("degraded", False)),
             abandoned_groups=tuple(data.get("abandoned_groups", ())),
             ejected_receivers=tuple(data.get("ejected_receivers", ())),
+            ejected_by_domain={
+                domain: tuple(receivers)
+                for domain, receivers in data.get(
+                    "ejected_by_domain", {}
+                ).items()
+            },
         )

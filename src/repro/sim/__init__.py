@@ -4,7 +4,9 @@
 * :mod:`repro.sim.loss` — the paper's four loss behaviours;
 * :mod:`repro.sim.tree` — multicast-tree builders;
 * :class:`repro.sim.MulticastNetwork` — event-driven transport for the
-  protocol state machines.
+  protocol state machines;
+* :mod:`repro.sim.failure` — availability generators, failure domains
+  and correlated-churn composition over any loss model.
 """
 
 from repro.sim.engine import EventHandle, SimulationError, Simulator
@@ -32,6 +34,25 @@ from repro.sim.tree import (
     star_topology,
 )
 
+# imported last: repro.sim.failure pulls in repro.resilience.faults, which
+# itself imports from repro.sim — the engine/loss imports above must have
+# completed first
+from repro.sim.failure import (
+    AvailabilityGenerator,
+    AvailabilitySchedule,
+    DomainOutageLoss,
+    DomainTree,
+    DownWindow,
+    EmpiricalAvailability,
+    PiecewiseRateAvailability,
+    TraceAvailability,
+    WeibullAvailability,
+    churn_fault_plan,
+    generator_from_spec,
+    member_blackout_windows,
+    named_generator,
+)
+
 __all__ = [
     "Simulator",
     "EventHandle",
@@ -57,4 +78,17 @@ __all__ = [
     "random_multicast_tree",
     "leaves_of",
     "path_to_root",
+    "DownWindow",
+    "AvailabilitySchedule",
+    "AvailabilityGenerator",
+    "WeibullAvailability",
+    "PiecewiseRateAvailability",
+    "EmpiricalAvailability",
+    "TraceAvailability",
+    "generator_from_spec",
+    "named_generator",
+    "DomainTree",
+    "DomainOutageLoss",
+    "churn_fault_plan",
+    "member_blackout_windows",
 ]

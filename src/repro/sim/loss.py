@@ -39,6 +39,8 @@ __all__ = [
     "FullBinaryTreeLoss",
     "TreeLoss",
     "loss_model_from_spec",
+    "register_spec_builder",
+    "spec_kinds",
 ]
 
 
@@ -659,6 +661,43 @@ _SPEC_BUILDERS = {
     ),
 }
 
+#: spec ``kind`` -> the exact set of parameter keys its builder reads.
+#: ``loss_model_from_spec`` validates against this *before* calling the
+#: builder, so a malformed spec always fails with a ``ValueError`` naming
+#: the valid keys — never a bare ``KeyError`` from inside a lambda.
+_SPEC_FIELDS = {
+    "bernoulli": frozenset({"n_receivers", "p"}),
+    "heterogeneous": frozenset({"probabilities"}),
+    "gilbert": frozenset(
+        {"n_receivers", "rate_good_to_bad", "rate_bad_to_good"}
+    ),
+    "fbt": frozenset({"depth", "p"}),
+    "bursty_tree": frozenset(
+        {"depth", "p", "mean_burst_length", "packet_interval"}
+    ),
+    "scripted": frozenset({"schedule"}),
+}
+
+
+def register_spec_builder(kind, builder, fields):
+    """Register an external loss-model spec kind (e.g. from an extension
+    module) so :func:`loss_model_from_spec` can rebuild it.
+
+    ``fields`` is the exact set of parameter keys the spec carries beside
+    ``kind``; it powers the same unknown/missing-key validation the
+    built-in kinds get.  Re-registering a kind replaces it, which keeps
+    module reloads idempotent.
+    """
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"spec kind must be a non-empty string: {kind!r}")
+    _SPEC_BUILDERS[kind] = builder
+    _SPEC_FIELDS[kind] = frozenset(fields)
+
+
+def spec_kinds() -> tuple[str, ...]:
+    """Every registered spec kind, sorted (the round-trippable models)."""
+    return tuple(sorted(_SPEC_BUILDERS))
+
 
 def loss_model_from_spec(spec: dict) -> LossModel:
     """Rebuild a loss model from its :meth:`LossModel.to_spec` dict.
@@ -667,16 +706,42 @@ def loss_model_from_spec(spec: dict) -> LossModel:
     bit-for-bit, so a rebuilt model samples identically to the original
     under the same rng stream — which is what lets the sharded Monte-Carlo
     engine promise bit-identical statistics across process boundaries.
+
+    Every malformed spec raises ``ValueError`` — not a spec dict, unknown
+    ``kind``, unknown parameter keys, or missing parameter keys — and the
+    message always names the valid alternatives.
     """
     try:
         kind = spec["kind"]
     except (TypeError, KeyError):
-        raise ValueError(f"not a loss-model spec: {spec!r}") from None
-    try:
-        builder = _SPEC_BUILDERS[kind]
-    except KeyError:
+        raise ValueError(
+            f"not a loss-model spec: {spec!r}; "
+            f"known kinds: {list(spec_kinds())}"
+        ) from None
+    if kind not in _SPEC_BUILDERS:
+        # extension kinds (e.g. "domain_outage") live in modules that are
+        # not imported by default; pull them in before giving up
+        try:
+            import repro.sim.failure  # noqa: F401  (registers its kinds)
+        except ImportError:  # pragma: no cover - failure.py always ships
+            pass
+    if kind not in _SPEC_BUILDERS:
         raise ValueError(
             f"unknown loss-model kind {kind!r}; "
-            f"known: {sorted(_SPEC_BUILDERS)}"
-        ) from None
-    return builder(spec)
+            f"known: {list(spec_kinds())}"
+        )
+    fields = _SPEC_FIELDS[kind]
+    given = set(spec) - {"kind"}
+    unknown = given - fields
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {sorted(unknown)} for loss-model kind "
+            f"{kind!r}; valid keys: {sorted(fields)}"
+        )
+    missing = fields - given
+    if missing:
+        raise ValueError(
+            f"missing key(s) {sorted(missing)} for loss-model kind "
+            f"{kind!r}; valid keys: {sorted(fields)}"
+        )
+    return _SPEC_BUILDERS[kind](spec)

@@ -230,3 +230,127 @@ class TestTreeLoss:
         model = TreeLoss(tree, 0, receivers=[3, 1, 2], node_loss=0.0)
         assert model.receivers == [3, 1, 2]
         assert model.n_receivers == 3
+
+
+class TestSpecRoundTrip:
+    """spec -> model -> spec is exact for every registered kind, and every
+    malformed spec fails with a ValueError naming the valid alternatives."""
+
+    @staticmethod
+    def representative_models():
+        """One instance per registered spec kind (keep in sync check below)."""
+        from repro.sim.failure import (
+            DomainOutageLoss,
+            DomainTree,
+            WeibullAvailability,
+        )
+        from repro.sim.loss import BurstyTreeLoss, ScriptedLoss
+
+        schedule = np.zeros((3, 7), dtype=bool)
+        schedule[1, ::2] = True
+        return {
+            "bernoulli": BernoulliLoss(9, 0.07),
+            "heterogeneous": HeterogeneousLoss(
+                np.array([0.01, 0.2, 0.33])
+            ),
+            "gilbert": GilbertLoss(6, 0.4, 7.5),
+            "fbt": FullBinaryTreeLoss(3, 0.05),
+            "bursty_tree": BurstyTreeLoss(3, 0.05, 4.0, 0.02),
+            "scripted": ScriptedLoss(schedule),
+            "domain_outage": DomainOutageLoss(
+                BernoulliLoss(8, 0.02),
+                DomainTree(8, branching=(2, 2)),
+                WeibullAvailability(seed=5, horizon=50.0),
+            ),
+        }
+
+    def test_every_registered_kind_is_covered(self):
+        from repro.sim.loss import spec_kinds
+
+        import repro.sim.failure  # noqa: F401 - registers domain_outage
+
+        assert set(self.representative_models()) == set(spec_kinds())
+
+    @pytest.mark.parametrize(
+        "kind", ["bernoulli", "heterogeneous", "gilbert", "fbt",
+                 "bursty_tree", "scripted", "domain_outage"]
+    )
+    def test_round_trip_exact(self, kind):
+        import json
+
+        from repro.sim.loss import loss_model_from_spec
+
+        model = self.representative_models()[kind]
+        spec = model.to_spec()
+        # the spec must survive a real JSON hop (campaign wire format)
+        rebuilt = loss_model_from_spec(json.loads(json.dumps(spec)))
+        assert rebuilt.to_spec() == spec
+        times = np.linspace(0.0, 10.0, 50)
+        a = model.sample_at(times, np.random.default_rng(11))
+        b = rebuilt.sample_at(times, np.random.default_rng(11))
+        assert (a == b).all()
+        assert np.allclose(
+            model.marginal_loss_probability(),
+            rebuilt.marginal_loss_probability(),
+        )
+
+    def test_not_a_spec(self):
+        from repro.sim.loss import loss_model_from_spec
+
+        for bad in (None, 42, "bernoulli", [], {}):
+            with pytest.raises(ValueError, match="not a loss-model spec"):
+                loss_model_from_spec(bad)
+
+    def test_unknown_kind_names_known_kinds(self):
+        from repro.sim.loss import loss_model_from_spec
+
+        with pytest.raises(ValueError, match="bernoulli") as excinfo:
+            loss_model_from_spec({"kind": "martian"})
+        assert "martian" in str(excinfo.value)
+
+    def test_missing_keys_name_valid_keys(self):
+        from repro.sim.loss import loss_model_from_spec
+
+        with pytest.raises(
+            ValueError, match=r"missing key\(s\) \['p'\]"
+        ) as excinfo:
+            loss_model_from_spec({"kind": "bernoulli", "n_receivers": 4})
+        assert "n_receivers" in str(excinfo.value)
+
+    def test_unknown_keys_name_valid_keys(self):
+        from repro.sim.loss import loss_model_from_spec
+
+        with pytest.raises(ValueError, match=r"unknown key\(s\) \['typo'\]"):
+            loss_model_from_spec(
+                {"kind": "bernoulli", "n_receivers": 4, "p": 0.1, "typo": 1}
+            )
+
+    def test_never_raises_bare_keyerror(self):
+        from repro.sim.loss import loss_model_from_spec, spec_kinds
+
+        for kind in spec_kinds():
+            with pytest.raises(ValueError):
+                loss_model_from_spec({"kind": kind})
+
+    def test_domain_outage_registers_lazily(self):
+        """A fresh process can rebuild a domain_outage spec without the
+        caller importing repro.sim.failure first."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.loss import loss_model_from_spec\n"
+            "spec = {'kind': 'domain_outage',\n"
+            "        'base': {'kind': 'bernoulli', 'n_receivers': 4,"
+            " 'p': 0.1},\n"
+            "        'tree': {'n_receivers': 4, 'branching': [2, 2],"
+            " 'levels': ['site', 'rack']},\n"
+            "        'generator': {'kind': 'weibull', 'seed': 1,"
+            " 'horizon': 10.0, 'up_shape': 1.5, 'up_scale': 8.0,"
+            " 'down_shape': 0.9, 'down_scale': 0.7}}\n"
+            "model = loss_model_from_spec(spec)\n"
+            "assert model.to_spec() == spec\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, timeout=60
+        )
