@@ -116,6 +116,43 @@ def record_trajectory(name: str, metrics: dict) -> pathlib.Path:
     del history[:-MAX_HISTORY]
 
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    _verify_appended(path, commit, metrics)
     print(f"\n[trajectory] {path.name}: {json.dumps(entry['metrics'])}")
     sys.stdout.flush()
     return path
+
+
+def _verify_appended(path: pathlib.Path, commit: str, metrics: dict) -> None:
+    """Re-read ``path`` and assert the record actually landed.
+
+    A perf test that 'recorded' its numbers into the void (unwritable
+    checkout, a refactor that redirects BENCH_DIR, a silently-swallowed
+    serialization error) would otherwise pass while the committed
+    trajectory stays empty — exactly the regression this guards against:
+    every ``record_trajectory`` call now proves its own append.
+    """
+    try:
+        written = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AssertionError(
+            f"trajectory record for {path.name} did not survive the write: "
+            f"{exc}"
+        ) from exc
+    entries = [
+        e for e in written.get("history", []) if e.get("commit") == commit
+    ]
+    if not entries:
+        raise AssertionError(
+            f"trajectory {path.name} has no entry for commit {commit!r} "
+            f"after recording"
+        )
+    recorded = entries[-1].get("metrics", {})
+    missing = [
+        key for key, value in metrics.items()
+        if key not in recorded or recorded[key] != _round(value)
+    ]
+    if missing:
+        raise AssertionError(
+            f"trajectory {path.name} entry for {commit!r} is missing "
+            f"metrics {missing} after recording"
+        )

@@ -1,0 +1,156 @@
+"""GF-kernel backend shootout on the paper's encode workload.
+
+One 64 KiB FEC block = ``k = 64`` data packets of 1 KiB, ``h = 10``
+parities (fig01's 0.15-redundancy operating point), encoded in batches of
+16 blocks — the sender-side pre-encoding path.  Every *available* backend
+in :mod:`repro.galois.backends` is measured; the committed trajectory
+(``BENCH_gf_backends.json``) records packets/s per backend plus the
+headline ratio, and the gate pins the bitsliced kernel at >= 2x the PR-1
+``numpy`` oracle on this shape.
+
+Every ``record_trajectory`` call self-verifies its append (the empty-
+trajectory regression), and :func:`test_trajectory_record_is_nonempty`
+additionally proves this module's own record landed with the metrics the
+gates used.
+
+Run with ``pytest benchmarks/test_perf_gf_backends.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._trajectory import BENCH_DIR, record_trajectory
+from repro.fec.rse import InverseCache, RSECodec
+from repro.galois import backends as gb
+
+K = 64               # data packets per 64 KiB block
+H = 10               # fig01's ~0.15 redundancy point
+PACKET_SIZE = 1024   # the paper's 1 KB packets
+BATCH = 16           # blocks per encode_blocks call
+MIN_DURATION = 0.25
+
+#: The perf gate: the cache-blocked bitsliced kernel must beat the PR-1
+#: oracle heuristic by at least this factor on the 64 KiB-block encode.
+BITSLICED_FLOOR = 2.0
+
+
+def _blocks() -> np.ndarray:
+    rng = np.random.default_rng(0x6F6B)
+    return rng.integers(
+        0, 256, size=(BATCH, K, PACKET_SIZE)
+    ).astype(np.uint8)
+
+
+def _timed_loop(fn, work_per_call: int, min_duration: float = MIN_DURATION):
+    """Run ``fn`` until ``min_duration`` elapsed; returns work items/second."""
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_duration:
+            return calls * work_per_call / elapsed
+
+
+def _encode_rates() -> dict[str, float]:
+    """Data packets/s per available backend on the 64 KiB-block encode."""
+    batch = _blocks()
+    oracle = RSECodec(K, H, inverse_cache=InverseCache(),
+                      gf_backend="numpy")
+    expected = oracle.encode_blocks(batch)
+    rates: dict[str, float] = {}
+    for name in gb.available_backend_names():
+        codec = RSECodec(K, H, inverse_cache=InverseCache(),
+                         gf_backend=name)
+        # a benchmark of a wrong kernel is worse than no benchmark
+        assert np.array_equal(codec.encode_blocks(batch), expected), (
+            f"backend {name!r} diverged from the oracle on the bench shape"
+        )
+        rates[name] = _timed_loop(
+            lambda codec=codec: codec.encode_blocks(batch), BATCH * K
+        )
+    return rates
+
+
+def _record(rates: dict[str, float]) -> float:
+    speedup = rates["bitsliced"] / rates["numpy"]
+    metrics = {
+        f"encode_pps_{name}": rate for name, rate in sorted(rates.items())
+    }
+    metrics["bitsliced_speedup_x"] = speedup
+    metrics["block_kib"] = K * PACKET_SIZE // 1024
+    record_trajectory("gf_backends", metrics)
+    return speedup
+
+
+@pytest.mark.benchmark(group="gf-backends")
+def test_backend_encode_shootout(benchmark):
+    rates = benchmark.pedantic(_encode_rates, rounds=1, iterations=1)
+    speedup = _record(rates)
+    assert speedup >= BITSLICED_FLOOR, (
+        f"bitsliced encode speedup {speedup:.2f}x is below the "
+        f"{BITSLICED_FLOOR}x floor on the 64 KiB-block workload"
+    )
+    # every optional backend must at least not be catastrophically slow;
+    # the committed trajectory carries the actual numbers for drift review
+    for name, rate in rates.items():
+        assert rate > 0, f"backend {name!r} measured a zero rate"
+
+
+def test_smoke_speedup_without_benchmark_plugin():
+    """Plugin-free gate (used by CI): bitsliced >= 2x oracle."""
+    rates = _encode_rates()
+    speedup = _record(rates)
+    assert speedup >= BITSLICED_FLOOR, (
+        f"bitsliced encode speedup {speedup:.2f}x < {BITSLICED_FLOOR}x"
+    )
+
+
+def test_trajectory_record_is_nonempty():
+    """The committed trajectory must actually contain this bench's record.
+
+    Guards the empty-trajectory failure mode end to end: a BENCH file that
+    exists but whose history lost the current metrics (a merge gone wrong,
+    a silently-skipped record call) fails here even if every timing gate
+    above passed.
+    """
+    rates = _encode_rates()
+    path = record_trajectory(
+        "gf_backends", {"smoke_encode_pps_numpy": rates["numpy"]}
+    )
+    doc = json.loads(path.read_text())
+    assert doc["bench"] == "gf_backends"
+    assert doc["history"], "trajectory history is empty after recording"
+    latest = doc["history"][-1]["metrics"]
+    assert "smoke_encode_pps_numpy" in latest
+    assert any(
+        key.startswith("encode_pps_") for key in latest
+    ), "per-backend rates missing from the trajectory record"
+    assert (BENCH_DIR / "BENCH_gf_backends.json").exists()
+
+
+def test_trajectory_self_verification_has_teeth(monkeypatch, tmp_path):
+    """``record_trajectory`` must refuse to 'succeed' without an append."""
+    from benchmarks import _trajectory
+
+    monkeypatch.setattr(_trajectory, "BENCH_DIR", tmp_path)
+    # a write that lands is fine...
+    _trajectory.record_trajectory("scratch", {"value": 1.0})
+    # ...but a verification against a vanished record must raise
+    real_write = _trajectory.pathlib.Path.write_text
+
+    def swallow(self, *args, **kwargs):
+        if self.name.startswith("BENCH_"):
+            return 0  # simulate a write that never lands
+        return real_write(self, *args, **kwargs)
+
+    monkeypatch.setattr(_trajectory.pathlib.Path, "write_text", swallow)
+    (tmp_path / "BENCH_scratch2.json").unlink(missing_ok=True)
+    with pytest.raises(AssertionError, match="no entry|did not survive"):
+        _trajectory.record_trajectory("scratch2", {"value": 1.0})

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.fec.code import DecodeError, ErasureCode
 from repro.fec.registry import create_codec
 from repro.fec.rse import RSECodec
@@ -216,11 +218,14 @@ class BlockDecoder:
             raise ValueError(f"codec k={codec.k} does not match group k={k}")
         self.k = k
         self.codec = codec
-        self.received: dict[int, bytes] = {}
+        #: values are whatever the caller handed in — ``bytes`` payloads or
+        #: zero-copy symbol views (:func:`repro.protocols.packets.payload_symbols`);
+        #: the codec's ``decode`` accepts both and nothing here reads the data
+        self.received: dict[int, bytes | np.ndarray] = {}
         self._decoded: list[bytes] | None = None
         self.duplicates = 0
 
-    def add(self, block_index: int, payload: bytes) -> bool:
+    def add(self, block_index: int, payload: bytes | np.ndarray) -> bool:
         """Absorb one packet; returns True if the group is now decodable."""
         if self._decoded is not None:
             self.duplicates += 1

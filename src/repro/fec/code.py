@@ -215,10 +215,18 @@ class ErasureCode(abc.ABC):
     ) -> np.ndarray:
         if isinstance(packet, np.ndarray):
             arr = np.ascontiguousarray(packet, dtype=self.field.dtype)
-            if arr.size and int(arr.max()) >= self.field.order:
-                raise ValueError(
-                    f"symbol value exceeds GF(2^{self.field.m}) range"
-                )
+            # The range scan only matters when the dtype has headroom above
+            # the field order (e.g. uint8 symbols for GF(2^4)); for full-range
+            # fields like GF(2^8)-over-uint8 every representable value is a
+            # valid symbol and scanning would touch every byte of every
+            # packet on the encode hot path for nothing.  Aligned same-dtype
+            # inputs pass through ascontiguousarray without a copy, keeping
+            # this branch zero-copy end to end.
+            if self.field.order <= np.iinfo(self.field.dtype).max:
+                if arr.size and int(arr.max()) >= self.field.order:
+                    raise ValueError(
+                        f"symbol value exceeds GF(2^{self.field.m}) range"
+                    )
             return arr
         raw = bytes(packet)
         if self.field.m == 4:

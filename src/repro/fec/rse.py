@@ -84,6 +84,12 @@ class InverseCache:
     O(k^3) Gaussian elimination with a dictionary lookup.  Cached arrays
     are frozen read-only; the field in the key keeps codecs over different
     fields (or different ``(k, n)``) from ever colliding.
+
+    The key deliberately does *not* include the GF-kernel backend: every
+    registered backend is conformance-gated to bit-identity with the
+    ``numpy`` oracle (DESIGN.md section 16), so an inverse computed under
+    one backend is valid under all of them and cache hits survive backend
+    switches mid-run.
     """
 
     def __init__(self, maxsize: int = 512):
@@ -149,6 +155,13 @@ class RSECodec(ErasureCode):
     inverse_cache:
         Bounded LRU for inverted decode submatrices; defaults to the
         process-wide shared cache (safe: keys carry field and geometry).
+    gf_backend:
+        Optional GF-kernel backend name (see :mod:`repro.galois.backends`)
+        pinning this codec's hot matrix products to one kernel.  ``None``
+        (the default) resolves the process-wide selection
+        (:func:`repro.galois.active_backend`) at every call, so
+        ``set_backend``/``use_backend``/``REPRO_GF_BACKEND`` take effect
+        without rebuilding codecs.
 
     The codec is stateless apart from :attr:`stats`; one instance can safely
     encode and decode any number of blocks.
@@ -164,8 +177,10 @@ class RSECodec(ErasureCode):
         h: int,
         field: GaloisField = GF256,
         inverse_cache: InverseCache | None = None,
+        gf_backend: str | None = None,
     ):
         super().__init__(k, h, field=field)
+        self.gf_backend = gf_backend
         self.generator = _cached_generator(field, k, self.n)
         self.inverse_cache = (
             inverse_cache if inverse_cache is not None else _DEFAULT_INVERSE_CACHE
@@ -196,7 +211,9 @@ class RSECodec(ErasureCode):
         """
         data = self._check_symbols(data, rows_axis=0)
         with obs.span("rse.encode", k=self.k, h=self.h):
-            parities = self.field.matmul(self.generator[self.k:], data)
+            parities = self.field.matmul(
+                self.generator[self.k:], data, backend=self.gf_backend
+            )
         self.stats.packets_encoded += self.k
         self.stats.parities_produced += self.h
         self.stats.symbols_multiplied += self._parity_ops
@@ -217,7 +234,9 @@ class RSECodec(ErasureCode):
             )
         data = self._check_symbols(data, rows_axis=1)
         with obs.span("rse.encode", k=self.k, h=self.h, blocks=data.shape[0]):
-            parities = self.field.matmul(self.generator[self.k:], data)
+            parities = self.field.matmul(
+                self.generator[self.k:], data, backend=self.gf_backend
+            )
         n_blocks = data.shape[0]
         self.stats.packets_encoded += n_blocks * self.k
         self.stats.parities_produced += n_blocks * self.h
@@ -301,7 +320,9 @@ class RSECodec(ErasureCode):
             inverse = self._inverted_submatrix(use)
             stacked = np.vstack([rows[i] for i in use])  # (k, S)
             coefficients = inverse[missing]  # (M, k)
-            reconstructed = self.field.matmul(coefficients, stacked)
+            reconstructed = self.field.matmul(
+                coefficients, stacked, backend=self.gf_backend
+            )
         for row, data_index in zip(reconstructed, missing):
             out[data_index] = row
         self.stats.symbols_multiplied += int(np.count_nonzero(coefficients))

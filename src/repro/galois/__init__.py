@@ -6,9 +6,25 @@ Public surface:
   :data:`GF16`, :data:`GF256`, :data:`GF65536`;
 * matrix helpers in :mod:`repro.galois.matrix` (Vandermonde construction,
   inversion, systematic generator matrices);
-* raw table builders in :mod:`repro.galois.tables`.
+* raw table builders in :mod:`repro.galois.tables`;
+* the pluggable kernel-backend registry in :mod:`repro.galois.backends`
+  (``numpy`` oracle, ``bitsliced``, ``table``, optional ``numba``),
+  selected via :func:`set_backend` / :func:`use_backend` or the
+  ``REPRO_GF_BACKEND`` environment variable.
 """
 
+from repro.galois.backends import (
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    GFBackend,
+    active_backend,
+    available_backend_names,
+    backend_names,
+    register_backend,
+    reset_backend,
+    set_backend,
+    use_backend,
+)
 from repro.galois.field import GF16, GF256, GF65536, GaloisField, field_for_width
 from repro.galois.polynomial import GFPolynomial, PolynomialCodec
 from repro.galois.matrix import (
@@ -30,6 +46,16 @@ from repro.galois.tables import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "GFBackend",
+    "active_backend",
+    "available_backend_names",
+    "backend_names",
+    "register_backend",
+    "reset_backend",
+    "set_backend",
+    "use_backend",
     "GaloisField",
     "GF16",
     "GF256",

@@ -1,0 +1,527 @@
+"""Pluggable GF-kernel backends behind a string-keyed registry.
+
+The RSE hot path is one operation: the batched field matrix product
+``(r, s) @ (B, s, c) -> (B, r, c)`` (see :meth:`GaloisField.matmul`).
+This module makes the *kernel* that computes it swappable the same way
+``repro.fec.registry`` makes the erasure code swappable: backends are
+registered under plain string names, selected process-wide (``set_backend``,
+the ``REPRO_GF_BACKEND`` environment variable, the experiments CLI's
+``--gf-backend`` flag) or per call (``field.matmul(..., backend=...)``), and
+every registered backend is held to bit-identity with the ``numpy``
+reference oracle by the conformance suite in
+``tests/property/test_prop_gf_backends.py``.
+
+Backends
+--------
+``numpy``
+    The PR-1 reference path: the shape heuristic over the table-gather and
+    nibble-sliced kernels that live on :class:`GaloisField`.  This is the
+    *oracle* — every other backend must reproduce its outputs bit for bit.
+``bitsliced``
+    Cache-blocked bitsliced kernel: the right operand is decomposed into
+    ``m`` bit planes (built by branch-free doubling), and each output row
+    is a pure word-wide XOR of the plane rows selected by the set bits of
+    the coefficient matrix.  No per-element table gathers and no 16x
+    nibble-table materialisation, which wins decisively in the paper's
+    operating regime (parity rows ``h`` well below ``k``).
+``table``
+    Full product-table ``np.take`` path: one flat dense-table lookup per
+    product term.  Only defined for ``m <= 8`` (the table is ``4^m``
+    entries); structurally the simplest kernel, kept as a second
+    independent implementation for differential testing.
+``numba``
+    Optional JIT kernel, auto-detected at import: registered always,
+    *available* only when numba is importable.  Selecting it without numba
+    raises :exc:`BackendUnavailableError`.
+
+The oracle contract (DESIGN.md section 16): backends may differ in speed,
+never in value.  A backend that cannot handle a field (``table`` and
+``numba`` for ``m > 8``) says so via :meth:`GFBackend.supports`, and
+:meth:`GaloisField.matmul` silently falls back to the oracle for that call
+(counted on ``galois.backend_fallbacks``) — selection must never change
+results or raise mid-encode.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.galois.field import GaloisField
+
+try:  # the optional compiled backend; absence is a supported configuration
+    import numba as _numba
+except ImportError:  # pragma: no cover - exercised on numba-free hosts
+    _numba = None
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "BackendUnavailableError",
+    "GFBackend",
+    "register_backend",
+    "backend_names",
+    "available_backend_names",
+    "get_backend_class",
+    "backend",
+    "active_backend",
+    "set_backend",
+    "reset_backend",
+    "use_backend",
+    "temporary_backend",
+]
+
+#: Backend used when nothing is selected (the PR-1 reference oracle).
+DEFAULT_BACKEND = "numpy"
+
+#: Environment variable consulted by :func:`active_backend` when no backend
+#: has been selected programmatically.  Crosses process boundaries, so
+#: campaign / sharded-MC workers inherit the supervisor's selection.
+ENV_BACKEND = "REPRO_GF_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run here (missing optional dependency)."""
+
+
+_REGISTRY: dict[str, type["GFBackend"]] = {}
+_INSTANCES: dict[str, "GFBackend"] = {}
+
+#: Explicit process-wide selection; ``None`` defers to :data:`ENV_BACKEND`.
+_ACTIVE: "GFBackend | None" = None
+
+
+class GFBackend(abc.ABC):
+    """One implementation of the batched GF matrix-product kernel.
+
+    Subclasses implement :meth:`matmul_blocks` over *validated* operands:
+    ``a`` is a C-ordered ``(r, s)`` coefficient matrix and ``b3`` a
+    ``(B, s, c)`` symbol batch, both already of ``field.dtype`` and in
+    range.  Shape normalisation (vector / matrix / batch), observability
+    and fallback all live in :meth:`GaloisField.matmul`; backends contain
+    arithmetic only.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = "abstract"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current process."""
+        return True
+
+    def supports(self, field: "GaloisField") -> bool:
+        """Whether this backend implements kernels for ``field``.
+
+        Unsupported fields silently fall back to the oracle at the call
+        site — the selection knob must never change results.
+        """
+        return True
+
+    @abc.abstractmethod
+    def matmul_blocks(
+        self, field: "GaloisField", a: np.ndarray, b3: np.ndarray
+    ) -> np.ndarray:
+        """``(r, s) @ (B, s, c) -> (B, r, c)`` over ``field``."""
+
+    def scale_accumulate(
+        self, field: "GaloisField", acc: np.ndarray, c: int, v: np.ndarray
+    ) -> None:
+        """In-place ``acc ^= c * v``; default delegates to the field tables.
+
+        Backends with a cheaper constant-times-vector path override this;
+        the conformance suite holds every override to bit-identity with
+        the oracle.
+        """
+        field._scale_accumulate_reference(acc, c, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<GFBackend {self.name}>"
+
+
+def register_backend(cls: type[GFBackend]) -> type[GFBackend]:
+    """Class decorator: register ``cls`` under its :attr:`~GFBackend.name`.
+
+    Re-registering the same class is a no-op (module reloads); claiming an
+    existing name with a different class is an error.  Unavailable backends
+    (e.g. ``numba`` without numba) are registered too — they show up in
+    :func:`backend_names` but not :func:`available_backend_names`, and
+    selecting them raises :exc:`BackendUnavailableError`.
+    """
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name or name == "abstract":
+        raise ValueError(
+            f"backend class {cls.__name__} must define a non-empty `name`"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"backend name {name!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """Sorted names of every registered backend (available or not)."""
+    return sorted(_REGISTRY)
+
+
+def available_backend_names() -> list[str]:
+    """Sorted names of the backends that can run in this process."""
+    return sorted(name for name, cls in _REGISTRY.items() if cls.available())
+
+
+def get_backend_class(name: str) -> type[GFBackend]:
+    """The backend class registered under ``name`` (typo-friendly KeyError)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GF backend {name!r}; registered backends: "
+            f"{backend_names()}"
+        ) from None
+
+
+def backend(name: str) -> GFBackend:
+    """The shared instance of backend ``name`` (constructed on first use).
+
+    Raises
+    ------
+    KeyError
+        For a name that was never registered.
+    BackendUnavailableError
+        For a registered backend whose optional dependency is missing.
+    """
+    cls = get_backend_class(name)
+    if not cls.available():
+        raise BackendUnavailableError(
+            f"GF backend {name!r} is registered but unavailable here "
+            f"(missing optional dependency); available: "
+            f"{available_backend_names()}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None or type(instance) is not cls:
+        instance = cls()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def active_backend() -> GFBackend:
+    """The backend hot calls use when none is passed explicitly.
+
+    Resolution order: a programmatic :func:`set_backend` selection, then
+    the :data:`ENV_BACKEND` environment variable, then :data:`DEFAULT_BACKEND`.
+    A bad environment value fails loudly here rather than silently running
+    the wrong kernel.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    name = os.environ.get(ENV_BACKEND, "").strip() or DEFAULT_BACKEND
+    _ACTIVE = backend(name)
+    return _ACTIVE
+
+
+def set_backend(name: str) -> GFBackend:
+    """Select the process-wide backend; returns the instance selected."""
+    global _ACTIVE
+    _ACTIVE = backend(name)
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Drop the programmatic selection (environment/default applies again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[GFBackend]:
+    """Select backend ``name`` for the duration of a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def temporary_backend(cls: type[GFBackend]) -> Iterator[type[GFBackend]]:
+    """Register ``cls`` for the duration of a ``with`` block (tests only).
+
+    The conformance suite uses this to prove it has teeth: a deliberately
+    broken backend is registered, the battery is run against it, and the
+    registry is restored afterwards even if the battery (correctly) fails.
+    """
+    name = cls.name
+    previous = _REGISTRY.get(name)
+    if previous is not None and previous is not cls:
+        raise ValueError(f"backend name {name!r} already registered")
+    register_backend(cls)
+    try:
+        yield cls
+    finally:
+        if previous is None:
+            _REGISTRY.pop(name, None)
+        else:
+            _REGISTRY[name] = previous
+        _INSTANCES.pop(name, None)
+        global _ACTIVE
+        if _ACTIVE is not None and _ACTIVE.name == name:
+            _ACTIVE = None
+
+
+# ----------------------------------------------------------------------
+# numpy: the PR-1 reference oracle
+# ----------------------------------------------------------------------
+@register_backend
+class NumpyBackend(GFBackend):
+    """The reference path: PR 1's shape heuristic over gather / nibble-sliced.
+
+    Every other backend is conformance-tested against this one, and every
+    unsupported-field call falls back to it, so its outputs define
+    correctness for the whole registry.
+    """
+
+    name = "numpy"
+
+    def matmul_blocks(
+        self, field: "GaloisField", a: np.ndarray, b3: np.ndarray
+    ) -> np.ndarray:
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        # The sliced kernel pays a fixed cost (bit planes + nibble tables)
+        # per call; it only wins once the r*s*B selection work amortises it
+        # and the rows are long enough for word-wide XORs to matter.
+        row_bytes = c * field.dtype.itemsize
+        if r >= 4 and row_bytes >= 256 and r * s * n_batch >= 48:
+            return field._matmul_sliced(a, b3)
+        return field._matmul_gather(a, b3)
+
+
+# ----------------------------------------------------------------------
+# bitsliced: cache-blocked bit-plane kernel
+# ----------------------------------------------------------------------
+@register_backend
+class BitslicedBackend(GFBackend):
+    """Cache-blocked bitsliced kernel (pure XOR selection over bit planes).
+
+    The right operand is flattened to ``(s, B * c)`` and decomposed into
+    ``m`` bit planes by repeated field doubling — branch-free shift/XOR
+    passes, no gathers.  Output row ``j`` is then the XOR of the plane rows
+    picked out by the set bits of ``a[j]``: one fancy row-gather plus one
+    XOR reduction per output row, touching ``popcount(a[j]) ~ m/2 * s``
+    payload rows.  Columns are processed in cache-sized blocks so the
+    planes a selection reads are still resident from the build pass.
+
+    Versus the nibble-sliced oracle kernel this skips the 16x nibble-table
+    materialisation entirely, which is the dominant cost whenever the
+    output is much shorter than the input (``r << s`` — exactly the
+    paper's encode regime, ``h`` parities from ``k >> h`` data packets).
+    """
+
+    name = "bitsliced"
+
+    #: Upper bound on the bytes of one column block's bit planes
+    #: (``m * s * block``); sized to keep the planes L2-resident while the
+    #: ``r`` selection passes re-read them.
+    _PLANE_BLOCK_BYTES = 1 << 21
+
+    def matmul_blocks(
+        self, field: "GaloisField", a: np.ndarray, b3: np.ndarray
+    ) -> np.ndarray:
+        m = field.m
+        dtype = field.dtype
+        itemsize = dtype.itemsize
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        if r == 0 or s == 0 or c == 0 or n_batch == 0:
+            return np.zeros((n_batch, r, c), dtype=dtype)
+
+        # flatten the batch onto the column axis and pad to whole uint64
+        # words so every selection XOR is word-wide
+        symbols_per_word = 8 // itemsize
+        total = n_batch * c
+        total_pad = -(-total // symbols_per_word) * symbols_per_word
+        flat = np.zeros((s, total_pad), dtype=dtype)
+        flat[:, :total] = b3.transpose(1, 0, 2).reshape(s, total)
+
+        # per-output-row selection index lists into the (m * s) plane rows;
+        # bit b of a[j, i] selects plane row  b * s + i
+        bits = ((a[:, None, :].astype(np.uint32) >> np.arange(m)[None, :, None]) & 1).astype(bool)
+        selections = [np.flatnonzero(bits[j]) for j in range(r)]
+
+        words_total = total_pad * itemsize // 8
+        out64 = np.zeros((r, words_total), dtype=np.uint64)
+        flat64 = flat.view(np.uint64)
+
+        block_words = max(
+            512, self._PLANE_BLOCK_BYTES // max(1, m * s * 8)
+        )
+        mask = dtype.type(field.order - 1)
+        reduce_term = dtype.type(field.primitive_poly & (field.order - 1))
+        top_shift = m - 1
+        for w0 in range(0, words_total, block_words):
+            block = np.ascontiguousarray(flat64[:, w0:w0 + block_words])
+            block_sym = block.view(dtype)  # (s, block columns as symbols)
+            # bit planes by doubling: x*2 = (x << 1) ^ (reduce if top bit)
+            planes = np.empty((m,) + block_sym.shape, dtype=dtype)
+            planes[0] = block_sym
+            for bit in range(1, m):
+                prev = planes[bit - 1]
+                doubled = planes[bit]
+                np.left_shift(prev, 1, out=doubled)
+                doubled &= mask
+                doubled ^= (prev >> top_shift) * reduce_term
+            plane_rows = planes.reshape(m * s, -1).view(np.uint64)
+            for j in range(r):
+                chosen = selections[j]
+                if chosen.size:
+                    out64[j, w0:w0 + block_words] = np.bitwise_xor.reduce(
+                        plane_rows[chosen], axis=0
+                    )
+        out = (
+            out64.view(dtype)[:, :total]
+            .reshape(r, n_batch, c)
+            .transpose(1, 0, 2)
+        )
+        return np.ascontiguousarray(out)
+
+
+# ----------------------------------------------------------------------
+# table: full product-table np.take kernel
+# ----------------------------------------------------------------------
+@register_backend
+class TableBackend(GFBackend):
+    """Dense product-table kernel: one flat ``np.take`` per product term.
+
+    The full ``2^m x 2^m`` multiplication table is flattened once and every
+    product becomes ``table[a * 2^m + b]`` — no logs, no zero masking, no
+    modulo.  The reduction axis is chunked to bound the scratch tensor,
+    mirroring the oracle's gather kernel.  Only defined for ``m <= 8``
+    (the table is ``4^m`` entries); wider fields fall back to the oracle
+    at the call site via :meth:`supports`.
+    """
+
+    name = "table"
+
+    #: Scratch elements allowed for one index/product tensor (~4 MiB).
+    _SCRATCH = 1 << 22
+
+    def supports(self, field: "GaloisField") -> bool:
+        return field.m <= 8
+
+    def matmul_blocks(
+        self, field: "GaloisField", a: np.ndarray, b3: np.ndarray
+    ) -> np.ndarray:
+        flat_table = field._mul_table.reshape(-1)
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        out = np.zeros((n_batch, r, c), dtype=field.dtype)
+        shifted = a.astype(np.intp) << field.m  # row index -> flat offset
+        chunk = max(1, self._SCRATCH // max(1, n_batch * r * c))
+        for s0 in range(0, s, chunk):
+            index = (
+                shifted[None, :, s0:s0 + chunk, None]
+                + b3[:, None, s0:s0 + chunk, :]
+            )
+            products = flat_table.take(index)
+            out ^= np.bitwise_xor.reduce(products, axis=2)
+        return out
+
+    def scale_accumulate(
+        self, field: "GaloisField", acc: np.ndarray, c: int, v: np.ndarray
+    ) -> None:
+        if field.m > 8:
+            field._scale_accumulate_reference(acc, c, v)
+            return
+        if c == 0:
+            return
+        v = np.asarray(v, dtype=field.dtype)
+        if c == 1:
+            np.bitwise_xor(acc, v, out=acc)
+            return
+        flat_table = field._mul_table.reshape(-1)
+        # widen before the offset add: the flat index (c << m) + v does not
+        # fit the symbol dtype
+        index = v.astype(np.intp) + (c << field.m)
+        np.bitwise_xor(acc, flat_table.take(index), out=acc)
+
+
+# ----------------------------------------------------------------------
+# numba: optional JIT kernel (auto-detected at import)
+# ----------------------------------------------------------------------
+_NUMBA_KERNEL = None
+
+
+def _numba_kernel():
+    """Compile (once) and return the JIT matmul kernel."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+        @_numba.njit(cache=False, nogil=True)
+        def kernel(a, b3, table, out):  # pragma: no cover - requires numba
+            r, s = a.shape
+            n_batch, _, c = b3.shape
+            for batch in range(n_batch):
+                for j in range(r):
+                    for i in range(s):
+                        coeff = a[j, i]
+                        if coeff == 0:
+                            continue
+                        row = table[coeff]
+                        for col in range(c):
+                            out[batch, j, col] ^= row[b3[batch, i, col]]
+
+        _NUMBA_KERNEL = kernel
+    return _NUMBA_KERNEL
+
+
+@register_backend
+class NumbaBackend(GFBackend):
+    """JIT-compiled scalar-loop kernel (optional; needs numba installed).
+
+    The loop nest a C coder would write, compiled by numba: per-batch,
+    per-output-row accumulation through the dense multiplication table with
+    explicit zero-coefficient skips.  Registered unconditionally so the
+    name is always discoverable; :meth:`available` is False without numba
+    and selection then raises :exc:`BackendUnavailableError`.  ``m <= 8``
+    only (the dense table); wider fields fall back to the oracle.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if _numba is None:  # pragma: no cover - constructor guarded upstream
+            raise BackendUnavailableError(
+                "the numba backend needs the optional `numba` package"
+            )
+
+    @classmethod
+    def available(cls) -> bool:
+        return _numba is not None
+
+    def supports(self, field: "GaloisField") -> bool:
+        return field.m <= 8
+
+    def matmul_blocks(
+        self, field: "GaloisField", a: np.ndarray, b3: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        r, s = a.shape
+        n_batch, _, c = b3.shape
+        out = np.zeros((n_batch, r, c), dtype=field.dtype)
+        if r and s and c and n_batch:
+            _numba_kernel()(
+                np.ascontiguousarray(a),
+                np.ascontiguousarray(b3),
+                field._mul_table,
+                out,
+            )
+        return out

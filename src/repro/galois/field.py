@@ -16,6 +16,8 @@ Example
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import obs
@@ -146,8 +148,21 @@ class GaloisField:
         out = np.where(v == 0, self.dtype.type(0), out)
         return out.astype(self.dtype, copy=False)
 
-    def scale_accumulate(self, acc: np.ndarray, c: int, v: np.ndarray) -> None:
-        """In-place ``acc ^= c * v`` — the encode/decode hot loop."""
+    def scale_accumulate(
+        self, acc: np.ndarray, c: int, v: np.ndarray, backend=None
+    ) -> None:
+        """In-place ``acc ^= c * v`` — the encode/decode hot loop.
+
+        Dispatches through the selected GF backend (see
+        :mod:`repro.galois.backends`); every backend is conformance-tested
+        to produce bit-identical accumulations.
+        """
+        self._resolve_backend(backend)[0].scale_accumulate(self, acc, c, v)
+
+    def _scale_accumulate_reference(
+        self, acc: np.ndarray, c: int, v: np.ndarray
+    ) -> None:
+        """The table-driven reference accumulation (the backend oracle)."""
         if c == 0:
             return
         if c == 1:
@@ -219,14 +234,43 @@ class GaloisField:
     #: kernel materialises tables for at once.
     _SLICED_SLAB = 1 << 24
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _resolve_backend(self, backend):
+        """``(backend instance, fell_back)`` for a knob value.
+
+        ``backend`` may be ``None`` (use the process-wide selection), a
+        registry name, or a live :class:`~repro.galois.backends.GFBackend`.
+        A backend that does not support this field falls back to the
+        ``numpy`` oracle — selection must never change results or raise
+        mid-encode (the oracle contract, DESIGN.md section 16).
+        """
+        from repro.galois import backends as _backends
+
+        if backend is None:
+            chosen = _backends.active_backend()
+        elif isinstance(backend, str):
+            chosen = _backends.backend(backend)
+        else:
+            chosen = backend
+        if not chosen.supports(self):
+            return _backends.backend("numpy"), True
+        return chosen, False
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, backend=None) -> np.ndarray:
         """Matrix product over the field, vectorised.
 
         ``a`` has shape ``(r, s)``; ``b`` may be a vector ``(s,)``, a matrix
         ``(s, c)`` or a batch of matrices ``(B, s, c)`` (one product per
         batch entry, as used by :meth:`repro.fec.rse.RSECodec.encode_blocks`).
 
-        Two kernels, selected by problem shape:
+        The kernel comes from the pluggable backend registry
+        (:mod:`repro.galois.backends`): ``backend`` may be a registry name
+        or instance, and defaults to the process-wide selection
+        (``set_backend`` / ``REPRO_GF_BACKEND``, falling back to the
+        ``numpy`` reference oracle).  Every registered backend is
+        conformance-tested to bit-identity with the oracle, so this knob
+        changes speed, never values.
+
+        The oracle itself selects between two kernels by problem shape:
 
         * a *gather* kernel — one multiplication-table lookup per product
           term, reduction axis chunked to keep the scratch tensor small;
@@ -251,21 +295,22 @@ class GaloisField:
         if s != s_b:
             raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
 
-        # The sliced kernel pays a fixed cost (bit planes + nibble tables)
-        # per call; it only wins once the r*s*B selection work amortises it
-        # and the rows are long enough for word-wide XORs to matter.
-        row_bytes = c * self.dtype.itemsize
-        if r >= 4 and row_bytes >= 256 and r * s * n_batch >= 48:
-            kernel = "sliced"
-            out = self._matmul_sliced(a, b3)
-        else:
-            kernel = "gather"
-            out = self._matmul_gather(a, b3)
-        if obs.is_enabled():
-            obs.counter("galois.matmul_calls", m=self.m, kernel=kernel).inc()
+        chosen, fell_back = self._resolve_backend(backend)
+        telemetry = obs.is_enabled()
+        started = time.perf_counter() if telemetry else 0.0
+        out = chosen.matmul_blocks(self, a, b3)
+        if telemetry:
+            obs.counter(
+                "galois.matmul_calls", m=self.m, backend=chosen.name
+            ).inc()
             obs.counter("galois.product_terms", m=self.m).inc(
                 r * s * c * n_batch
             )
+            obs.histogram(
+                "galois.kernel_seconds", backend=chosen.name
+            ).observe(time.perf_counter() - started)
+            if fell_back:
+                obs.counter("galois.backend_fallbacks", m=self.m).inc()
         if batched:
             return out
         return out[0, :, 0] if vector else out[0]

@@ -44,6 +44,7 @@ from repro.protocols.packets import (
     SessionFin,
     SessionJoin,
     control_intact,
+    payload_symbols,
 )
 from repro.resilience.errors import TransferStalled, TransferTimeout
 from repro.resilience.report import ReceiverStall, StallReport
@@ -377,7 +378,13 @@ class _ReceiverProtocol(asyncio.DatagramProtocol):
         if tg in self.delivered or tg in self.abandoned:
             return
         self.scheduler.heard(tg, now)
-        if self._decoder(tg).add(packet.index, packet.payload):
+        # Hand the payload to the decoder as a zero-copy symbol view when
+        # the field is byte-aligned; the codec's ndarray path skips both
+        # the bytes round-trip and (for full-range fields) the value scan.
+        payload = packet.payload
+        if self.codec.field.m in (8, 16):
+            payload = payload_symbols(packet, self.codec.field)
+        if self._decoder(tg).add(packet.index, payload):
             self.delivered.add(tg)
             self.scheduler.forget(tg)
             self._check_done()

@@ -30,6 +30,8 @@ import dataclasses
 import zlib
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "DataPacket",
     "ParityPacket",
@@ -44,6 +46,7 @@ __all__ = [
     "SessionFin",
     "checksum_of",
     "payload_intact",
+    "payload_symbols",
     "control_checksum_of",
     "control_intact",
 ]
@@ -60,6 +63,35 @@ def payload_intact(packet) -> bool:
     if checksum is None:
         return True
     return zlib.crc32(packet.payload) == checksum
+
+
+def payload_symbols(packet, field) -> np.ndarray:
+    """Zero-copy read-only view of a payload as GF(2^m) symbols.
+
+    ``packet`` is a payload-bearing packet (anything with a ``payload``
+    attribute) or a raw ``bytes``-like buffer.  The returned array is a
+    :func:`numpy.frombuffer` *view* sharing memory with the payload — no
+    byte is copied on the handoff into the codec's symbol-level API, and
+    because ``bytes`` payloads are immutable the view is read-only, which
+    the GF kernels respect (they never write their inputs).
+
+    Only the byte-aligned symbol widths qualify: ``m = 8`` (one byte per
+    symbol) and ``m = 16`` (two bytes, native order, matching the codec's
+    ``_to_symbols`` convention).  Nibble-packed ``m = 4`` payloads need an
+    unpacking copy and must go through the codec's ``bytes`` path instead.
+    """
+    payload = getattr(packet, "payload", packet)
+    if field.m not in (8, 16):
+        raise ValueError(
+            f"zero-copy symbol views need byte-aligned symbols "
+            f"(m in (8, 16)), not m={field.m}"
+        )
+    if field.m == 16 and len(payload) % 2:
+        raise ValueError(
+            f"payload length {len(payload)} is not a whole number of "
+            f"GF(2^16) symbols"
+        )
+    return np.frombuffer(payload, dtype=field.dtype)
 
 
 def control_checksum_of(packet) -> int:

@@ -1,0 +1,428 @@
+"""Unit tests: the GF-kernel backend registry and its selection machinery.
+
+Value-level conformance lives in ``tests/property/test_prop_gf_backends.py``;
+this file covers the plumbing — registration rules, name listings, the
+``set_backend`` / ``REPRO_GF_BACKEND`` / default resolution order, the
+unavailable-backend error path, telemetry counters on hot calls, the
+zero-copy encode/handoff paths (``np.shares_memory`` regressions) and the
+experiments CLI knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fec.registry import create_codec
+from repro.fec.rse import InverseCache, RSECodec
+from repro.galois import backends as gb
+from repro.galois.field import GF16, GF256, GF65536
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Isolate every test from ambient backend selection."""
+    monkeypatch.delenv(gb.ENV_BACKEND, raising=False)
+    gb.reset_backend()
+    yield
+    gb.reset_backend()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_core_backends_registered(self):
+        names = gb.backend_names()
+        for expected in ("numpy", "bitsliced", "table", "numba"):
+            assert expected in names
+
+    def test_available_is_subset_of_registered(self):
+        assert set(gb.available_backend_names()) <= set(gb.backend_names())
+
+    def test_numpy_oracle_always_available(self):
+        assert "numpy" in gb.available_backend_names()
+
+    def test_unknown_name_is_a_helpful_keyerror(self):
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            gb.get_backend_class("no-such-kernel")
+        with pytest.raises(KeyError, match="registered backends"):
+            gb.backend("no-such-kernel")
+
+    def test_instances_are_shared(self):
+        assert gb.backend("numpy") is gb.backend("numpy")
+
+    def test_register_rejects_nameless_class(self):
+        class Nameless(gb.GFBackend):
+            def matmul_blocks(self, field, a, b3):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="non-empty"):
+            gb.register_backend(Nameless)
+
+    def test_register_rejects_name_collision(self):
+        class Impostor(gb.GFBackend):
+            name = "numpy"
+
+            def matmul_blocks(self, field, a, b3):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            gb.register_backend(Impostor)
+
+    def test_reregistering_same_class_is_noop(self):
+        cls = gb.get_backend_class("numpy")
+        assert gb.register_backend(cls) is cls
+
+    def test_temporary_backend_registers_and_restores(self):
+        class Scratch(gb.GFBackend):
+            name = "scratch-backend"
+
+            def matmul_blocks(self, field, a, b3):
+                return gb.backend("numpy").matmul_blocks(field, a, b3)
+
+        assert "scratch-backend" not in gb.backend_names()
+        with gb.temporary_backend(Scratch):
+            assert "scratch-backend" in gb.backend_names()
+            gb.set_backend("scratch-backend")
+        assert "scratch-backend" not in gb.backend_names()
+        # the dangling selection was cleared with the registration
+        assert gb.active_backend().name == gb.DEFAULT_BACKEND
+
+    def test_temporary_backend_rejects_collision(self):
+        class Impostor(gb.GFBackend):
+            name = "numpy"
+
+            def matmul_blocks(self, field, a, b3):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            with gb.temporary_backend(Impostor):
+                pass  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# selection: programmatic > environment > default
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_default_is_numpy_oracle(self):
+        assert gb.DEFAULT_BACKEND == "numpy"
+        assert gb.active_backend().name == "numpy"
+
+    def test_environment_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(gb.ENV_BACKEND, "bitsliced")
+        gb.reset_backend()
+        assert gb.active_backend().name == "bitsliced"
+
+    def test_blank_environment_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(gb.ENV_BACKEND, "  ")
+        gb.reset_backend()
+        assert gb.active_backend().name == gb.DEFAULT_BACKEND
+
+    def test_bad_environment_value_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(gb.ENV_BACKEND, "not-a-backend")
+        gb.reset_backend()
+        with pytest.raises(KeyError, match="not-a-backend"):
+            gb.active_backend()
+
+    def test_set_backend_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(gb.ENV_BACKEND, "table")
+        gb.set_backend("bitsliced")
+        assert gb.active_backend().name == "bitsliced"
+        gb.reset_backend()
+        assert gb.active_backend().name == "table"
+
+    def test_use_backend_restores_previous(self):
+        gb.set_backend("table")
+        with gb.use_backend("bitsliced") as active:
+            assert active.name == "bitsliced"
+            assert gb.active_backend().name == "bitsliced"
+        assert gb.active_backend().name == "table"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with gb.use_backend("bitsliced"):
+                raise RuntimeError("boom")
+        assert gb.active_backend().name == gb.DEFAULT_BACKEND
+
+    def test_selecting_unavailable_backend_raises(self, monkeypatch):
+        class Ghost(gb.GFBackend):
+            name = "ghost"
+
+            @classmethod
+            def available(cls):
+                return False
+
+            def matmul_blocks(self, field, a, b3):  # pragma: no cover
+                raise NotImplementedError
+
+        with gb.temporary_backend(Ghost):
+            assert "ghost" in gb.backend_names()
+            assert "ghost" not in gb.available_backend_names()
+            with pytest.raises(gb.BackendUnavailableError, match="ghost"):
+                gb.set_backend("ghost")
+
+    def test_numba_selection_matches_availability(self):
+        if gb.get_backend_class("numba").available():
+            assert gb.backend("numba").name == "numba"
+        else:
+            with pytest.raises(gb.BackendUnavailableError):
+                gb.backend("numba")
+
+    def test_matmul_backend_knob_accepts_name_and_instance(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 256, size=(3, 5)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(5, 11)).astype(np.uint8)
+        expected = GF256.matmul(a, b)
+        assert np.array_equal(GF256.matmul(a, b, backend="table"), expected)
+        assert np.array_equal(
+            GF256.matmul(a, b, backend=gb.backend("bitsliced")), expected
+        )
+
+
+# ----------------------------------------------------------------------
+# fallback and telemetry
+# ----------------------------------------------------------------------
+class TestFallbackAndTelemetry:
+    def test_unsupported_field_falls_back_to_oracle(self):
+        # table only supports m <= 8; GF(2^16) must fall back, not raise
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 1 << 16, size=(2, 3)).astype(np.uint16)
+        b = rng.integers(0, 1 << 16, size=(3, 4)).astype(np.uint16)
+        assert np.array_equal(
+            GF65536.matmul(a, b, backend="table"), GF65536.matmul(a, b)
+        )
+
+    def test_hot_call_counters(self):
+        obs.enable()
+        try:
+            obs.reset()
+            rng = np.random.default_rng(5)
+            a = rng.integers(0, 256, size=(2, 4)).astype(np.uint8)
+            b3 = rng.integers(0, 256, size=(3, 4, 8)).astype(np.uint8)
+            GF256.matmul(a, b3, backend="bitsliced")
+            snap = obs.snapshot()
+            counters = snap.counter_values()
+            assert counters[
+                ("galois.matmul_calls",
+                 (("backend", "bitsliced"), ("m", "8")))
+            ] == 1
+            assert counters[
+                ("galois.product_terms", (("m", "8"),))
+            ] == 2 * 4 * 8 * 3
+            assert snap.value(
+                "galois.kernel_seconds", backend="bitsliced"
+            ) >= 0.0
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_fallback_counter_increments(self):
+        obs.enable()
+        try:
+            obs.reset()
+            rng = np.random.default_rng(5)
+            a = rng.integers(0, 1 << 16, size=(2, 3)).astype(np.uint16)
+            b = rng.integers(0, 1 << 16, size=(3, 4)).astype(np.uint16)
+            GF65536.matmul(a, b, backend="table")
+            counters = obs.snapshot().counter_values()
+            assert counters[
+                ("galois.backend_fallbacks", (("m", "16"),))
+            ] == 1
+            # the call is attributed to the backend that actually ran
+            assert counters[
+                ("galois.matmul_calls", (("backend", "numpy"), ("m", "16")))
+            ] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_codec_pin_beats_process_selection(self):
+        pinned = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4),
+                          gf_backend="table")
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, size=(4, 32)).astype(np.uint8)
+        with gb.use_backend("bitsliced"):
+            expected = RSECodec(
+                4, 2, inverse_cache=InverseCache(maxsize=4)
+            ).encode_symbols(data)
+            assert np.array_equal(pinned.encode_symbols(data), expected)
+
+    def test_registry_create_codec_forwards_gf_backend(self):
+        codec = create_codec("rse", 4, 2, gf_backend="bitsliced")
+        assert codec.gf_backend == "bitsliced"
+
+    def test_inverse_cache_shared_across_backends(self):
+        # bit-identity makes the inverse cache backend-independent: a miss
+        # under one backend is a hit under another
+        cache = InverseCache(maxsize=8)
+        data = np.arange(4 * 16, dtype=np.uint8).reshape(4, 16)
+        received = lambda codec: {  # noqa: E731 - tiny test helper
+            i: row for i, row in zip(
+                (0, 2, 4, 5),
+                np.concatenate([data, codec.encode_symbols(data)])[[0, 2, 4, 5]],
+            )
+        }
+        first = RSECodec(4, 2, inverse_cache=cache, gf_backend="numpy")
+        first.decode_symbols(received(first))
+        assert first.stats.decode_cache_misses == 1
+        second = RSECodec(4, 2, inverse_cache=cache, gf_backend="bitsliced")
+        second.decode_symbols(received(second))
+        assert second.stats.decode_cache_misses == 0
+        assert second.stats.decode_cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# zero-copy regressions (the encode-path audit)
+# ----------------------------------------------------------------------
+class TestZeroCopy:
+    def test_to_symbols_passthrough_for_full_range_field(self):
+        # GF(2^8) over uint8: every representable value is a valid symbol,
+        # so aligned ndarray input must pass through without a copy (and
+        # without the redundant max-scan that used to read every byte)
+        codec = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4))
+        arr = np.arange(64, dtype=np.uint8)
+        out = codec._to_symbols(arr)
+        assert np.shares_memory(arr, out)
+
+    def test_to_symbols_bytes_view_is_zero_copy(self):
+        codec = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4))
+        payload = bytes(range(64))
+        out = codec._to_symbols(payload)
+        assert np.shares_memory(out, np.frombuffer(payload, dtype=np.uint8))
+        assert not out.flags.writeable
+
+    def test_to_symbols_still_range_checks_narrow_fields(self):
+        codec = RSECodec(3, 2, field=GF16,
+                         inverse_cache=InverseCache(maxsize=4))
+        with pytest.raises(ValueError, match="exceeds"):
+            codec._to_symbols(np.array([1, 2, 200], dtype=np.uint8))
+
+    def test_check_symbols_zero_copy_for_aligned_input(self):
+        codec = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4))
+        data = np.zeros((4, 32), dtype=np.uint8)
+        assert np.shares_memory(codec._check_symbols(data, rows_axis=0), data)
+
+    def test_encode_accepts_read_only_views(self):
+        codec = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4))
+        payloads = [bytes([i] * 32) for i in range(4)]
+        views = np.vstack(
+            [np.frombuffer(p, dtype=np.uint8) for p in payloads]
+        )
+        views.setflags(write=False)
+        parities = codec.encode_symbols(views)
+        assert np.array_equal(
+            parities,
+            np.vstack([
+                np.frombuffer(p, dtype=np.uint8)
+                for p in codec.encode(payloads)
+            ]),
+        )
+
+    def test_decode_accepts_symbol_views(self):
+        from repro.protocols.packets import DataPacket, payload_symbols
+
+        codec = RSECodec(4, 2, inverse_cache=InverseCache(maxsize=4))
+        data = [bytes([i] * 16) for i in range(4)]
+        parities = codec.encode(data)
+        packets = {
+            0: DataPacket(0, 0, data[0]),
+            2: DataPacket(0, 2, data[2]),
+            4: DataPacket(0, 4, parities[0]),
+            5: DataPacket(0, 5, parities[1]),
+        }
+        received = {
+            i: payload_symbols(p, codec.field) for i, p in packets.items()
+        }
+        assert all(
+            not view.flags.writeable and
+            np.shares_memory(
+                view, np.frombuffer(packets[i].payload, dtype=np.uint8)
+            )
+            for i, view in received.items()
+        )
+        assert codec.decode(received) == data
+
+
+class TestPayloadSymbols:
+    def test_view_shares_memory_and_is_read_only(self):
+        from repro.protocols.packets import ParityPacket, payload_symbols
+
+        packet = ParityPacket(0, 4, bytes(range(48)))
+        view = payload_symbols(packet, GF256)
+        assert view.dtype == GF256.dtype
+        assert np.shares_memory(
+            view, np.frombuffer(packet.payload, dtype=np.uint8)
+        )
+        assert not view.flags.writeable
+
+    def test_accepts_raw_buffers(self):
+        from repro.protocols.packets import payload_symbols
+
+        raw = bytes(range(16))
+        assert payload_symbols(raw, GF256).tolist() == list(range(16))
+
+    def test_gf65536_views_pair_bytes(self):
+        from repro.protocols.packets import payload_symbols
+
+        view = payload_symbols(bytes(range(8)), GF65536)
+        assert view.dtype == GF65536.dtype
+        assert view.shape == (4,)
+        with pytest.raises(ValueError, match="whole number"):
+            payload_symbols(bytes(range(7)), GF65536)
+
+    def test_rejects_nibble_fields(self):
+        from repro.protocols.packets import payload_symbols
+
+        with pytest.raises(ValueError, match="byte-aligned"):
+            payload_symbols(b"\x01\x02", GF16)
+
+
+# ----------------------------------------------------------------------
+# the experiments CLI knob
+# ----------------------------------------------------------------------
+class TestCliKnob:
+    def test_parser_accepts_registered_backends(self):
+        from repro.experiments.__main__ import _build_parser
+
+        args = _build_parser().parse_args(
+            ["fig01", "--gf-backend", "bitsliced"]
+        )
+        assert args.gf_backend == "bitsliced"
+
+    def test_parser_rejects_unknown_backend(self, capsys):
+        from repro.experiments.__main__ import _build_parser
+
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fig01", "--gf-backend", "nope"])
+
+    def test_main_selects_backend_and_exports_env(self, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        selected = {}
+        monkeypatch.setattr(
+            "repro.experiments.registry.run_experiment",
+            lambda figure_id, **kwargs: (_ for _ in ()).throw(
+                RuntimeError("not reached")
+            ),
+        )
+
+        def fake_sequential(targets, csv_dir, mc_kwargs):
+            import os
+
+            selected["active"] = gb.active_backend().name
+            selected["env"] = os.environ.get(gb.ENV_BACKEND)
+            return 0
+
+        monkeypatch.setattr(
+            "repro.experiments.__main__._run_sequential", fake_sequential
+        )
+        assert main(["fig01", "--gf-backend", "bitsliced"]) == 0
+        assert selected == {"active": "bitsliced", "env": "bitsliced"}
+
+    def test_main_reports_unavailable_backend(self, capsys, monkeypatch):
+        if gb.get_backend_class("numba").available():
+            pytest.skip("numba installed: the unavailable leg cannot run")
+        from repro.experiments.__main__ import main
+
+        assert main(["fig01", "--gf-backend", "numba"]) == 2
+        assert "numba" in capsys.readouterr().err
