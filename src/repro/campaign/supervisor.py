@@ -43,7 +43,11 @@ from repro.campaign.journal import (
     load_journal,
     payload_digest,
 )
+from repro.obs.export import TelemetryFlusher
+from repro.obs.httpd import MetricsEndpoint
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.slo import DriftMonitor
+from repro.obs.tracecontext import mint_trace_id
 from repro.campaign.report import CampaignReport, TaskOutcome
 from repro.campaign.retry import RetryPolicy
 from repro.campaign.tasks import CampaignTask
@@ -105,6 +109,10 @@ class CampaignRunner:
         campaign_id: str = "campaign",
         term_grace: float = 2.0,
         capture_metrics: bool = False,
+        metrics_port: int | None = None,
+        telemetry_path: str | pathlib.Path | None = None,
+        telemetry_interval: float = 5.0,
+        slos: Sequence[Any] | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -112,6 +120,12 @@ class CampaignRunner:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if term_grace < 0:
             raise ValueError(f"term_grace must be >= 0, got {term_grace}")
+        if metrics_port is not None and not 0 <= metrics_port <= 65535:
+            raise ValueError(f"metrics_port {metrics_port} outside 0..65535")
+        if telemetry_interval < 0:
+            raise ValueError(
+                f"telemetry_interval must be >= 0, got {telemetry_interval}"
+            )
         tasks = list(tasks)
         if not tasks:
             raise ValueError("a campaign needs at least one task")
@@ -130,15 +144,33 @@ class CampaignRunner:
         self.seed = seed
         self.campaign_id = campaign_id
         self.term_grace = term_grace
-        self.capture_metrics = capture_metrics
+        self.capture_metrics = capture_metrics or (
+            metrics_port is not None or telemetry_path is not None
+        )
+        self.metrics_port = metrics_port
+        self.telemetry_path = (
+            None if telemetry_path is None else pathlib.Path(telemetry_path)
+        )
+        self.telemetry_interval = float(telemetry_interval)
+        #: drift SLOs evaluated on every telemetry flush; breached alerts
+        #: land in the NDJSON stream and on ``last_alerts``
+        self.drift_monitor = DriftMonitor(list(slos or ()))
         #: exact merge of every successful worker's MetricsSnapshot
         #: (empty unless ``capture_metrics``); nested shard workers roll
         #: up through their figure worker, so one merge level suffices
         self.worker_metrics = MetricsSnapshot()
+        #: span records shipped home by successful workers, each already
+        #: stamped with its attempt's trace id — feed to
+        #: :func:`repro.obs.stitch_traces` / ``to_trace_events``
+        self.worker_spans: list[dict] = []
+        #: ``http://host:port`` of the live scrape endpoint while running
+        self.metrics_address: tuple[str, int] | None = None
         self._states = {
             task.task_id: _TaskState(task=task) for task in tasks
         }
         self._writer: JournalWriter | None = None
+        self._flusher: TelemetryFlusher | None = None
+        self._endpoint: MetricsEndpoint | None = None
         self._resuming = False
         #: task_id -> deserializable result payload (ok tasks only)
         self.results: dict[str, dict] = {}
@@ -156,6 +188,10 @@ class CampaignRunner:
         retry: RetryPolicy | None = None,
         term_grace: float = 2.0,
         capture_metrics: bool | None = None,
+        metrics_port: int | None = None,
+        telemetry_path: str | pathlib.Path | None = None,
+        telemetry_interval: float = 5.0,
+        slos: Sequence[Any] | None = None,
     ) -> "CampaignRunner":
         """Rebuild a runner from its journal; completed work is kept.
 
@@ -187,6 +223,10 @@ class CampaignRunner:
                 if capture_metrics is not None
                 else bool(meta.get("capture_metrics", False))
             ),
+            metrics_port=metrics_port,
+            telemetry_path=telemetry_path,
+            telemetry_interval=telemetry_interval,
+            slos=slos,
         )
         runner._preload(state)
         return runner
@@ -218,6 +258,8 @@ class CampaignRunner:
                 # the rollup equals an uninterrupted run's (exact merge)
                 if record.get("metrics"):
                     self._merge_worker_metrics(record["metrics"], task_id)
+                if record.get("trace"):
+                    self._collect_worker_trace(record["trace"])
             elif ledger.quarantined:
                 task_state.quarantined = True
                 task_state.resumed = True
@@ -236,6 +278,61 @@ class CampaignRunner:
         except (KeyError, TypeError, ValueError):
             if obs.is_enabled():
                 obs.counter("campaign.metrics_rejected").inc()
+
+    def _collect_worker_trace(self, trace_json: Any) -> None:
+        """Fold one worker's shipped span records into the campaign trace.
+
+        Like metrics, a malformed trace costs fidelity, never the run."""
+        if not isinstance(trace_json, dict):
+            return
+        spans = trace_json.get("spans")
+        if isinstance(spans, list):
+            self.worker_spans.extend(
+                span for span in spans if isinstance(span, dict)
+            )
+
+    # ------------------------------------------------------------------
+    # live telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> MetricsSnapshot:
+        """What the scrape endpoint and flusher see: the worker rollup
+        merged with this process's own registry (if telemetry is on).
+
+        Read-only and allocation-fresh, so it is safe to call from the
+        endpoint's serving thread while the supervision loop mutates
+        ``worker_metrics`` (the attribute swap is atomic)."""
+        snapshot = self.worker_metrics
+        if obs.is_enabled():
+            snapshot = snapshot.merge(obs.snapshot())
+        return snapshot
+
+    @property
+    def last_alerts(self) -> list:
+        """Drift alerts from the most recent SLO evaluation."""
+        return list(self.drift_monitor.last_alerts)
+
+    def _open_telemetry(self) -> None:
+        if self.metrics_port is not None:
+            self._endpoint = MetricsEndpoint(
+                provider=self.telemetry_snapshot, port=self.metrics_port
+            )
+            self.metrics_address = self._endpoint.start_in_thread()
+        if self.telemetry_path is not None:
+            self._flusher = TelemetryFlusher(
+                self.telemetry_path,
+                interval=self.telemetry_interval,
+                monitor=self.drift_monitor,
+                source=self.telemetry_snapshot,
+            )
+
+    def _close_telemetry(self) -> None:
+        if self._flusher is not None:
+            self._flusher.close()
+            self._flusher = None
+        if self._endpoint is not None:
+            self._endpoint.stop_in_thread()
+            self._endpoint = None
+            self.metrics_address = None
 
     # ------------------------------------------------------------------
     # journal plumbing
@@ -285,6 +382,7 @@ class CampaignRunner:
     def run(self) -> CampaignReport:
         started_wall = time.monotonic()
         self._open_journal()
+        self._open_telemetry()
         ctx = multiprocessing.get_context("spawn")
         running: list[_Running] = []
         pending = [
@@ -307,12 +405,18 @@ class CampaignRunner:
                 for done in self._reap(running):
                     running.remove(done)
                     self._settle(done, pending)
+                if self._flusher is not None:
+                    self._flusher.maybe_flush()
         finally:
             for leftover in running:
                 leftover.proc.kill()
                 leftover.proc.join()
                 leftover.conn.close()
+            self._close_telemetry()
             self._close_journal()
+        if self.drift_monitor.slos:
+            # final verdict over the complete rollup, flusher or not
+            self.drift_monitor.evaluate(self.telemetry_snapshot())
         return self._build_report(time.monotonic() - started_wall)
 
     def _close_journal(self) -> None:
@@ -338,18 +442,28 @@ class CampaignRunner:
         self, ctx, state: _TaskState, now: float
     ) -> _Running:
         attempt = state.failed_attempts + 1
+        # deterministic per-attempt trace id: resume re-mints the same one
+        trace_id = mint_trace_id(
+            "campaign", self.campaign_id, state.task.task_id, attempt
+        )
         self._journal(
             {
                 "type": "task_start",
                 "task": state.task.task_id,
                 "attempt": attempt,
                 "seed": state.task.seed,
+                "trace": trace_id,
             }
         )
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=worker_main,
-            args=(child_conn, state.task.to_json(), self.capture_metrics),
+            args=(
+                child_conn,
+                state.task.to_json(),
+                self.capture_metrics,
+                trace_id if self.capture_metrics else None,
+            ),
             name=f"campaign-{state.task.task_id}-a{attempt}",
         )
         proc.start()
@@ -441,6 +555,7 @@ class CampaignRunner:
             # rides beside the payload in the journal record, outside the
             # digest, so result digests stay metric-independent
             metrics_json = message[2] if len(message) > 2 else None
+            trace_json = message[3] if len(message) > 3 else None
             try:
                 digest = payload_digest(payload)
             except (TypeError, ValueError):
@@ -459,6 +574,9 @@ class CampaignRunner:
             }
             if metrics_json is not None:
                 record["metrics"] = metrics_json
+            if trace_json is not None:
+                # beside the payload, outside the digest, like metrics
+                record["trace"] = trace_json
             self._journal(record)
             state.success_payload = payload
             state.success_digest = digest
@@ -466,6 +584,8 @@ class CampaignRunner:
             self.results[state.task.task_id] = payload
             if metrics_json is not None:
                 self._merge_worker_metrics(metrics_json, state.task.task_id)
+            if trace_json is not None:
+                self._collect_worker_trace(trace_json)
             self._observe_settle("ok", duration, run)
             return
 

@@ -12,6 +12,13 @@ supervisor is a single message on a one-shot pipe:
   everything the attempt recorded (codec counters, transfer counters,
   spans-as-histograms).  It rides beside the payload, never inside it,
   so result digests stay metric-independent.
+* ``("ok", payload, metrics, trace)`` — same again, when the supervisor
+  also minted a ``trace_id`` for the attempt: every span the worker
+  records carries that trace id (set as the ambient trace context), and
+  ``trace`` ships the span records home — capped at
+  :data:`SPAN_SHIP_CAP`, with anything beyond the cap counted under
+  ``obs.spans_dropped{reason="ship_cap"}`` *before* the snapshot is
+  taken, so the drop is visible in every export path.
 * ``("error", exc)`` — the task raised; typed errors from
   :mod:`repro.resilience.errors` pickle with their ``StallReport``
   attached (their ``__reduce__`` guarantees it), so diagnostics cross the
@@ -30,11 +37,36 @@ from typing import Any
 
 from repro.campaign.tasks import CampaignTask, execute_task, serialize_result
 
-__all__ = ["worker_main"]
+__all__ = ["worker_main", "SPAN_SHIP_CAP"]
+
+#: Most span records one attempt ships home over the result pipe.  A
+#: runaway span producer costs trace fidelity (counted, never silent),
+#: not a pipe stuffed past its buffer.
+SPAN_SHIP_CAP = 512
+
+
+def _trace_message(trace_id: str) -> dict:
+    """Span records for the success message, capped and drop-counted."""
+    from repro import obs
+
+    records = [record.to_json() for record in obs.recorder()]
+    truncated = max(0, len(records) - SPAN_SHIP_CAP)
+    if truncated:
+        # labelled so it cannot collide with the unlabelled instrument
+        # runtime.snapshot() levels from the recorder's own drop count
+        obs.counter("obs.spans_dropped", reason="ship_cap").inc(truncated)
+    return {
+        "trace_id": trace_id,
+        "spans": records[:SPAN_SHIP_CAP],
+        "dropped": obs.recorder().dropped + truncated,
+    }
 
 
 def worker_main(
-    conn: Any, task_json: dict, capture_metrics: bool = False
+    conn: Any,
+    task_json: dict,
+    capture_metrics: bool = False,
+    trace_id: str | None = None,
 ) -> None:
     """Process entry point: execute the task, send one message, exit.
 
@@ -44,18 +76,30 @@ def worker_main(
     telemetry is enabled for the whole attempt and the resulting snapshot
     is appended to the success message (failures ship no metrics — a
     failed attempt's partial counters would double-count on retry).
+    With a ``trace_id``, it becomes the ambient trace context for the
+    whole attempt, so every span recorded here stitches into the
+    campaign-wide trace (see :mod:`repro.obs.tracecontext`).
     """
     if capture_metrics:
         from repro import obs
 
         obs.reset()
         obs.enable()
+        if trace_id is not None:
+            from repro.obs.tracecontext import set_trace_id
+
+            set_trace_id(trace_id)
     try:
         task = CampaignTask.from_json(task_json)
         result = execute_task(task)
         message: tuple = ("ok", serialize_result(result))
         if capture_metrics:
+            trace = (
+                None if trace_id is None else _trace_message(trace_id)
+            )
             message = (*message, obs.snapshot().to_json())
+            if trace is not None:
+                message = (*message, trace)
     except BaseException as exc:  # noqa: BLE001 - the pipe IS the error path
         try:
             pickle.dumps(exc)

@@ -19,6 +19,12 @@ when the first positional is ``serve`` or ``fetch``::
     python -m repro.experiments serve --bind 127.0.0.1:9000 --size 65536
     python -m repro.experiments fetch --connect 127.0.0.1:9000 --out f.bin
 
+Watching a live run (read-only; see DESIGN.md section 17)::
+
+    python -m repro.experiments --status campaign.jsonl --follow
+    python -m repro.experiments watch --journal campaign.jsonl \
+        --metrics 127.0.0.1:9200
+
 Each task then runs in its own spawned process with a wall-clock budget
 and a retry allowance; completed work is journaled so a killed campaign
 resumes where it stopped.  The exit status is 0 only when every requested
@@ -159,6 +165,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the current state of the campaign journal at PATH "
         "(read-only, works while a runner is live) and exit",
     )
+    observability.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --status: re-render on --interval until Ctrl-C "
+        "(read-only; a live runner keeps appending undisturbed)",
+    )
+    observability.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval for --status --follow (default %(default)s)",
+    )
+    observability.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="with --status: also read drift alerts from this telemetry "
+        "NDJSON stream (written by --telemetry-out)",
+    )
+    observability.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="campaign mode: serve live OpenMetrics on "
+        "http://127.0.0.1:PORT/metrics while the campaign runs "
+        "(0 picks a free port; implies telemetry capture)",
+    )
+    observability.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="campaign mode: append delta NDJSON telemetry (plus drift "
+        "alerts) to PATH while the campaign runs (implies capture)",
+    )
     return parser
 
 
@@ -263,8 +302,13 @@ def _run_campaign(
     )
 
     capture = args.metrics_out is not None
+    telemetry = {}
+    if args.metrics_port is not None:
+        telemetry["metrics_port"] = args.metrics_port
+    if args.telemetry_out is not None:
+        telemetry["telemetry_path"] = args.telemetry_out
     if args.resume:
-        overrides = {}
+        overrides = dict(telemetry)
         if args.jobs is not None:
             overrides["jobs"] = args.jobs
         if args.timeout is not None:
@@ -293,7 +337,14 @@ def _run_campaign(
             seed=args.seed,
             campaign_id="experiments",
             capture_metrics=capture,
+            **telemetry,
         )
+    if runner.metrics_port is not None or runner.telemetry_path is not None:
+        # the supervisor process records too (campaign.* instruments),
+        # so the live exports cover both sides of the worker boundary
+        from repro import obs
+
+        obs.enable()
     report = runner.run()
     if capture:
         from repro import obs
@@ -321,6 +372,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.cli import main as net_main
 
         return net_main(argv)
+    if argv and argv[0] == "watch":
+        # live dashboard over a journal + metrics endpoint
+        from repro.experiments.watch import main as watch_main
+
+        return watch_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -333,8 +389,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.status:
         from repro.campaign import JournalError, campaign_status, render_status
 
+        def render_once() -> str:
+            alerts = None
+            if args.telemetry is not None:
+                from repro.obs import read_alerts
+
+                alerts = read_alerts(args.telemetry)
+            return render_status(campaign_status(args.status), alerts=alerts)
+
         try:
-            print(render_status(campaign_status(args.status)))
+            if not args.follow:
+                print(render_once())
+                return 0
+            # --follow: same read-only reader on a loop; Ctrl-C exits 0
+            while True:
+                frame = render_once()
+                if sys.stdout.isatty():
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(frame, flush=True)
+                time.sleep(max(0.0, args.interval))
+        except KeyboardInterrupt:
+            print()
+            return 0
         except (OSError, JournalError) as exc:
             print(f"error: cannot read journal {args.status}: {exc}",
                   file=sys.stderr)

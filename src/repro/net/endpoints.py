@@ -31,7 +31,15 @@ from repro.fec.block import BlockDecoder, join_stream
 from repro.fec.registry import create_codec
 from repro.net.session import SenderSession, SessionReport
 from repro.net.supervision import NakScheduler, NetConfig
-from repro.net.wire import FrameError, decode_frame, encode_frame, frame_kind
+from repro.net.wire import (
+    FrameError,
+    TraceContextPacket,
+    decode_frame,
+    encode_frame,
+    frame_kind,
+)
+from repro.obs.httpd import MetricsEndpoint
+from repro.obs.tracecontext import is_trace_id, mint_trace_id
 from repro.protocols.packets import (
     DataPacket,
     GroupAbort,
@@ -106,6 +114,7 @@ class NetServer:
         data: bytes,
         config: NetConfig = NetConfig(),
         bind: Address = ("127.0.0.1", 0),
+        metrics_port: int | None = None,
     ):
         self.data = data
         self.config = config
@@ -119,6 +128,17 @@ class NetServer:
         self._transport: asyncio.DatagramTransport | None = None
         self._tasks: set[asyncio.Task] = set()
         self._closed = asyncio.Event()
+        #: optional HTTP pull endpoint for scrapers (None = disabled;
+        #: 0 = bind an ephemeral port, reported by ``metrics_address``)
+        self._metrics_port = metrics_port
+        self._metrics: MetricsEndpoint | None = None
+
+    @property
+    def metrics_address(self) -> Address | None:
+        """Bound address of the metrics endpoint, if one is serving."""
+        if self._metrics is None:
+            return None
+        return self._metrics.address
 
     @property
     def address(self) -> Address:
@@ -131,6 +151,9 @@ class NetServer:
         self._transport, _ = await loop.create_datagram_endpoint(
             lambda: _ServerProtocol(self), local_addr=self.bind
         )
+        if self._metrics_port is not None:
+            self._metrics = MetricsEndpoint(port=self._metrics_port)
+            await self._metrics.start()
         return self.address
 
     async def close(self) -> None:
@@ -139,6 +162,9 @@ class NetServer:
             task.cancel()
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._metrics is not None:
+            await self._metrics.stop()
+            self._metrics = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -201,6 +227,11 @@ class NetServer:
                 packet, to, sid
             ),
             now=loop.time,
+            # deterministic: the same (seed, session id, group) always
+            # stitches under the same trace
+            trace_id=mint_trace_id(
+                "net", self.config.seed, session_id, join.group
+            ),
         )
         self.sessions[session_id] = session
         self._gathering[join.group] = session
@@ -242,6 +273,9 @@ class FetchResult:
     #: times this receiver rejoined the session after being ejected
     #: (blackout churn survived); 0 unless ``config.rejoin_attempts`` > 0
     rejoins: int = 0
+    #: telemetry trace id announced by the sender session (None when the
+    #: sender predates trace-context packets, or the packet was lost)
+    trace_id: str | None = None
 
     @property
     def complete(self) -> bool:
@@ -249,6 +283,7 @@ class FetchResult:
 
     def to_json(self) -> dict:
         return {
+            "trace_id": self.trace_id,
             "bytes": len(self.data),
             "n_groups": self.n_groups,
             "delivered_groups": self.delivered_groups,
@@ -286,6 +321,7 @@ class _ReceiverProtocol(asyncio.DatagramProtocol):
         self.max_tg_seen = -1
         self.last_stream_rx = 0.0
         self.fin_reason: str | None = None
+        self.trace_id: str | None = None
         self.naks_sent = 0
         self.frames_received = 0
         self.frame_errors = 0
@@ -343,6 +379,9 @@ class _ReceiverProtocol(asyncio.DatagramProtocol):
                 return
             self.fin_reason = packet.reason
             self.done.set()
+        elif isinstance(packet, TraceContextPacket):
+            if self.trace_id is None and is_trace_id(packet.trace_id):
+                self.trace_id = packet.trace_id
 
     def _on_announce(self, announce: SessionAnnounce, session_id: int) -> None:
         if not control_intact(announce):
@@ -527,14 +566,20 @@ async def fetch(
     )
     start = loop.time()
     try:
-        with obs.span("net.fetch"):
+        with obs.span("net.fetch", side="receiver", group=group) as sp:
             await _join(protocol, config, start, deadline)
             await _recover(protocol, config, start, deadline)
+            # the trace id arrives mid-span (behind the announce), so it
+            # is attached to the already-open span rather than passed in
+            if protocol.trace_id is not None and hasattr(sp, "attrs"):
+                sp.attrs.setdefault("trace", protocol.trace_id)
             data = protocol.assemble()
             await _complete(protocol, config)
     finally:
         transport.close()
     duration = loop.time() - start
+    if obs.is_enabled() and duration > 0:
+        obs.gauge("net.goodput_bytes_per_s").observe(len(data) / duration)
     return FetchResult(
         data=data,
         n_groups=protocol.announce.n_groups,
@@ -547,6 +592,7 @@ async def fetch(
         frame_errors=protocol.frame_errors,
         duration=duration,
         rejoins=protocol.rejoins,
+        trace_id=protocol.trace_id,
     )
 
 

@@ -41,6 +41,7 @@ from typing import Callable
 from repro import obs
 from repro.fec.block import BlockEncoder
 from repro.net.supervision import NetConfig, Pacer
+from repro.net.wire import TraceContextPacket
 from repro.protocols.packets import (
     DataPacket,
     GroupAbort,
@@ -154,12 +155,15 @@ class SenderSession:
         config: NetConfig,
         send: Callable[[object, Address], None],
         now: Callable[[], float],
+        trace_id: str | None = None,
     ):
         self.session_id = session_id
         self.group = group
         self.config = config
         self.send = send
         self.now = now
+        #: telemetry trace id shared with every member (None = untraced)
+        self.trace_id = trace_id
         self.state = GATHERING
         self.encoder = BlockEncoder(
             data,
@@ -232,7 +236,7 @@ class SenderSession:
                 if obs.is_enabled():
                     obs.counter("net.members_revived").inc()
             member.last_heard = timestamp
-            self.send(self.announce(), addr)
+            self._send_announce(addr)
             return True
         if self.state != GATHERING:
             return False
@@ -240,8 +244,19 @@ class SenderSession:
             addr=addr, nonce=join.nonce, joined_at=timestamp,
             last_heard=timestamp,
         )
-        self.send(self.announce(), addr)
+        self._send_announce(addr)
         return True
+
+    def _send_announce(self, addr: Address) -> None:
+        """Announce the session — and its trace id, when one was minted.
+
+        The trace packet rides behind every announce (join replies are
+        datagrams and can be lost, so re-announces re-carry it); peers
+        that predate wire type 13 drop it as ``unknown_type``.
+        """
+        self.send(self.announce(), addr)
+        if self.trace_id is not None:
+            self.send(TraceContextPacket(self.trace_id), addr)
 
     def _fanout(self, packet) -> None:
         """Unicast emulation of a multicast send: every active member."""
@@ -384,8 +399,11 @@ class SenderSession:
     # ------------------------------------------------------------------
     async def run(self) -> SessionReport:
         """Stream, drain, supervise; returns the final report."""
+        attrs: dict = {"side": "sender", "session": self.session_id}
+        if self.trace_id is not None:
+            attrs["trace"] = self.trace_id
         try:
-            with obs.span("net.serve.session"):
+            with obs.span("net.serve.session", **attrs):
                 await self._stream()
                 await self._drain()
         finally:
@@ -401,6 +419,12 @@ class SenderSession:
                 return
             for index in range(config.k):
                 await self.pacer.gate()
+                if obs.is_enabled():
+                    # loss-free fanout baseline: observed E[M] for the live
+                    # transport is (data+parity frames_tx) / this counter
+                    obs.counter("net.stream_data_tx").inc(
+                        sum(1 for m in self.members.values() if m.active)
+                    )
                 self._fanout(
                     DataPacket(tg, index, self.encoder.data_packet(tg, index))
                 )

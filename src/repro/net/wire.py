@@ -23,6 +23,14 @@ per-packet checksums, so bodies do not carry them.  ``decode_frame``
 re-stamps — payload packets get ``checksum_of(payload)``, control packets
 auto-stamp at construction — so a decoded packet always verifies intact
 (frames that were damaged on the wire never decode at all).
+
+Forward compatibility lever: the version byte is load-bearing and frozen
+at 1; *new control surface* is added as new type discriminators instead.
+A v1-only decoder that predates a type treats such frames as
+``unknown_type`` — counted and dropped by every endpoint, never fatal —
+so old and new peers interoperate, each simply ignoring what it does not
+speak.  :class:`TraceContextPacket` (type 13, telemetry trace ids) is the
+first use of this lever; see docs/PROTOCOL.md.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ __all__ = [
     "MAGIC",
     "VERSION",
     "MAX_SESSION_ID",
+    "TraceContextPacket",
     "encode_frame",
     "decode_frame",
     "frame_kind",
@@ -92,6 +101,19 @@ class Frame:
 
     session_id: int
     packet: Any
+
+
+@dataclass(frozen=True)
+class TraceContextPacket:
+    """Telemetry control packet: the sender session's 32-hex trace id.
+
+    Sent alongside every session announce so both sides of a transfer
+    stitch their spans under one trace (`repro.obs.tracecontext`).  Pure
+    telemetry: losing it (or a v1-only peer dropping it as
+    ``unknown_type``) never affects data transfer.
+    """
+
+    trace_id: str
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +301,29 @@ def _decode_complete(body: bytes) -> SessionComplete:
     return SessionComplete(delivered=delivered, failed=failed)
 
 
+#: a trace id is exactly 16 raw bytes on the wire (32 hex chars in code)
+_TRACE_ID_BYTES = 16
+
+
+def _encode_trace(p: TraceContextPacket) -> bytes:
+    try:
+        raw = bytes.fromhex(p.trace_id)
+    except (ValueError, TypeError) as exc:
+        raise FrameError("overflow", f"trace id {p.trace_id!r}") from exc
+    if len(raw) != _TRACE_ID_BYTES:
+        raise FrameError("overflow", f"trace id {p.trace_id!r} wrong width")
+    return raw
+
+
+def _decode_trace(body: bytes) -> TraceContextPacket:
+    if len(body) != _TRACE_ID_BYTES:
+        raise FrameError(
+            "malformed",
+            f"trace body is {len(body)} bytes, expected {_TRACE_ID_BYTES}",
+        )
+    return TraceContextPacket(body.hex())
+
+
 def _encode_fin(p: SessionFin) -> bytes:
     return _pack(_FIN, SessionFin.REASONS.index(p.reason))
 
@@ -304,6 +349,7 @@ _TYPES: dict[int, tuple[type, Callable, Callable]] = {
     10: (SessionAnnounce, _encode_announce, _decode_announce),
     11: (SessionComplete, _encode_complete, _decode_complete),
     12: (SessionFin, _encode_fin, _decode_fin),
+    13: (TraceContextPacket, _encode_trace, _decode_trace),
 }
 
 _TYPE_OF_CLASS = {cls: type_id for type_id, (cls, _, _) in _TYPES.items()}
@@ -320,6 +366,7 @@ _KIND_OF_CLASS = {
     SessionAnnounce: "announce",
     SessionComplete: "complete",
     SessionFin: "fin",
+    TraceContextPacket: "trace",
 }
 
 

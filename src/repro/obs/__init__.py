@@ -2,10 +2,14 @@
 
 Zero-dependency observability for the whole stack: exactly-mergeable
 metric instruments (:mod:`repro.obs.metrics`), nested monotonic span
-tracing (:mod:`repro.obs.spans`), and a per-process runtime switch
-(:mod:`repro.obs.runtime`).  Off by default; ``obs.enable()`` or the
+tracing (:mod:`repro.obs.spans`), a per-process runtime switch
+(:mod:`repro.obs.runtime`), and the live telemetry plane —
+OpenMetrics/NDJSON exporters (:mod:`repro.obs.export`), an HTTP pull
+endpoint (:mod:`repro.obs.httpd`), deterministic trace stitching
+(:mod:`repro.obs.tracecontext`) and paper-model drift SLOs
+(:mod:`repro.obs.slo`).  Off by default; ``obs.enable()`` or the
 experiments CLI's ``--metrics-out PATH`` turns it on.  See DESIGN.md
-section 12 for the merge contract and the overhead budget.
+sections 12 (merge contract, overhead budget) and 17 (telemetry plane).
 """
 
 from repro.obs.metrics import (
@@ -35,6 +39,30 @@ from repro.obs.runtime import (
     span,
 )
 from repro.obs.spans import Span, SpanRecord, SpanRecorder, TimerSpan
+from repro.obs.export import (
+    TelemetryFlusher,
+    parse_openmetrics,
+    read_telemetry,
+    snapshot_delta,
+    to_openmetrics,
+)
+from repro.obs.httpd import MetricsEndpoint
+from repro.obs.slo import (
+    DriftAlert,
+    DriftMonitor,
+    EmDriftSLO,
+    GoodputDriftSLO,
+    read_alerts,
+)
+from repro.obs.tracecontext import (
+    current_trace_id,
+    export_trace,
+    mint_trace_id,
+    set_trace_id,
+    stitch_traces,
+    to_trace_events,
+    use_trace,
+)
 
 __all__ = [
     "Counter",
@@ -63,4 +91,23 @@ __all__ = [
     "reset",
     "snapshot",
     "span",
+    # telemetry plane
+    "TelemetryFlusher",
+    "parse_openmetrics",
+    "read_telemetry",
+    "snapshot_delta",
+    "to_openmetrics",
+    "MetricsEndpoint",
+    "DriftAlert",
+    "DriftMonitor",
+    "EmDriftSLO",
+    "GoodputDriftSLO",
+    "read_alerts",
+    "current_trace_id",
+    "export_trace",
+    "mint_trace_id",
+    "set_trace_id",
+    "stitch_traces",
+    "to_trace_events",
+    "use_trace",
 ]

@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
 )
 from repro.obs.spans import Span, SpanRecorder, TimerSpan
+from repro.obs.tracecontext import current_trace_id
 
 __all__ = [
     "is_enabled",
@@ -121,9 +122,17 @@ def _span_finished(record) -> None:
 
 
 def span(name: str, **attrs: Any) -> Span | TimerSpan:
-    """A timing context: recording when enabled, a bare timer otherwise."""
+    """A timing context: recording when enabled, a bare timer otherwise.
+
+    When an ambient trace id is installed (`repro.obs.tracecontext`),
+    it is stamped onto the span as ``attrs["trace"]`` unless the caller
+    passed an explicit ``trace`` attribute.
+    """
     if not _enabled:
         return TimerSpan()
+    trace = current_trace_id()
+    if trace is not None:
+        attrs.setdefault("trace", trace)
     return Span(name, _recorder, attrs, on_finish=_span_finished)
 
 
@@ -131,7 +140,20 @@ def span(name: str, **attrs: Any) -> Span | TimerSpan:
 # aggregation + export
 # ----------------------------------------------------------------------
 def snapshot() -> MetricsSnapshot:
-    """Frozen copy of this process's registry (mergeable, JSON-safe)."""
+    """Frozen copy of this process's registry (mergeable, JSON-safe).
+
+    Bounded-recorder truncation is never silent: the recorder's dropped
+    count is levelled into an ``obs.spans_dropped`` counter here, so
+    every export path (NDJSON dumps, the flusher, the pull endpoint,
+    worker-shipped snapshots) carries it.  Nothing is injected while
+    telemetry is disabled and nothing was dropped, preserving the
+    "disabled runs observe nothing" contract.
+    """
+    dropped = _recorder.dropped
+    if _enabled or dropped:
+        instrument = _registry.counter("obs.spans_dropped")
+        if dropped > instrument.value:
+            instrument.inc(dropped - instrument.value)
     return _registry.snapshot()
 
 

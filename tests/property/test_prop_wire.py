@@ -23,6 +23,7 @@ from repro.net.wire import (
     VERSION,
     Frame,
     FrameError,
+    TraceContextPacket,
     decode_frame,
     encode_frame,
     frame_kind,
@@ -95,6 +96,9 @@ packets = st.one_of(
     ),
     st.builds(SessionComplete, u32, u32),
     st.builds(SessionFin, st.sampled_from(SessionFin.REASONS)),
+    st.binary(min_size=16, max_size=16).map(
+        lambda raw: TraceContextPacket(raw.hex())
+    ),
 )
 
 
@@ -129,6 +133,7 @@ class TestRoundTrip:
             SessionAnnounce: SessionAnnounce(8, 16, 1024, 1, 8192),
             SessionComplete: SessionComplete(1),
             SessionFin: SessionFin(),
+            TraceContextPacket: TraceContextPacket("ab" * 16),
         }
         assert set(samples) == set(wire_types())
         for cls, sample in samples.items():

@@ -102,10 +102,16 @@ class TestRuntime:
     def test_export_metrics_format_by_suffix(self, tmp_path):
         with obs.capture():
             obs.counter("c").inc()
-            assert obs.export_metrics(tmp_path / "m.ndjson") == 1
-            assert obs.export_metrics(tmp_path / "m.csv") == 1
-        ndjson = (tmp_path / "m.ndjson").read_text()
-        assert json.loads(ndjson.splitlines()[0])["record"] == "metric"
+            # 2 rows: "c" plus the always-present obs.spans_dropped
+            # health counter every export path carries (DESIGN.md §17)
+            assert obs.export_metrics(tmp_path / "m.ndjson") == 2
+            assert obs.export_metrics(tmp_path / "m.csv") == 2
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "m.ndjson").read_text().splitlines()
+        ]
+        assert all(row["record"] == "metric" for row in rows)
+        assert {row["name"] for row in rows} == {"c", "obs.spans_dropped"}
         assert (tmp_path / "m.csv").read_text().startswith("type,")
 
     def test_export_spans(self, tmp_path):
